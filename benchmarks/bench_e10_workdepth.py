@@ -1,0 +1,104 @@
+"""E10 — work–depth accounting and simulated parallel scaling (Theorem 1.1 / Cor 1.2).
+
+Claim: the algorithm is an NC algorithm — polylogarithmic depth and
+near-linear work per iteration.  On a single-core container the honest
+measurements are the model quantities themselves: this benchmark records
+the work and depth charged by the solver across a size sweep, checks that
+the work/depth ratio (available parallelism) grows with the instance size,
+and converts the traces into Brent-bound speedup curves.  It also compares
+execution backends to confirm the accounting is backend-invariant.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.decision import decision_psdp
+from repro.instrumentation import ExperimentReport
+from repro.parallel.backends import SerialBackend, ThreadBackend
+from repro.parallel.scheduler import speedup_curve
+from repro.parallel.workdepth import WorkDepthTracker
+from repro.problems import random_packing_sdp
+
+from conftest import emit
+
+
+def _register(benchmark):
+    """Register a trivial timing so report-only tests still execute under
+    ``--benchmark-only`` (their value is the printed table / CSV, not the
+    wall-clock of a single kernel)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+SIZES = [(4, 4), (8, 8), (16, 12)]
+
+
+def test_e10_parallelism_grows_with_size(benchmark, results_dir):
+    _register(benchmark)
+    report = ExperimentReport("E10-parallelism", "work, depth and available parallelism vs instance size")
+    parallelism = []
+    for n, m in SIZES:
+        problem = random_packing_sdp(n, m, rng=81)
+        result = decision_psdp(problem, epsilon=0.3, max_iterations=40, certificate_check_every=0)
+        wd = result.work_depth
+        parallelism.append(wd.parallelism)
+        report.add_row(
+            n=n,
+            m=m,
+            work=wd.work,
+            depth=wd.depth,
+            parallelism=wd.parallelism,
+            work_per_iteration=wd.work / max(result.iterations, 1),
+        )
+    emit(report, results_dir)
+    # Bigger instances expose more parallelism (more independent per-constraint work).
+    assert parallelism[-1] > parallelism[0]
+
+
+def test_e10_brent_speedup_curve(benchmark, results_dir):
+    _register(benchmark)
+    problem = random_packing_sdp(8, 8, rng=82)
+    result = decision_psdp(problem, epsilon=0.3, max_iterations=40, certificate_check_every=0)
+    report = ExperimentReport("E10-speedup", "Brent-bound simulated speedups from the measured trace")
+    for schedule in speedup_curve(result.work_depth, [1, 2, 4, 8, 16, 64, 256]):
+        report.add_row(
+            processors=schedule.processors,
+            time_upper=schedule.time_upper,
+            speedup_guaranteed=schedule.speedup_lower,
+            efficiency=schedule.efficiency,
+        )
+    emit(report, results_dir)
+    curve = speedup_curve(result.work_depth, [1, 256])
+    assert curve[-1].speedup_lower > curve[0].speedup_lower
+
+
+@pytest.mark.parametrize("backend_name", ["serial", "thread"])
+def test_e10_backend_invariance(benchmark, backend_name, results_dir):
+    """The measured work/depth must not depend on the execution backend."""
+    problem = random_packing_sdp(6, 6, rng=83)
+
+    def run(backend):
+        return decision_psdp(
+            problem, epsilon=0.3, backend=backend, max_iterations=25, certificate_check_every=0
+        )
+
+    tracker = WorkDepthTracker()
+    backend = SerialBackend(tracker) if backend_name == "serial" else ThreadBackend(2, tracker)
+    try:
+        result = benchmark.pedantic(run, args=(backend,), rounds=1, iterations=1)
+    finally:
+        backend.close()
+
+    reference = decision_psdp(
+        problem, epsilon=0.3, max_iterations=25, certificate_check_every=0
+    )
+    report = ExperimentReport("E10-backends", f"work/depth invariance: {backend_name} backend")
+    report.add_row(
+        backend=backend_name,
+        work=result.work_depth.work,
+        depth=result.work_depth.depth,
+        reference_work=reference.work_depth.work,
+        reference_depth=reference.work_depth.depth,
+    )
+    emit(report, results_dir)
+    assert result.work_depth.work == pytest.approx(reference.work_depth.work, rel=1e-9)
+    assert result.work_depth.depth == pytest.approx(reference.work_depth.depth, rel=1e-9)

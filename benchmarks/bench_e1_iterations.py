@@ -1,0 +1,92 @@
+"""E1 — iteration count scaling of the decision solver (Theorem 3.1).
+
+Claim: ``decisionPSDP`` solves the ε-decision problem in
+``O(eps^-3 log^2 n)`` iterations, independent of the width.  This benchmark
+sweeps the accuracy parameter and the number of constraints on random
+packing SDPs and reports measured iterations next to the theoretical cap
+``R``, plus the strict-mode (paper constants, no early exit) iteration
+count for the epsilon sweep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.decision import DecisionParameters, decision_psdp
+from repro.instrumentation import ExperimentReport
+from repro.problems import random_packing_sdp
+
+from conftest import emit
+
+
+def _register(benchmark):
+    """Register a trivial timing so report-only tests still execute under
+    ``--benchmark-only`` (their value is the printed table / CSV, not the
+    wall-clock of a single kernel)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+EPSILONS = [0.5, 0.35, 0.25, 0.15]
+CONSTRAINT_COUNTS = [4, 8, 16, 32]
+
+
+def _solve(problem, eps, strict=False):
+    return decision_psdp(problem, epsilon=eps, strict=strict)
+
+
+@pytest.mark.parametrize("eps", EPSILONS)
+def test_e1_iterations_vs_epsilon(benchmark, eps, results_dir):
+    """Iterations grow as eps shrinks but stay far below the worst-case cap R."""
+    problem = random_packing_sdp(8, 8, rng=1)
+    result = benchmark.pedantic(_solve, args=(problem, eps), rounds=1, iterations=1)
+    params = DecisionParameters.from_instance(8, eps)
+    report = ExperimentReport("E1-epsilon", f"decision iterations at eps={eps}")
+    report.add_row(
+        eps=eps,
+        n=8,
+        m=8,
+        iterations=result.iterations,
+        cap_R=params.R,
+        outcome=result.outcome.value,
+        dual_value=result.dual_value,
+    )
+    emit(report, results_dir)
+    assert result.iterations <= params.R
+
+
+def test_e1_iterations_vs_n(benchmark, results_dir):
+    """Iterations grow (poly)logarithmically with the number of constraints n."""
+    _register(benchmark)
+    report = ExperimentReport("E1-n", "decision iterations vs number of constraints (eps=0.3)")
+    iterations = []
+    for n in CONSTRAINT_COUNTS:
+        problem = random_packing_sdp(n, 6, rng=2)
+        result = decision_psdp(problem, epsilon=0.3)
+        params = DecisionParameters.from_instance(n, 0.3)
+        iterations.append(result.iterations)
+        report.add_row(
+            n=n,
+            iterations=result.iterations,
+            cap_R=params.R,
+            K=params.K,
+            outcome=result.outcome.value,
+        )
+    emit(report, results_dir)
+    # Shape check: growth from n=4 to n=32 should be well below linear in n
+    # (the bound is log^2 n; an 8x increase in n must not cost 8x iterations).
+    assert iterations[-1] <= iterations[0] * 6
+
+
+def test_e1_strict_mode_within_cap(benchmark, results_dir):
+    """The strict (paper-constant) solver always terminates within R iterations."""
+    _register(benchmark)
+    report = ExperimentReport("E1-strict", "strict-mode iterations vs the Theorem 3.1 cap")
+    for eps in (0.5, 0.3):
+        problem = random_packing_sdp(6, 6, rng=3)
+        result = decision_psdp(problem, epsilon=eps, strict=True)
+        params = DecisionParameters.from_instance(6, eps)
+        report.add_row(eps=eps, iterations=result.iterations, cap_R=params.R,
+                       fraction_of_cap=result.iterations / params.R)
+        assert result.iterations <= params.R
+    emit(report, results_dir)

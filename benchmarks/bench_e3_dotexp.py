@@ -1,0 +1,113 @@
+"""E3 — accuracy and cost of the ``bigDotExp`` oracle (Theorem 4.1 / Lemma 4.2).
+
+Claims: (a) the truncated-Taylor + JL oracle returns ``(1 ± eps)``
+approximations of every ``exp(Phi) . A_i``; (b) its degree grows linearly
+with the spectral-norm bound ``kappa`` and only logarithmically with
+``1/eps``; (c) it avoids the ``O(m^3)`` eigendecomposition of the exact
+path.  This benchmark measures the worst-case relative error over the
+constraints and the wall-clock of both paths across a ``kappa`` sweep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dotexp import big_dot_exp
+from repro.instrumentation import ExperimentReport
+from repro.linalg.expm import expm_eigh
+from repro.linalg.psd import random_psd
+from repro.linalg.taylor import taylor_degree
+
+from conftest import emit
+
+KAPPAS = [1.0, 2.0, 4.0, 8.0]
+
+
+def _instance(kappa, m=24, n=8, seed=5):
+    rng = np.random.default_rng(seed)
+    phi = random_psd(m, rng=rng, scale=kappa)
+    factors = [rng.standard_normal((m, 2)) for _ in range(n)]
+    exact = np.array([float(np.sum(expm_eigh(phi) * (q @ q.T))) for q in factors])
+    return phi, factors, exact
+
+
+@pytest.mark.parametrize("kappa", KAPPAS)
+def test_e3_accuracy_vs_kappa(benchmark, kappa, results_dir):
+    phi, factors, exact = _instance(kappa)
+    eps = 0.1
+    approx = benchmark.pedantic(
+        big_dot_exp,
+        args=(phi, factors),
+        kwargs={"kappa": kappa, "eps": eps, "rng": 9, "use_sketch": False},
+        rounds=1,
+        iterations=1,
+    )
+    rel_err = float(np.max(np.abs(approx - exact) / exact))
+    report = ExperimentReport("E3-accuracy", f"bigDotExp accuracy at kappa={kappa}")
+    report.add_row(
+        kappa=kappa,
+        eps_requested=eps,
+        taylor_degree=taylor_degree(kappa / 2.0, eps / 2.0),
+        max_relative_error=rel_err,
+    )
+    emit(report, results_dir)
+    # Lemma 4.2 guarantee: one-sided error at most eps (the sketch is off here).
+    assert rel_err <= eps + 1e-9
+    assert np.all(approx <= exact + 1e-8)
+
+
+def test_e3_sketch_error_and_degree_growth(results_dir):
+    """With the JL sketch on, errors stay within a small constant factor of eps,
+    and the Taylor degree grows linearly in kappa (not in the matrix size)."""
+    report = ExperimentReport("E3-sketch", "bigDotExp with JL sketch: error vs kappa")
+    degrees = []
+    for kappa in KAPPAS:
+        phi, factors, exact = _instance(kappa)
+        approx = big_dot_exp(phi, factors, kappa=kappa, eps=0.2, rng=13)
+        rel_err = float(np.max(np.abs(approx - exact) / exact))
+        degree = taylor_degree(kappa / 2.0, 0.1)
+        degrees.append(degree)
+        report.add_row(kappa=kappa, taylor_degree=degree, max_relative_error=rel_err)
+        assert rel_err <= 0.75  # sketched estimates: generous constant-factor band
+    emit(report, results_dir)
+    # Degree is linear in kappa once kappa dominates the log(1/eps) floor.
+    assert degrees[-1] >= 1.5 * degrees[1]
+
+
+def test_e3_exact_vs_taylor_cost(benchmark, results_dir):
+    """Wall-clock of the Taylor path vs the dense eigendecomposition path on a
+    larger sparse-structured matrix (the regime Theorem 4.1 targets)."""
+    import time
+
+    rng = np.random.default_rng(3)
+    m = 120
+    phi = random_psd(m, rank=6, rng=rng, scale=2.0)
+    factors = [rng.standard_normal((m, 1)) for _ in range(10)]
+
+    start = time.perf_counter()
+    exact = np.array([float(np.sum(expm_eigh(phi) * (q @ q.T))) for q in factors])
+    exact_time = time.perf_counter() - start
+
+    start = time.perf_counter()
+    approx = big_dot_exp(phi, factors, kappa=2.0, eps=0.2, rng=1)
+    fast_time = time.perf_counter() - start
+
+    rel_err = float(np.max(np.abs(approx - exact) / exact))
+    report = ExperimentReport("E3-cost", "exact eigendecomposition vs Taylor+JL wall clock (m=120)")
+    report.add_row(
+        m=m,
+        exact_seconds=exact_time,
+        fast_seconds=fast_time,
+        speedup=exact_time / max(fast_time, 1e-9),
+        max_relative_error=rel_err,
+    )
+    emit(report, results_dir)
+    benchmark.pedantic(
+        big_dot_exp,
+        args=(phi, factors),
+        kwargs={"kappa": 2.0, "eps": 0.2, "rng": 1},
+        rounds=1,
+        iterations=1,
+    )
+    assert rel_err <= 0.6

@@ -1,0 +1,87 @@
+"""E5 — width-independence of the iteration count (the paper's headline claim).
+
+Claim (Sections 1 and 1.1): the algorithm's iteration count does not depend
+on the width ``rho = max_i ||A_i||_2``, unlike width-dependent MMW solvers
+whose round count grows linearly with ``rho``.  This benchmark sweeps the
+width over two orders of magnitude on instances that are otherwise
+identical, normalizes each instance so the decision question is equally
+hard (the exact optimum is rescaled to ~1), and reports the iterations of
+
+* the paper's decision solver (phase-less Algorithm 3.1), and
+* the width-dependent MMW baseline driven to the same target value.
+
+The reproduction target: our iterations stay within a small constant band
+across the sweep while the baseline's grow by roughly the width ratio.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import arora_kale_packing, exact_packing_value
+from repro.core.decision import decision_psdp
+from repro.instrumentation import ExperimentReport
+from repro.problems import random_width_controlled_sdp
+
+from conftest import emit
+
+
+def _register(benchmark):
+    """Register a trivial timing so report-only tests still execute under
+    ``--benchmark-only`` (their value is the printed table / CSV, not the
+    wall-clock of a single kernel)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+WIDTHS = [1.0, 4.0, 16.0, 64.0, 256.0]
+
+
+def _normalized_instance(width, seed=21):
+    problem = random_width_controlled_sdp(5, 5, width=width, rng=seed)
+    exact = exact_packing_value(problem).value
+    # Scale so the packing optimum is ~1: the decision problem is equally
+    # "hard" at every width and only the width itself varies.
+    return problem, problem.scaled(exact), exact
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+def test_e5_ours_iterations_flat(benchmark, width, results_dir):
+    problem, scaled, exact = _normalized_instance(width)
+    result = benchmark.pedantic(
+        decision_psdp, args=(scaled,), kwargs={"epsilon": 0.25}, rounds=1, iterations=1
+    )
+    report = ExperimentReport("E5-ours", f"width-independent solver at width={width}")
+    report.add_row(
+        width=width,
+        exact_opt=exact,
+        iterations=result.iterations,
+        outcome=result.outcome.value,
+    )
+    emit(report, results_dir)
+
+
+def test_e5_width_independence_series(benchmark, results_dir):
+    """The full series: ours stays flat, the width-dependent baseline grows."""
+    _register(benchmark)
+    report = ExperimentReport(
+        "E5-series", "iterations vs width: Algorithm 3.1 vs width-dependent MMW"
+    )
+    ours_iters = []
+    baseline_iters = []
+    for width in WIDTHS:
+        problem, scaled, exact = _normalized_instance(width)
+        ours = decision_psdp(scaled, epsilon=0.25)
+        baseline = arora_kale_packing(problem, epsilon=0.25, target_value=0.9 * exact)
+        ours_iters.append(ours.iterations)
+        baseline_iters.append(baseline.iterations)
+        report.add_row(
+            width=width,
+            ours_iterations=ours.iterations,
+            width_dependent_iterations=baseline.iterations,
+            baseline_reached_target=baseline.reached_target,
+        )
+    emit(report, results_dir)
+    # Shape assertions: 256x width growth must inflate our iterations by well
+    # under 10x, while the width-dependent baseline grows by at least 10x.
+    assert max(ours_iters) <= 10 * max(min(ours_iters), 1)
+    assert baseline_iters[-1] >= 10 * baseline_iters[0]

@@ -1,0 +1,82 @@
+"""E6 — graph workloads: the MaxCut edge-matrix positive SDP.
+
+Claim context (Sections 1.1 and 5): the MaxCut SDP was the original
+motivation for positive SDPs (Klein–Lu); its objective decomposes into
+rank-one PSD edge matrices, which generate the packing/covering pair this
+library solves.  This benchmark solves that edge-matrix SDP across graph
+families and sizes, verifying the certified bracket against the exact value
+and recording how the iteration count scales with the number of edges
+(= constraints n).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import exact_packing_value
+from repro.core.solver import approx_psdp
+from repro.instrumentation import ExperimentReport
+from repro.problems import maxcut_sdp, maxcut_value_bound, random_graph
+
+from conftest import emit
+
+
+def _register(benchmark):
+    """Register a trivial timing so report-only tests still execute under
+    ``--benchmark-only`` (their value is the printed table / CSV, not the
+    wall-clock of a single kernel)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+FAMILIES = [("cycle", {}), ("complete", {}), ("regular", {"degree": 3}), ("erdos_renyi", {"p": 0.4})]
+
+
+@pytest.mark.parametrize("kind,kwargs", FAMILIES, ids=[f[0] for f in FAMILIES])
+def test_e6_graph_families(benchmark, kind, kwargs, results_dir):
+    graph = random_graph(kind, 10, rng=31, **kwargs)
+    problem = maxcut_sdp(graph)
+    exact = exact_packing_value(problem).value
+    result = benchmark.pedantic(
+        approx_psdp, args=(problem,), kwargs={"epsilon": 0.3}, rounds=1, iterations=1
+    )
+    report = ExperimentReport("E6-families", f"MaxCut edge SDP on {kind} graphs")
+    report.add_row(
+        graph=kind,
+        nodes=graph.number_of_nodes(),
+        edges=graph.number_of_edges(),
+        exact_packing=exact,
+        lower=result.optimum_lower,
+        upper=result.optimum_upper,
+        maxcut_eig_bound=maxcut_value_bound(graph),
+        iterations=result.total_iterations,
+    )
+    emit(report, results_dir)
+    assert result.optimum_lower <= exact * (1 + 1e-6)
+    assert result.optimum_upper >= exact * (1 - 1e-6)
+    assert result.relative_gap <= 0.3 + 1e-9
+
+
+def test_e6_scaling_with_graph_size(benchmark, results_dir):
+    """Iterations grow mildly (polylog) as the edge count grows on cycles."""
+    _register(benchmark)
+    report = ExperimentReport("E6-scaling", "decision iterations vs graph size (cycles, eps=0.3)")
+    per_call = []
+    for nodes in (6, 12, 24):
+        graph = random_graph("cycle", nodes)
+        problem = maxcut_sdp(graph)
+        result = approx_psdp(problem, epsilon=0.3)
+        per_call.append(result.total_iterations / max(result.decision_calls, 1))
+        report.add_row(
+            nodes=nodes,
+            edges=graph.number_of_edges(),
+            lower=result.optimum_lower,
+            upper=result.optimum_upper,
+            iterations=result.total_iterations,
+            decision_calls=result.decision_calls,
+            iterations_per_call=result.total_iterations / max(result.decision_calls, 1),
+        )
+    emit(report, results_dir)
+    # Theorem 3.1's per-call bound grows like log^2(n): quadrupling the edge
+    # count must not quadruple the per-decision-call iteration count (the
+    # total across calls also reflects how many binary-search calls were
+    # needed, which is reported separately).
+    assert per_call[-1] <= 4 * max(per_call[0], 1.0)

@@ -1,0 +1,89 @@
+"""E8 — Johnson–Lindenstrauss sketch dimension vs estimation error (Theorem 4.1).
+
+Claim: a Gaussian sketch with ``O(eps^-2 log m)`` rows suffices to estimate
+all the Frobenius norms ``||exp(Phi/2) Q_i||_F`` to relative error ``eps``.
+This benchmark fixes an instance and sweeps the sketch-dimension constant,
+reporting the worst-case and median relative errors over the constraints —
+the "error vs sketch rows" curve that justifies the dimension rule.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.instrumentation import ExperimentReport
+from repro.linalg.expm import expm_eigh
+from repro.linalg.psd import random_psd
+from repro.linalg.sketching import gaussian_sketch, jl_dimension
+from repro.linalg.taylor import TaylorExpmOperator
+
+from conftest import emit
+
+
+def _register(benchmark):
+    """Register a trivial timing so report-only tests still execute under
+    ``--benchmark-only`` (their value is the printed table / CSV, not the
+    wall-clock of a single kernel)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def _setup(m=40, n=12, kappa=2.0, seed=55):
+    rng = np.random.default_rng(seed)
+    phi = random_psd(m, rng=rng, scale=kappa)
+    factors = [rng.standard_normal((m, 2)) for _ in range(n)]
+    exact = np.array([float(np.sum(expm_eigh(phi) * (q @ q.T))) for q in factors])
+    return phi, factors, exact
+
+
+def _sketch_errors(phi, factors, exact, rows, seed):
+    m = phi.shape[0]
+    operator = TaylorExpmOperator(phi, kappa=2.0, eps=0.01)
+    sketch = gaussian_sketch(rows, m, rng=seed)
+    transformed = operator.apply(sketch.T).T  # rows x m = Pi exp(phi/2)
+    estimates = np.array([float(np.sum((transformed @ q) ** 2)) for q in factors])
+    return np.abs(estimates - exact) / exact
+
+
+def test_e8_error_vs_sketch_rows(benchmark, results_dir):
+    _register(benchmark)
+    phi, factors, exact = _setup()
+    report = ExperimentReport("E8-rows", "JL sketch rows vs relative estimation error")
+    medians = []
+    for rows in (4, 8, 16, 32, 64):
+        errors = np.concatenate([_sketch_errors(phi, factors, exact, rows, seed) for seed in range(5)])
+        medians.append(float(np.median(errors)))
+        report.add_row(
+            sketch_rows=rows,
+            median_rel_error=float(np.median(errors)),
+            p90_rel_error=float(np.quantile(errors, 0.9)),
+            max_rel_error=float(errors.max()),
+        )
+    emit(report, results_dir)
+    # More rows -> smaller error (allow noise, compare endpoints).
+    assert medians[-1] < medians[0]
+
+
+def test_e8_dimension_rule_suffices(benchmark, results_dir):
+    """The rule jl_dimension(m, eps) achieves ~eps median error at eps=0.25."""
+    _register(benchmark)
+    phi, factors, exact = _setup()
+    eps = 0.25
+    rows = jl_dimension(phi.shape[0], eps)
+    errors = np.concatenate([_sketch_errors(phi, factors, exact, rows, seed) for seed in range(5)])
+    report = ExperimentReport("E8-rule", "error achieved by the O(eps^-2 log m) dimension rule")
+    report.add_row(
+        eps=eps,
+        rule_rows=rows,
+        median_rel_error=float(np.median(errors)),
+        p90_rel_error=float(np.quantile(errors, 0.9)),
+    )
+    emit(report, results_dir)
+    assert float(np.median(errors)) <= eps
+
+
+@pytest.mark.parametrize("rows", [8, 32])
+def test_e8_sketch_benchmark(benchmark, rows):
+    """Timed kernel: applying the Taylor operator to a sketch of the given size."""
+    phi, factors, exact = _setup()
+    benchmark.pedantic(_sketch_errors, args=(phi, factors, exact, rows, 0), rounds=1, iterations=1)

@@ -1,0 +1,35 @@
+"""Shared fixtures and configuration for the benchmark harness.
+
+Each ``bench_e*.py`` module regenerates one experiment from the index in
+DESIGN.md.  Benchmarks use ``pytest-benchmark`` for the timed kernels and
+additionally print an :class:`~repro.instrumentation.ExperimentReport` table
+(the "figure") and write it as CSV under ``benchmarks/results/``.
+
+The instance sizes are deliberately small (m, n in the tens) so the whole
+suite finishes in a few minutes on one core; the *shapes* of the series —
+who wins, how quantities scale — are the reproduction target, not absolute
+wall-clock numbers (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> str:
+    """Directory where benchmark CSV outputs are written."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit(report, results_dir: str) -> None:
+    """Print a report table and persist it as CSV (shared helper)."""
+    print()
+    print(report.render())
+    path = report.to_csv(results_dir)
+    print(f"[csv] {path}")

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Beamforming application: minimum-power multicast QoS covering SDP.
+
+The paper (Section 5) singles out the beamforming SDP relaxation of
+Iyengar–Phillips–Stein as the application that fits the packing/covering
+framework verbatim: choose a transmit covariance ``W ⪰ 0`` of minimum total
+power such that every user's received signal energy ``h_k h_k^H • W`` meets
+its QoS target.  This example:
+
+1. synthesizes Rayleigh-fading channels for a small antenna array;
+2. solves the covering SDP with the width-independent solver (including the
+   Appendix A normalization, because the objective is a per-antenna power
+   shaping matrix rather than the identity);
+3. reports the certified power bracket and checks the returned covariance
+   really meets every user's QoS constraint;
+4. shows how the required power grows as the QoS targets tighten.
+
+Run with::
+
+    python examples/beamforming_qos.py [--antennas 4] [--users 6]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import approx_psdp
+from repro.problems import beamforming_sdp
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--antennas", type=int, default=4)
+    parser.add_argument("--users", type=int, default=6)
+    parser.add_argument("--epsilon", type=float, default=0.25)
+    parser.add_argument("--seed", type=int, default=11)
+    args = parser.parse_args()
+
+    print(
+        f"Multicast beamforming: {args.antennas} antennas, {args.users} users, "
+        f"epsilon = {args.epsilon}"
+    )
+
+    rows = []
+    for snr_target in (0.5, 1.0, 2.0, 4.0):
+        problem = beamforming_sdp(
+            args.antennas,
+            args.users,
+            snr_targets=snr_target,
+            power_shaping=True,
+            rng=args.seed,
+        )
+        result = approx_psdp(problem, epsilon=args.epsilon)
+
+        # The mapped-back covariance must satisfy every user's QoS constraint.
+        covariance = result.original_primal
+        received = problem.constraint_values(covariance)
+        assert problem.primal_feasible(covariance, tol=1e-6), "QoS certificate failed"
+
+        rows.append(
+            {
+                "snr_target": snr_target,
+                "power_lower": result.optimum_lower,
+                "power_upper": result.optimum_upper,
+                "gap_%": 100.0 * result.relative_gap,
+                "worst_user_margin": float(received.min() - snr_target),
+                "iterations": result.total_iterations,
+            }
+        )
+        print(
+            f"  target {snr_target:4.1f}: transmit power in "
+            f"[{result.optimum_lower:.3f}, {result.optimum_upper:.3f}]"
+        )
+
+    print()
+    print(format_table(rows, title="Minimum transmit power vs. QoS target"))
+    powers = [row["power_upper"] for row in rows]
+    assert all(b >= a for a, b in zip(powers, powers[1:])), "power must grow with the QoS target"
+    print("\nPower grows monotonically with the QoS target, as expected; every "
+          "returned covariance was verified against the per-user constraints.")
+
+
+if __name__ == "__main__":
+    main()

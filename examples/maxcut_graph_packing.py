@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Graph application: the MaxCut edge-matrix packing SDP across graph families.
+
+The MaxCut SDP objective decomposes into rank-one PSD edge matrices
+``(1/4)(e_u - e_v)(e_u - e_v)^T`` (Klein–Lu).  This example builds the
+positive SDP those matrices generate for several graph families, solves it
+with the width-independent solver, and reports:
+
+* the certified packing optimum (how much total edge weight can be packed
+  before the reweighted Laplacian reaches spectral norm 1);
+* the exact value (small graphs) and the classical eigenvalue bound
+  ``(n/4) lambda_max(L)`` on the MaxCut value for context;
+* solver statistics (iterations, decision calls, work/depth).
+
+Run with::
+
+    python examples/maxcut_graph_packing.py [--nodes 10] [--epsilon 0.25]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import approx_psdp
+from repro.baselines import exact_packing_value
+from repro.problems import maxcut_sdp, maxcut_value_bound, random_graph
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=10, help="number of graph nodes")
+    parser.add_argument("--epsilon", type=float, default=0.25, help="target relative accuracy")
+    parser.add_argument("--seed", type=int, default=3, help="random seed for graph generation")
+    args = parser.parse_args()
+
+    families = [
+        ("cycle", {}),
+        ("complete", {}),
+        ("regular", {"degree": 3}),
+        ("erdos_renyi", {"p": 0.4}),
+    ]
+
+    rows = []
+    for kind, kwargs in families:
+        graph = random_graph(kind, args.nodes, rng=args.seed, **kwargs)
+        problem = maxcut_sdp(graph)
+        result = approx_psdp(problem, epsilon=args.epsilon)
+        exact = exact_packing_value(problem)
+        rows.append(
+            {
+                "graph": kind,
+                "nodes": graph.number_of_nodes(),
+                "edges": graph.number_of_edges(),
+                "packing_lower": result.optimum_lower,
+                "packing_upper": result.optimum_upper,
+                "exact": exact.value,
+                "maxcut_eig_bound": maxcut_value_bound(graph),
+                "iterations": result.total_iterations,
+                "decision_calls": result.decision_calls,
+            }
+        )
+        print(f"solved {kind:12s}: {result.summary()}")
+
+    print()
+    print(format_table(rows, title="MaxCut edge-matrix packing SDP across graph families"))
+    print(
+        "\nThe certified bracket always contains the exact value, and the"
+        " bracket width respects the requested epsilon."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""Baseline solvers the paper compares against (or improves upon).
+
+* :mod:`repro.baselines.arora_kale` — a *width-dependent* matrix
+  multiplicative weights packing solver in the style of Arora–Hazan–Kale /
+  Arora–Kale: its step size is inversely proportional to the width
+  ``rho = max_i ||A_i||_2``, so its iteration count grows with the width.
+  Experiment E5 contrasts this against the width-independent Algorithm 3.1.
+* :mod:`repro.baselines.jain_yao` — a primal-update MMW variant in the
+  spirit of Jain–Yao [JY11] (the first width-independent positive SDP
+  algorithm), used as an iteration-count comparator.
+* :mod:`repro.baselines.exact` — near-exact reference solvers for small
+  instances (projected convex optimization on ``lambda_max(sum x_i A_i) <= 1``
+  and a Frank–Wolfe style method) used to measure the (1+ε) guarantee in E4.
+"""
+
+from repro.baselines.arora_kale import AroraKaleResult, arora_kale_packing
+from repro.baselines.jain_yao import JainYaoResult, jain_yao_packing
+from repro.baselines.exact import ExactResult, exact_packing_value, exact_packing_frank_wolfe
+
+__all__ = [
+    "AroraKaleResult",
+    "arora_kale_packing",
+    "JainYaoResult",
+    "jain_yao_packing",
+    "ExactResult",
+    "exact_packing_value",
+    "exact_packing_frank_wolfe",
+]

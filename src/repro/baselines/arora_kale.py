@@ -1,0 +1,127 @@
+"""Width-dependent matrix multiplicative weights packing solver.
+
+This baseline follows the classic Arora–Hazan–Kale recipe for packing
+programs: maintain a matrix exponential penalty over the packing constraint
+``sum_i x_i A_i <= I``, and in each round add a small amount of the
+*single* currently cheapest constraint direction, with a step size scaled by
+``1 / rho`` where ``rho = max_i ||A_i||_2`` is the width.  The iteration
+count to reach a ``(1 - eps)``-approximation then scales like
+``O(rho * OPT * log m / eps^2)`` — linear in the width — which is exactly
+the dependence the paper's algorithm removes.  Experiment E5 sweeps the
+width of synthetic instances to exhibit the contrast.
+
+The solver stops as soon as its (always feasible, by construction) iterate
+reaches a caller-supplied target value, or when its iteration budget is
+exhausted; it reports how far it got, which is what the width experiment
+plots.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import InvalidProblemError
+from repro.linalg.expm import expm_normalized
+from repro.operators.collection import ConstraintCollection
+from repro.core.problem import NormalizedPackingSDP
+
+
+@dataclass
+class AroraKaleResult:
+    """Result of :func:`arora_kale_packing`."""
+
+    x: np.ndarray
+    value: float
+    iterations: int
+    width: float
+    reached_target: bool
+    lambda_max: float
+    history: list[float] = field(default_factory=list)
+
+
+def arora_kale_packing(
+    problem: NormalizedPackingSDP | ConstraintCollection,
+    epsilon: float = 0.1,
+    target_value: float | None = None,
+    max_iterations: int | None = None,
+    collect_history: bool = False,
+) -> AroraKaleResult:
+    """Width-dependent MMW baseline for the packing SDP ``max 1^T x``, ``sum x_i A_i <= I``.
+
+    Parameters
+    ----------
+    problem:
+        The packing instance.
+    epsilon:
+        Accuracy parameter; also sets the MMW learning rate.
+    target_value:
+        Stop once ``1^T x`` reaches this value (defaults to a greedy lower
+        bound estimate, so the routine terminates on feasible instances).
+    max_iterations:
+        Iteration cap; defaults to the width-dependent bound
+        ``ceil(4 * width * target * ln(m) / eps^2) + 1``.
+    """
+    if not (0 < epsilon < 1):
+        raise InvalidProblemError(f"epsilon must be in (0, 1), got {epsilon}")
+    constraints = problem.constraints if isinstance(problem, NormalizedPackingSDP) else problem
+    if not isinstance(constraints, ConstraintCollection):
+        constraints = ConstraintCollection(constraints)
+    n, m = len(constraints), constraints.dim
+
+    norms = constraints.spectral_norms()
+    if np.any(norms <= 0):
+        raise InvalidProblemError("constraint matrices must be nonzero")
+    width = float(norms.max())
+
+    if target_value is None:
+        # Greedy single-coordinate bound: always achievable.
+        target_value = float((1.0 / norms).max())
+    if max_iterations is None:
+        max_iterations = int(math.ceil(4.0 * width * max(target_value, 1.0) * math.log(max(m, 2)) / epsilon**2)) + 1
+
+    # Width-dependent step: each round adds eps / width units of dual mass to
+    # the cheapest coordinate, so the penalty matrix grows by at most eps * I
+    # per round.  Reaching objective value V therefore needs ~ V * width / eps
+    # rounds — the linear width dependence this baseline is meant to exhibit.
+    step = epsilon / width
+
+    x = np.zeros(n, dtype=np.float64)
+    psi = np.zeros((m, m), dtype=np.float64)
+    history: list[float] = []
+    iterations = 0
+    reached = False
+
+    while iterations < max_iterations:
+        iterations += 1
+        density = expm_normalized(psi / epsilon) if iterations > 1 else np.eye(m) / m
+        costs = constraints.dots(density)
+        best = int(np.argmin(costs))
+        amount = step
+        trial = x.copy()
+        trial[best] += amount
+        trial_psi = psi + amount * constraints[best].to_dense()
+        lam = float(np.linalg.eigvalsh(trial_psi)[-1])
+        if lam > 1.0:
+            # The iterate is saturated; further growth would violate
+            # feasibility, so stop here.
+            break
+        x, psi = trial, trial_psi
+        if collect_history:
+            history.append(float(x.sum()))
+        if float(x.sum()) >= target_value * (1.0 - epsilon):
+            reached = True
+            break
+
+    lam = float(np.linalg.eigvalsh(psi)[-1]) if m else 0.0
+    return AroraKaleResult(
+        x=x,
+        value=float(x.sum()),
+        iterations=iterations,
+        width=width,
+        reached_target=reached,
+        lambda_max=lam,
+        history=history,
+    )

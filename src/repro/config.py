@@ -1,0 +1,104 @@
+"""Global configuration knobs for the :mod:`repro` package.
+
+The configuration object collects numerical tolerances and default solver
+settings in one place so that tests, benchmarks, and applications can tighten
+or relax them consistently.  A module-level singleton :data:`CONFIG` holds
+the active configuration; :func:`get_config` / :func:`set_config` and the
+:func:`config_override` context manager manipulate it.
+
+The defaults are chosen for double-precision dense linear algebra on
+matrices up to a few hundred rows, which is the regime exercised by the
+benchmarks in this repository.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+
+@dataclass
+class ReproConfig:
+    """Container of package-wide numerical and behavioural defaults.
+
+    Attributes
+    ----------
+    psd_tol:
+        Absolute tolerance on the minimum eigenvalue when deciding whether a
+        symmetric matrix is positive semidefinite.  Matrices with
+        ``lambda_min >= -psd_tol * scale`` are accepted.
+    symmetry_tol:
+        Relative tolerance used when checking/forcing matrix symmetry.
+    feasibility_tol:
+        Slack allowed when verifying primal/dual feasibility certificates.
+    power_iteration_tol:
+        Relative convergence tolerance of the spectral-norm power iteration.
+    power_iteration_maxiter:
+        Iteration cap for the power iteration.
+    default_epsilon:
+        Accuracy parameter used by solvers when the caller does not specify
+        one.
+    default_seed:
+        Seed used by stochastic components (JL sketching, generators) when
+        no RNG is supplied; fixed for reproducibility.
+    max_dense_dimension:
+        Guard on the matrix dimension above which exact ``eigh``-based matrix
+        exponentials emit a warning (they cost :math:`O(m^3)`).
+    certificate_check_every:
+        Default cadence (in iterations) at which the decision solver checks
+        for an early primal/dual certificate; ``0`` disables early exit.
+    """
+
+    psd_tol: float = 1e-9
+    symmetry_tol: float = 1e-10
+    feasibility_tol: float = 1e-7
+    power_iteration_tol: float = 1e-8
+    power_iteration_maxiter: int = 500
+    default_epsilon: float = 0.2
+    default_seed: int = 20120101
+    max_dense_dimension: int = 2000
+    certificate_check_every: int = 25
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def replace(self, **kwargs: Any) -> "ReproConfig":
+        """Return a copy of this configuration with ``kwargs`` overridden."""
+        return dataclasses.replace(self, **kwargs)
+
+
+CONFIG = ReproConfig()
+
+
+def get_config() -> ReproConfig:
+    """Return the active package configuration."""
+    return CONFIG
+
+
+def set_config(config: ReproConfig) -> None:
+    """Install ``config`` as the active package configuration."""
+    global CONFIG
+    if not isinstance(config, ReproConfig):
+        raise TypeError(f"expected ReproConfig, got {type(config)!r}")
+    CONFIG = config
+
+
+@contextlib.contextmanager
+def config_override(**kwargs: Any) -> Iterator[ReproConfig]:
+    """Temporarily override configuration fields within a ``with`` block.
+
+    Example
+    -------
+    >>> from repro.config import config_override, get_config
+    >>> with config_override(psd_tol=1e-6):
+    ...     assert get_config().psd_tol == 1e-6
+    >>> get_config().psd_tol
+    1e-09
+    """
+    global CONFIG
+    old = CONFIG
+    try:
+        CONFIG = old.replace(**kwargs)
+        yield CONFIG
+    finally:
+        CONFIG = old

@@ -1,0 +1,64 @@
+"""The paper's core contribution: the width-independent positive-SDP solver.
+
+Public entry points:
+
+* :func:`repro.core.solver.approx_psdp` — the full (1+ε)-approximate
+  optimizer (Theorem 1.1): normalization, binary search, certified bounds.
+* :func:`repro.core.decision.decision_psdp` — the ε-decision solver
+  (Algorithm 3.1, Theorem 3.1).
+* :func:`repro.core.dotexp.big_dot_exp` — the fast exponential-dot-product
+  primitive (Theorem 4.1).
+* :class:`repro.core.problem.PositiveSDP` /
+  :class:`repro.core.problem.NormalizedPackingSDP` — the problem classes.
+"""
+
+from repro.core.problem import PositiveSDP, NormalizedPackingSDP
+from repro.core.normalize import normalize_sdp, apply_trace_cap, NormalizationMap, TraceCapResult
+from repro.core.result import DecisionOutcome, DecisionResult, SolveResult
+from repro.core.mmw import MatrixMultiplicativeWeights
+from repro.core.decision import DecisionOptions, DecisionParameters, decision_psdp
+from repro.core.decision_phased import decision_psdp_phased
+from repro.core.dotexp import (
+    ExactDotExpOracle,
+    FastDotExpOracle,
+    OracleOutput,
+    big_dot_exp,
+    make_oracle,
+)
+from repro.core.certificates import (
+    DualCertificate,
+    PrimalCertificate,
+    verify_dual,
+    verify_primal,
+    approximation_ratio,
+)
+from repro.core.solver import SolverOptions, approx_psdp
+
+__all__ = [
+    "PositiveSDP",
+    "NormalizedPackingSDP",
+    "normalize_sdp",
+    "apply_trace_cap",
+    "NormalizationMap",
+    "TraceCapResult",
+    "DecisionOutcome",
+    "DecisionResult",
+    "SolveResult",
+    "MatrixMultiplicativeWeights",
+    "DecisionOptions",
+    "DecisionParameters",
+    "decision_psdp",
+    "decision_psdp_phased",
+    "ExactDotExpOracle",
+    "FastDotExpOracle",
+    "OracleOutput",
+    "big_dot_exp",
+    "make_oracle",
+    "DualCertificate",
+    "PrimalCertificate",
+    "verify_dual",
+    "verify_primal",
+    "approximation_ratio",
+    "SolverOptions",
+    "approx_psdp",
+]

@@ -1,0 +1,134 @@
+"""Certificate verification for packing/covering solutions.
+
+Every solver in this package verifies what it returns.  The three
+certificates used are:
+
+* **dual (packing) feasibility** — ``x >= 0`` and
+  ``lambda_max(sum_i x_i A_i) <= 1 + tol``; the certified value is
+  ``1^T x`` (a lower bound on the packing optimum);
+* **primal (covering) feasibility** — ``Y`` PSD and
+  ``min_i A_i . Y >= 1 - tol`` with the certified value ``Tr[Y]`` (an upper
+  bound on the covering optimum = packing optimum);
+* **approximation ratio** — the pair of the above, whose ratio bounds the
+  relative error of either certificate.
+
+The verification functions return structured results rather than raising,
+so solvers can decide whether a failed certificate is fatal
+(:func:`require_dual_certificate` raises).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import get_config
+from repro.exceptions import CertificateError
+from repro.linalg.psd import min_eigenvalue
+from repro.operators.collection import ConstraintCollection
+from repro.utils.validation import ensure_1d
+
+
+@dataclass(frozen=True)
+class DualCertificate:
+    """Verification result for a packing vector ``x``."""
+
+    feasible: bool
+    value: float
+    lambda_max: float
+    min_entry: float
+
+    @property
+    def scaled_value(self) -> float:
+        """Value of ``x / max(lambda_max, 1)`` — always a valid lower bound.
+
+        If the candidate slightly violates ``sum_i x_i A_i <= I``, dividing
+        by the measured ``lambda_max`` restores feasibility; the returned
+        value is the corresponding (slightly smaller) certified objective.
+        """
+        scale = max(self.lambda_max, 1.0)
+        return self.value / scale if scale > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class PrimalCertificate:
+    """Verification result for a covering matrix ``Y``."""
+
+    feasible: bool
+    value: float
+    min_dot: float
+    min_eigenvalue: float
+
+    @property
+    def scaled_value(self) -> float:
+        """Value of ``Y / min_dot`` — always a valid upper bound when
+        ``min_dot > 0`` (scaling up restores feasibility)."""
+        if self.min_dot <= 0:
+            return float("inf")
+        return self.value / self.min_dot
+
+
+def verify_dual(
+    constraints: ConstraintCollection,
+    x: np.ndarray,
+    tol: float | None = None,
+) -> DualCertificate:
+    """Verify a packing (dual) candidate against ``sum_i x_i A_i <= I``."""
+    tol = get_config().feasibility_tol if tol is None else tol
+    x = ensure_1d(x, "x")
+    if x.shape[0] != len(constraints):
+        raise ValueError(f"expected {len(constraints)} dual entries, got {x.shape[0]}")
+    min_entry = float(x.min(initial=0.0))
+    clipped = np.clip(x, 0.0, None)
+    psi = constraints.weighted_sum(clipped)
+    lam_max = float(np.linalg.eigvalsh(psi)[-1]) if constraints.dim else 0.0
+    value = float(clipped.sum())
+    feasible = (min_entry >= -tol) and (lam_max <= 1.0 + tol)
+    return DualCertificate(feasible=feasible, value=value, lambda_max=lam_max, min_entry=min_entry)
+
+
+def verify_primal(
+    constraints: ConstraintCollection,
+    primal: np.ndarray,
+    tol: float | None = None,
+) -> PrimalCertificate:
+    """Verify a covering (primal) candidate against ``A_i . Y >= 1``."""
+    tol = get_config().feasibility_tol if tol is None else tol
+    primal = np.asarray(primal, dtype=np.float64)
+    dots = constraints.dots(primal)
+    min_dot = float(dots.min(initial=np.inf))
+    lam_min = min_eigenvalue(primal)
+    value = float(np.trace(primal))
+    feasible = (min_dot >= 1.0 - tol) and (lam_min >= -tol * max(1.0, abs(value)))
+    return PrimalCertificate(
+        feasible=feasible, value=value, min_dot=min_dot, min_eigenvalue=lam_min
+    )
+
+
+def require_dual_certificate(
+    constraints: ConstraintCollection, x: np.ndarray, min_value: float, tol: float | None = None
+) -> DualCertificate:
+    """Verify a dual candidate and raise :class:`CertificateError` on failure."""
+    cert = verify_dual(constraints, x, tol=tol)
+    if not cert.feasible:
+        raise CertificateError(
+            f"dual certificate failed: lambda_max={cert.lambda_max:.6g}, "
+            f"min_entry={cert.min_entry:.3g}"
+        )
+    if cert.value < min_value:
+        raise CertificateError(
+            f"dual certificate value {cert.value:.6g} is below the required {min_value:.6g}"
+        )
+    return cert
+
+
+def approximation_ratio(
+    dual: DualCertificate, primal: PrimalCertificate
+) -> float:
+    """Certified ratio ``upper / lower`` between the two bounds (>= 1)."""
+    lower = dual.scaled_value
+    upper = primal.scaled_value
+    if lower <= 0:
+        return float("inf")
+    return upper / lower

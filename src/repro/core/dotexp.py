@@ -1,0 +1,341 @@
+"""The exponential-dot-product oracle (Section 4, Theorem 4.1).
+
+Each iteration of the decision solver needs the vector of normalized trace
+products ``(exp(Psi) . A_i) / Tr[exp(Psi)]`` for every constraint.  Two
+interchangeable oracle implementations are provided:
+
+* :class:`ExactDotExpOracle` — one symmetric eigendecomposition of ``Psi``
+  per call, then ``n`` dense trace products.  Cost ``O(m^3 + n m^2)`` work;
+  this is the reference used for correctness.
+* :class:`FastDotExpOracle` — the Theorem 4.1 algorithm ``bigDotExp``:
+  writes ``exp(Phi) . A_i = || exp(Phi/2) Q_i ||_F^2`` for factorized
+  constraints ``A_i = Q_i Q_i^T``, approximates ``exp(Phi/2)`` with the
+  truncated Taylor polynomial of Lemma 4.2, and sketches the left factor
+  with a Johnson–Lindenstrauss Gaussian matrix so that only
+  ``O(eps^{-2} log m)`` rows ever pass through the polynomial.  Work is
+  nearly linear in ``nnz(Phi) + q`` per call; the trace ``Tr[exp(Phi)]`` is
+  obtained from the same sketch (it is the estimate for the identity factor).
+
+The standalone function :func:`big_dot_exp` exposes the Theorem 4.1
+primitive directly (given ``Phi``, a norm bound ``kappa``, and the factors),
+which is what the E3/E8 benchmarks exercise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import InvalidProblemError
+from repro.instrumentation.counters import OracleCounters
+from repro.linalg.expm import expm_normalized
+from repro.linalg.norms import spectral_norm_power
+from repro.linalg.sketching import gaussian_sketch, jl_dimension
+from repro.linalg.taylor import taylor_degree, taylor_expm_apply
+from repro.operators.collection import ConstraintCollection
+from repro.parallel.backends import ExecutionBackend
+from repro.utils.random_utils import RandomState, as_generator
+
+
+@dataclass
+class OracleOutput:
+    """Result of one oracle call.
+
+    Attributes
+    ----------
+    values:
+        The vector ``(exp(Psi) . A_i) / Tr[exp(Psi)]`` (length ``n``).
+    trace:
+        The (possibly approximate, possibly rescaled) trace ``Tr[exp(Psi)]``
+        used for the normalization.  For the exact oracle this is reported
+        as 1.0 because the normalized density matrix is formed directly.
+    work:
+        Model work units charged for this call.
+    """
+
+    values: np.ndarray
+    trace: float
+    work: float
+
+
+class DotExpOracle(Protocol):
+    """Protocol for per-iteration oracles used by the decision solver.
+
+    The solver supplies both its materialised weight matrix ``psi`` and the
+    dual iterate ``x`` that generated it (``psi = sum_i x_i A_i``).  The
+    exact oracle consumes ``psi`` directly; the fast (Theorem 4.1) oracle
+    rebuilds the same operator from ``x`` through the constraint factors so
+    it never touches a dense ``m x m`` matrix.  The two arguments must
+    therefore describe the same solver state.
+    """
+
+    counters: OracleCounters
+
+    def __call__(self, psi: np.ndarray, x: np.ndarray) -> OracleOutput:  # pragma: no cover
+        ...
+
+
+def big_dot_exp(
+    phi,
+    factors: Sequence[np.ndarray | sp.spmatrix],
+    kappa: float | None = None,
+    eps: float = 0.1,
+    rng: RandomState = None,
+    sketch_constant: float = 8.0,
+    use_sketch: bool = True,
+    counters: OracleCounters | None = None,
+    dim: int | None = None,
+) -> np.ndarray:
+    """Approximate all ``exp(phi) . (Q_i Q_i^T)`` (Theorem 4.1's ``bigDotExp``).
+
+    Parameters
+    ----------
+    phi:
+        Symmetric PSD matrix to exponentiate (dense or sparse), or a matvec
+        callable ``v -> phi @ v`` (in which case ``dim`` is required and the
+        matrix is never materialised — the setting of Corollary 1.2 where
+        ``Psi = sum_i x_i Q_i Q_i^T`` is applied through the factors).
+    factors:
+        The Gram factors ``Q_i`` of the constraint matrices, each of shape
+        ``(m, r_i)``.
+    kappa:
+        Upper bound on ``max(1, ||phi||_2)``; estimated by power iteration
+        when omitted.
+    eps:
+        Relative accuracy of the returned approximations.  Half the budget
+        goes to the Taylor truncation (Lemma 4.2) and half to the JL sketch.
+    rng:
+        Randomness source for the sketch.
+    sketch_constant:
+        Multiplier in the JL dimension rule (exposed for experiment E8).
+    use_sketch:
+        When ``False`` the JL step is skipped and the polynomial is applied
+        to the factors directly (still avoids the eigendecomposition); used
+        to separate the two error sources in tests and E3.
+    counters:
+        Optional operation counters to update.
+
+    Returns
+    -------
+    numpy.ndarray
+        Vector of approximations to ``exp(phi) . Q_i Q_i^T``.
+    """
+    if eps <= 0 or eps >= 1:
+        raise InvalidProblemError(f"eps must be in (0, 1), got {eps}")
+    if not factors:
+        raise InvalidProblemError("factors must be a non-empty sequence")
+    phi_is_callable = callable(phi) and not isinstance(phi, np.ndarray) and not sp.issparse(phi)
+    if phi_is_callable:
+        if dim is None:
+            raise InvalidProblemError("dim is required when phi is a matvec callable")
+    else:
+        dim = phi.shape[0]
+        if phi.shape != (dim, dim):
+            raise InvalidProblemError(f"phi must be square, got shape {phi.shape}")
+
+    if kappa is None:
+        kappa = max(1.0, spectral_norm_power(phi, dim=dim, rng=rng) * 1.05)
+    kappa = max(1.0, float(kappa))
+
+    eps_taylor = eps / 2.0
+    eps_sketch = eps / 2.0
+    degree = taylor_degree(kappa / 2.0, eps_taylor)
+
+    if counters is not None:
+        counters.record_call()
+
+    if use_sketch:
+        # The JL dimension rule can exceed the ambient dimension for small m
+        # or very small eps; sketching is then pointless (and noisier), so
+        # fall back to the identity "sketch", which makes the left factor
+        # exact and leaves only the Taylor truncation error.
+        sketch_dim = min(jl_dimension(dim, eps_sketch, constant=sketch_constant), dim)
+        if sketch_dim >= dim:
+            sketch = np.eye(dim)
+        else:
+            sketch = gaussian_sketch(sketch_dim, dim, rng=as_generator(rng))
+        # Rows of (Pi exp(phi/2)) = (exp(phi/2) Pi^T)^T because phi is symmetric.
+        transformed = taylor_expm_apply(
+            _half_matvec(phi), sketch.T.copy(), degree
+        ).T
+        if counters is not None:
+            counters.matvecs += sketch_dim * (degree - 1)
+        results = np.empty(len(factors), dtype=np.float64)
+        for idx, factor in enumerate(factors):
+            if sp.issparse(factor):
+                sketched = np.asarray(transformed @ factor)
+            else:
+                sketched = transformed @ np.asarray(factor, dtype=np.float64)
+            results[idx] = float(np.sum(sketched * sketched))
+            if counters is not None:
+                counters.factor_passes += 1
+        return results
+
+    results = np.empty(len(factors), dtype=np.float64)
+    for idx, factor in enumerate(factors):
+        dense_factor = factor.toarray() if sp.issparse(factor) else np.asarray(factor, dtype=np.float64)
+        transformed = taylor_expm_apply(_half_matvec(phi), dense_factor, degree)
+        results[idx] = float(np.sum(transformed * transformed))
+        if counters is not None:
+            counters.matvecs += dense_factor.shape[1] * (degree - 1)
+            counters.factor_passes += 1
+    return results
+
+
+def _half_matvec(phi):
+    """Return a matvec callable for ``phi / 2`` (matrix or matvec input)."""
+    if callable(phi) and not isinstance(phi, np.ndarray) and not sp.issparse(phi):
+        return lambda block: 0.5 * phi(block)
+    if sp.issparse(phi):
+        half = phi.tocsr() * 0.5
+        return lambda block: half @ block
+    dense = 0.5 * np.asarray(phi, dtype=np.float64)
+    return lambda block: dense @ block
+
+
+class ExactDotExpOracle:
+    """Reference oracle: exact density matrix via eigendecomposition.
+
+    Parameters
+    ----------
+    constraints:
+        The constraint collection whose trace products are needed.
+    backend:
+        Optional execution backend used for the batched trace products (and
+        their work–depth accounting).
+    """
+
+    def __init__(
+        self,
+        constraints: ConstraintCollection,
+        backend: ExecutionBackend | None = None,
+    ) -> None:
+        self.constraints = constraints
+        self.backend = backend
+        self.counters = OracleCounters()
+
+    def __call__(self, psi: np.ndarray, x: np.ndarray) -> OracleOutput:
+        self.counters.record_call()
+        self.counters.eigendecompositions += 1
+        m = self.constraints.dim
+        density = expm_normalized(psi)
+        values = self.constraints.dots(density, backend=self.backend)
+        work = float(m**3 + self.constraints.total_nnz)
+        self.counters.flops_estimate += work
+        return OracleOutput(values=values, trace=1.0, work=work)
+
+
+class FastDotExpOracle:
+    """Theorem 4.1 oracle: truncated Taylor + JL sketch on factorized constraints.
+
+    The oracle obtains the normalization ``Tr[exp(Psi)]`` from the same
+    sketch by treating the identity as an extra factor (``exp(Psi) . I``),
+    so the returned values are directly comparable to the exact oracle's.
+
+    Parameters
+    ----------
+    constraints:
+        Constraint collection; Gram factors are extracted once and cached.
+    eps:
+        Relative accuracy of the oracle (values are within ``(1 +- eps)`` of
+        the exact ratios with high probability).  The decision solver's
+        threshold test tolerates a constant-factor slack in ``eps``.
+    kappa_bound:
+        Optional a-priori bound on ``||Psi||_2`` (e.g. the Lemma 3.2 bound
+        ``(1 + 10 eps) K``); when omitted the norm is estimated per call by
+        power iteration.
+    sketch_constant:
+        JL dimension multiplier.
+    rng:
+        Randomness source (a fresh sketch is drawn every call).
+    """
+
+    def __init__(
+        self,
+        constraints: ConstraintCollection,
+        eps: float = 0.05,
+        kappa_bound: float | None = None,
+        sketch_constant: float = 8.0,
+        rng: RandomState = None,
+        backend: ExecutionBackend | None = None,
+    ) -> None:
+        if eps <= 0 or eps >= 1:
+            raise InvalidProblemError(f"eps must be in (0, 1), got {eps}")
+        self.constraints = constraints
+        self.eps = float(eps)
+        self.kappa_bound = kappa_bound
+        self.sketch_constant = float(sketch_constant)
+        self.rng = as_generator(rng)
+        self.backend = backend
+        self.counters = OracleCounters()
+        self._factors = constraints.gram_factors()
+        self._identity = np.eye(constraints.dim)
+
+    def _factored_matvec(self, x: np.ndarray):
+        """Matvec ``v -> Psi v = sum_i x_i Q_i (Q_i^T v)`` applied through the
+        factors — the Corollary 1.2 representation, O(q) per (block) matvec,
+        never materialising the dense ``Psi``."""
+        active = [(float(xi), q) for xi, q in zip(x, self._factors) if xi != 0.0]
+
+        def matvec(block: np.ndarray) -> np.ndarray:
+            out = np.zeros_like(block, dtype=np.float64)
+            for weight, factor in active:
+                out += weight * (factor @ (factor.T @ block))
+            return out
+
+        return matvec
+
+    def __call__(self, psi: np.ndarray, x: np.ndarray) -> OracleOutput:
+        m = self.constraints.dim
+        matvec = self._factored_matvec(np.asarray(x, dtype=np.float64))
+        kappa = self.kappa_bound
+        if kappa is None:
+            kappa = max(1.0, spectral_norm_power(matvec, dim=m, rng=self.rng) * 1.05)
+            self.counters.add("norm_estimates")
+        raw = big_dot_exp(
+            matvec,
+            list(self._factors) + [self._identity],
+            kappa=kappa,
+            eps=self.eps,
+            rng=self.rng,
+            sketch_constant=self.sketch_constant,
+            counters=self.counters,
+            dim=m,
+        )
+        trace_estimate = float(raw[-1])
+        if trace_estimate <= 0:
+            raise InvalidProblemError(
+                "sketched trace estimate is non-positive; increase the sketch dimension"
+            )
+        values = raw[:-1] / trace_estimate
+        sketch_dim = min(jl_dimension(m, self.eps / 2.0, constant=self.sketch_constant), m)
+        degree = taylor_degree(kappa / 2.0, self.eps / 2.0)
+        # Work in the Corollary 1.2 units: each of the `degree` polynomial
+        # steps applies Psi to the sketch block through the factors (O(q) per
+        # column), plus one pass over the factor nonzeros for the estimates.
+        q = self.constraints.total_nnz
+        work = float(sketch_dim * degree * max(q, m) + q)
+        self.counters.flops_estimate += work
+        return OracleOutput(values=values, trace=trace_estimate, work=work)
+
+
+def make_oracle(
+    constraints: ConstraintCollection,
+    kind: str = "exact",
+    eps: float = 0.05,
+    kappa_bound: float | None = None,
+    rng: RandomState = None,
+    backend: ExecutionBackend | None = None,
+) -> DotExpOracle:
+    """Factory for the decision solver's oracle (``"exact"`` or ``"fast"``)."""
+    kind = kind.lower()
+    if kind == "exact":
+        return ExactDotExpOracle(constraints, backend=backend)
+    if kind == "fast":
+        return FastDotExpOracle(
+            constraints, eps=eps, kappa_bound=kappa_bound, rng=rng, backend=backend
+        )
+    raise InvalidProblemError(f"unknown oracle kind {kind!r}; expected 'exact' or 'fast'")

@@ -1,0 +1,138 @@
+"""Matrix multiplicative weights (MMW) update framework (Section 2.1, Theorem 2.1).
+
+The decision solver is an instance of the MMW "game" of Arora–Kale: in round
+``t`` the algorithm exposes the probability (density) matrix
+``P(t) = W(t) / Tr[W(t)]`` with ``W(t) = exp(eps0 * sum_{t' < t} M(t'))``,
+an adversary supplies a PSD gain matrix ``M(t) <= I``, and after ``T`` rounds
+the regret bound
+
+.. math::
+
+    (1 + \\varepsilon_0) \\sum_t M^{(t)} \\bullet P^{(t)}
+        \\;\\ge\\; \\lambda_{\\max}\\Big(\\sum_t M^{(t)}\\Big) - \\frac{\\ln n}{\\varepsilon_0}
+
+holds (Theorem 2.1; ``n`` there is the matrix dimension).  The decision
+solver in :mod:`repro.core.decision` maintains the weight matrix implicitly
+through ``Psi = sum_i x_i A_i``; this standalone engine exists so the regret
+bound itself can be exercised and property-tested in isolation (it is the
+crux of the spectrum bound, Lemma 3.2), and so other MMW-based baselines
+(:mod:`repro.baselines.arora_kale`) can reuse it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import InvalidProblemError
+from repro.linalg.expm import expm_normalized
+from repro.linalg.psd import check_psd
+from repro.utils.validation import symmetrize
+
+
+@dataclass
+class MMWRecord:
+    """One round of the MMW game (kept for regret verification)."""
+
+    gain_dot_probability: float
+    gain_trace: float
+
+
+class MatrixMultiplicativeWeights:
+    """The Arora–Kale matrix multiplicative weights algorithm.
+
+    Parameters
+    ----------
+    dim:
+        Dimension of the weight matrices.
+    eps0:
+        Learning rate ``eps0 <= 1/2`` (Theorem 2.1's precondition).
+    validate_gains:
+        When ``True`` each supplied gain matrix is checked to be PSD with
+        ``M <= I`` (the theorem's hypotheses).  Disable for speed inside
+        hot loops that construct gains known to satisfy the bounds.
+    """
+
+    def __init__(self, dim: int, eps0: float, validate_gains: bool = True) -> None:
+        if dim < 1:
+            raise InvalidProblemError(f"dim must be >= 1, got {dim}")
+        if not (0 < eps0 <= 0.5):
+            raise InvalidProblemError(f"eps0 must lie in (0, 1/2], got {eps0}")
+        self.dim = dim
+        self.eps0 = float(eps0)
+        self.validate_gains = validate_gains
+        self._gain_sum = np.zeros((dim, dim), dtype=np.float64)
+        self._records: list[MMWRecord] = []
+
+    # ------------------------------------------------------------------ state
+    @property
+    def rounds(self) -> int:
+        """Number of gain matrices incorporated so far."""
+        return len(self._records)
+
+    def probability_matrix(self) -> np.ndarray:
+        """Current density matrix ``P(t) = exp(eps0 * sum M) / Tr[...]``.
+
+        Before any gain is supplied this is ``I / dim`` (the uniform density),
+        matching ``W(1) = I`` in the paper's description.
+        """
+        return expm_normalized(self.eps0 * self._gain_sum)
+
+    def gain_sum(self) -> np.ndarray:
+        """The accumulated gain ``sum_t M(t)``."""
+        return self._gain_sum.copy()
+
+    # ------------------------------------------------------------------ updates
+    def update(self, gain: np.ndarray) -> float:
+        """Incorporate one gain matrix; returns ``M(t) . P(t)`` for this round.
+
+        The dot product is computed against the probability matrix *before*
+        the update, as in the statement of Theorem 2.1.
+        """
+        gain = np.asarray(gain, dtype=np.float64)
+        if gain.shape != (self.dim, self.dim):
+            raise InvalidProblemError(
+                f"gain must have shape {(self.dim, self.dim)}, got {gain.shape}"
+            )
+        if self.validate_gains:
+            gain = check_psd(gain, "gain")
+            lam_max = float(np.linalg.eigvalsh(gain)[-1])
+            if lam_max > 1.0 + 1e-8:
+                raise InvalidProblemError(
+                    f"gain must satisfy M <= I, got lambda_max = {lam_max:.6g}"
+                )
+        else:
+            gain = symmetrize(gain)
+        probability = self.probability_matrix()
+        dot = float(np.sum(gain * probability))
+        self._gain_sum += gain
+        self._records.append(MMWRecord(gain_dot_probability=dot, gain_trace=float(np.trace(gain))))
+        return dot
+
+    # ------------------------------------------------------------------ regret
+    def total_gain_dot_probability(self) -> float:
+        """``sum_t M(t) . P(t)`` across all rounds so far."""
+        return float(sum(record.gain_dot_probability for record in self._records))
+
+    def lambda_max_gain_sum(self) -> float:
+        """``lambda_max(sum_t M(t))``."""
+        if self.rounds == 0:
+            return 0.0
+        return float(np.linalg.eigvalsh(symmetrize(self._gain_sum))[-1])
+
+    def regret_bound_satisfied(self, slack: float = 1e-7) -> bool:
+        """Check the Theorem 2.1 inequality on the rounds played so far.
+
+        Returns ``True`` when
+        ``(1 + eps0) * sum_t M(t).P(t) >= lambda_max(sum_t M(t)) - ln(dim)/eps0 - slack``.
+        """
+        lhs = (1.0 + self.eps0) * self.total_gain_dot_probability()
+        rhs = self.lambda_max_gain_sum() - np.log(self.dim) / self.eps0
+        return bool(lhs >= rhs - slack)
+
+    def regret_gap(self) -> float:
+        """Slack in the Theorem 2.1 inequality (non-negative when it holds)."""
+        lhs = (1.0 + self.eps0) * self.total_gain_dot_probability()
+        rhs = self.lambda_max_gain_sum() - np.log(self.dim) / self.eps0
+        return float(lhs - rhs)

@@ -1,0 +1,170 @@
+"""Normalization of a general positive SDP (Appendix A) and the decision
+reduction bookkeeping of Lemma 2.2.
+
+Appendix A of the paper transforms the general primal covering program
+
+.. math:: \\min C \\bullet Y \\; \\text{s.t.}\\; A_i \\bullet Y \\ge b_i,\\; Y \\succeq 0
+
+into the normalized form of Figure 2 by defining
+
+.. math:: B_i = \\tfrac{1}{b_i} C^{-1/2} A_i C^{-1/2},
+
+which leaves the optimal value unchanged (``Z = C^{1/2} Y C^{1/2}`` maps
+feasible points between the two programs).  Constraints with ``b_i = 0`` are
+dropped (they are vacuous for a PSD ``Y``), and ``C`` is treated as full
+rank on the joint support of the constraints (its inverse square root is a
+pseudo-inverse square root), exactly as the paper assumes "all A_i's are in
+the support of C".
+
+Lemma 2.2 additionally lets the decision solver assume ``Tr[A_i] <= O(n^3)``
+after rescaling: constraints whose trace exceeds the cap contribute at most
+``1/n`` to the dual optimum and may be ignored at an ``eps`` additive loss.
+:func:`apply_trace_cap` implements that filtering step explicitly so the
+loss is visible and testable rather than implicit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import InvalidProblemError
+from repro.linalg.factorization import inverse_sqrt, sqrt_psd
+from repro.operators.collection import ConstraintCollection
+from repro.operators.dense import DensePSDOperator
+from repro.operators.factorized import FactorizedPSDOperator
+from repro.core.problem import NormalizedPackingSDP, PositiveSDP
+
+
+@dataclass
+class NormalizationMap:
+    """Records how a :class:`PositiveSDP` was normalized.
+
+    Holds everything needed to map solutions of the normalized program back
+    to the original variables:
+
+    * a primal matrix ``Z`` of the normalized program corresponds to
+      ``Y = C^{-1/2} Z C^{-1/2}`` in the original program;
+    * a dual vector ``x`` of the normalized program corresponds to the
+      original dual variables ``x_i / b_i`` (zero for dropped constraints).
+    """
+
+    c_inv_sqrt: np.ndarray
+    c_sqrt: np.ndarray
+    kept_indices: list[int]
+    original_rhs: np.ndarray
+    dropped_zero_rhs: list[int] = field(default_factory=list)
+
+    def primal_to_original(self, z: np.ndarray) -> np.ndarray:
+        """Map a normalized primal matrix ``Z`` to the original ``Y``."""
+        z = np.asarray(z, dtype=np.float64)
+        return self.c_inv_sqrt @ z @ self.c_inv_sqrt
+
+    def primal_from_original(self, y: np.ndarray) -> np.ndarray:
+        """Map an original primal matrix ``Y`` to the normalized ``Z``."""
+        y = np.asarray(y, dtype=np.float64)
+        return self.c_sqrt @ y @ self.c_sqrt
+
+    def dual_to_original(self, x: np.ndarray) -> np.ndarray:
+        """Map a normalized dual vector to the original constraint indexing."""
+        x = np.asarray(x, dtype=np.float64).ravel()
+        if x.shape[0] != len(self.kept_indices):
+            raise InvalidProblemError(
+                f"expected dual vector of length {len(self.kept_indices)}, got {x.shape[0]}"
+            )
+        out = np.zeros(self.original_rhs.shape[0], dtype=np.float64)
+        for value, idx in zip(x, self.kept_indices):
+            b = self.original_rhs[idx]
+            out[idx] = value / b if b > 0 else 0.0
+        return out
+
+
+def normalize_sdp(problem: PositiveSDP, rcond: float = 1e-12) -> tuple[NormalizedPackingSDP, NormalizationMap]:
+    """Normalize a general positive SDP into the Figure 2 form (Appendix A).
+
+    Returns the normalized packing/covering pair and the
+    :class:`NormalizationMap` required to translate solutions back.
+
+    Constraints with ``b_i = 0`` are dropped (recorded in the map); an
+    entirely-zero right-hand side is rejected because the resulting program
+    is trivial (``Y = 0`` is optimal).
+    """
+    c_dense = problem.objective.to_dense()
+    c_inv_sqrt = inverse_sqrt(c_dense, rcond=rcond)
+    c_sqrt = sqrt_psd(c_dense)
+
+    kept: list[int] = []
+    dropped: list[int] = []
+    operators = []
+    for idx, op in enumerate(problem.constraints):
+        b = float(problem.rhs[idx])
+        if b <= 0.0:
+            dropped.append(idx)
+            continue
+        kept.append(idx)
+        if isinstance(op, FactorizedPSDOperator):
+            # B_i = (C^{-1/2} Q_i)(C^{-1/2} Q_i)^T / b_i keeps the factorized form
+            factor = c_inv_sqrt @ op.gram_factor()
+            operators.append(FactorizedPSDOperator(factor / np.sqrt(b)))
+        else:
+            mat = c_inv_sqrt @ op.to_dense() @ c_inv_sqrt
+            operators.append(DensePSDOperator(mat / b, validate=False))
+    if not kept:
+        raise InvalidProblemError(
+            "all right-hand sides are zero: the covering optimum is trivially 0"
+        )
+    normalized = NormalizedPackingSDP(
+        ConstraintCollection(operators, validate=False), name=f"{problem.name}-normalized"
+    )
+    mapping = NormalizationMap(
+        c_inv_sqrt=c_inv_sqrt,
+        c_sqrt=c_sqrt,
+        kept_indices=kept,
+        original_rhs=problem.rhs.copy(),
+        dropped_zero_rhs=dropped,
+    )
+    return normalized, mapping
+
+
+@dataclass
+class TraceCapResult:
+    """Outcome of applying the Lemma 2.2 trace cap to a decision instance."""
+
+    constraints: ConstraintCollection
+    kept_indices: list[int]
+    dropped_indices: list[int]
+    trace_cap: float
+
+
+def apply_trace_cap(
+    constraints: ConstraintCollection, trace_cap: float | None = None
+) -> TraceCapResult:
+    """Drop constraints whose trace exceeds the Lemma 2.2 cap.
+
+    Parameters
+    ----------
+    constraints:
+        Decision-instance constraints (already scaled so the interesting
+        threshold is 1).
+    trace_cap:
+        Cap on ``Tr[A_i]``; defaults to ``n^3`` as in Lemma 2.2.  Constraints
+        above the cap can contribute at most ``1/n`` total dual weight, so
+        dropping them changes the optimum by less than ``eps`` for the
+        accuracy regimes the solver targets.
+    """
+    n = len(constraints)
+    cap = float(n) ** 3 if trace_cap is None else float(trace_cap)
+    if cap <= 0:
+        raise InvalidProblemError(f"trace_cap must be > 0, got {cap}")
+    traces = constraints.traces()
+    kept = [i for i in range(n) if traces[i] <= cap]
+    dropped = [i for i in range(n) if traces[i] > cap]
+    if not kept:
+        raise InvalidProblemError(
+            "the trace cap removed every constraint; the instance is badly scaled"
+        )
+    subset = constraints.subset(kept) if dropped else constraints
+    return TraceCapResult(
+        constraints=subset, kept_indices=kept, dropped_indices=dropped, trace_cap=cap
+    )

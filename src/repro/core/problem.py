@@ -1,0 +1,224 @@
+"""Problem classes for positive (packing/covering) semidefinite programs.
+
+The paper's input format (Equation 1.1) is the *primal covering* form
+
+.. math::
+
+    \\min\\; C \\bullet Y \\quad \\text{s.t.}\\quad A_i \\bullet Y \\ge b_i
+    \\;(i = 1..n), \\quad Y \\succeq 0,
+
+with ``C`` and all ``A_i`` PSD and ``b_i \\ge 0``; its dual is the *packing*
+program ``max 1^T x`` s.t. ``\\sum_i x_i A'_i \\preceq I`` after the
+normalization of Appendix A.  :class:`PositiveSDP` stores the general form;
+:class:`NormalizedPackingSDP` stores the normalized primal/dual pair of
+Figure 2 (``C = I``, ``b = 1``), which is what the solvers consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidProblemError
+from repro.linalg.psd import check_psd
+from repro.operators.collection import ConstraintCollection
+from repro.operators.psd_operator import PSDOperator, as_operator
+from repro.utils.validation import ensure_1d
+
+
+@dataclass
+class PositiveSDP:
+    """A positive SDP in the paper's general primal form (Equation 1.1).
+
+    Parameters
+    ----------
+    objective:
+        The PSD objective matrix ``C`` (m-by-m).
+    constraints:
+        The PSD constraint matrices ``A_1, ..., A_n`` (any representation
+        accepted by :func:`repro.operators.as_operator`).
+    rhs:
+        The non-negative right-hand sides ``b_1, ..., b_n``.
+    name:
+        Optional human-readable instance name used in reports.
+    """
+
+    objective: PSDOperator
+    constraints: ConstraintCollection
+    rhs: np.ndarray
+    name: str = "positive-sdp"
+    metadata: dict = field(default_factory=dict)
+
+    def __init__(
+        self,
+        objective,
+        constraints: Iterable,
+        rhs: Sequence[float] | np.ndarray,
+        name: str = "positive-sdp",
+        metadata: dict | None = None,
+        validate: bool = True,
+    ) -> None:
+        self.objective = as_operator(objective, validate=validate)
+        if isinstance(constraints, ConstraintCollection):
+            self.constraints = constraints
+        else:
+            self.constraints = ConstraintCollection(constraints, validate=validate)
+        self.rhs = ensure_1d(rhs, "rhs")
+        self.name = name
+        self.metadata = dict(metadata or {})
+        if validate:
+            self.validate()
+
+    # ------------------------------------------------------------------ shape
+    @property
+    def dim(self) -> int:
+        """Matrix dimension ``m``."""
+        return self.constraints.dim
+
+    @property
+    def num_constraints(self) -> int:
+        """Number of constraints ``n``."""
+        return len(self.constraints)
+
+    # ------------------------------------------------------------------ checks
+    def validate(self) -> None:
+        """Check structural validity (shapes, signs, PSD-ness of the objective)."""
+        if self.objective.dim != self.constraints.dim:
+            raise InvalidProblemError(
+                f"objective has dimension {self.objective.dim} but constraints have "
+                f"dimension {self.constraints.dim}"
+            )
+        if self.rhs.shape[0] != self.num_constraints:
+            raise InvalidProblemError(
+                f"rhs has {self.rhs.shape[0]} entries for {self.num_constraints} constraints"
+            )
+        if np.any(self.rhs < 0):
+            raise InvalidProblemError("all right-hand sides b_i must be non-negative")
+        check_psd(self.objective.to_dense(), "objective C")
+
+    # ------------------------------------------------------------------ evaluation
+    def objective_value(self, primal: np.ndarray) -> float:
+        """Evaluate ``C . Y`` for a candidate primal matrix."""
+        return self.objective.dot(np.asarray(primal, dtype=np.float64))
+
+    def constraint_values(self, primal: np.ndarray) -> np.ndarray:
+        """Vector of ``A_i . Y`` for a candidate primal matrix."""
+        return self.constraints.dots(np.asarray(primal, dtype=np.float64))
+
+    def primal_feasible(self, primal: np.ndarray, tol: float = 1e-7) -> bool:
+        """Check ``A_i . Y >= b_i - tol`` for all i and ``Y`` PSD."""
+        from repro.linalg.psd import is_psd
+
+        primal = np.asarray(primal, dtype=np.float64)
+        if not is_psd(primal, tol=tol):
+            return False
+        return bool(np.all(self.constraint_values(primal) >= self.rhs - tol))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PositiveSDP(name={self.name!r}, m={self.dim}, n={self.num_constraints})"
+        )
+
+
+class NormalizedPackingSDP:
+    """The normalized primal/dual pair of Figure 2.
+
+    Holds a constraint collection ``B_1, ..., B_n`` and represents
+
+    * primal (covering): ``min Tr[Y]`` s.t. ``B_i . Y >= 1``, ``Y >= 0``;
+    * dual (packing): ``max 1^T x`` s.t. ``sum_i x_i B_i <= I``, ``x >= 0``.
+
+    Both programs share one optimal value ``OPT`` (strong duality is assumed
+    by the paper).  Solvers consume this class; use
+    :func:`repro.core.normalize.normalize_sdp` to obtain it from a
+    :class:`PositiveSDP`.
+    """
+
+    def __init__(self, constraints: Iterable, name: str = "normalized-packing", validate: bool = True) -> None:
+        if isinstance(constraints, ConstraintCollection):
+            self.constraints = constraints
+        else:
+            self.constraints = ConstraintCollection(constraints, validate=validate)
+        self.name = name
+
+    @property
+    def dim(self) -> int:
+        return self.constraints.dim
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self.constraints)
+
+    # ------------------------------------------------------------------ bounds
+    def value_bounds(self) -> tuple[float, float]:
+        """Crude lower/upper bounds on the shared optimum ``OPT``.
+
+        * lower bound: putting all weight on the single best coordinate,
+          ``max_i 1 / ||B_i||_2`` is dual feasible;
+        * upper bound: any dual-feasible ``x`` has
+          ``sum_i x_i Tr[B_i] = Tr[sum_i x_i B_i] <= Tr[I] = m``, hence
+          ``1^T x <= m / min_i Tr[B_i]``.
+
+        These are within a factor ``poly(n, m)`` of each other, which is all
+        the binary search of Lemma 2.2 needs.
+        """
+        norms = self.constraints.spectral_norms()
+        traces = self.constraints.traces()
+        if np.any(norms <= 0) or np.any(traces <= 0):
+            raise InvalidProblemError(
+                "every normalized constraint matrix must be nonzero; "
+                "remove zero constraints before solving"
+            )
+        lower = float(np.max(1.0 / norms))
+        upper = float(self.dim / np.min(traces))
+        # The single-coordinate solution also shows OPT >= 1/min trace never
+        # exceeds the upper bound; guard against rounding making lower > upper.
+        upper = max(upper, lower)
+        return lower, upper
+
+    # ------------------------------------------------------------------ evaluation
+    def dual_value(self, x: np.ndarray) -> float:
+        """The packing objective ``1^T x``."""
+        x = ensure_1d(x, "x")
+        return float(np.sum(x))
+
+    def dual_feasible(self, x: np.ndarray, tol: float = 1e-7) -> bool:
+        """Check ``x >= 0`` and ``lambda_max(sum_i x_i B_i) <= 1 + tol``."""
+        x = ensure_1d(x, "x")
+        if x.shape[0] != self.num_constraints or np.any(x < -tol):
+            return False
+        psi = self.constraints.weighted_sum(np.clip(x, 0.0, None))
+        lam = float(np.linalg.eigvalsh(psi)[-1]) if self.dim else 0.0
+        return lam <= 1.0 + tol
+
+    def primal_value(self, primal: np.ndarray) -> float:
+        """The covering objective ``Tr[Y]``."""
+        return float(np.trace(np.asarray(primal, dtype=np.float64)))
+
+    def primal_feasible(self, primal: np.ndarray, tol: float = 1e-7) -> bool:
+        """Check ``Y`` PSD and ``B_i . Y >= 1 - tol`` for all i."""
+        from repro.linalg.psd import is_psd
+
+        primal = np.asarray(primal, dtype=np.float64)
+        if not is_psd(primal, tol=max(tol, 1e-9)):
+            return False
+        return bool(np.all(self.constraints.dots(primal) >= 1.0 - tol))
+
+    def scaled(self, theta: float) -> "NormalizedPackingSDP":
+        """Return the instance with every constraint scaled by ``theta``.
+
+        Used by the decision reduction: the scaled instance has optimum
+        ``OPT / theta``, so asking "is the scaled optimum >= 1?" asks
+        "is OPT >= theta?".
+        """
+        if theta <= 0:
+            raise InvalidProblemError(f"theta must be > 0, got {theta}")
+        coeffs = np.full(self.num_constraints, float(theta))
+        return NormalizedPackingSDP(
+            self.constraints.scaled(coeffs), name=f"{self.name}@theta={theta:.4g}", validate=False
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"NormalizedPackingSDP(name={self.name!r}, m={self.dim}, n={self.num_constraints})"

@@ -1,0 +1,158 @@
+"""Result objects returned by the decision solver and the full solver."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.instrumentation.counters import OracleCounters
+from repro.instrumentation.history import ConvergenceHistory
+from repro.parallel.workdepth import WorkDepthReport
+
+
+class DecisionOutcome(str, enum.Enum):
+    """Which side of the ε-decision problem the solver certified."""
+
+    DUAL = "dual"
+    """A packing vector ``x`` with large ``||x||_1`` and ``sum x_i A_i <= I``
+    was found: the scaled optimum is at least ``1 - eps``."""
+
+    PRIMAL = "primal"
+    """A covering matrix ``Y`` with ``Tr[Y] = 1`` and ``A_i . Y >= 1`` (up to
+    the measured slack) was found: the scaled optimum is at most ~1."""
+
+
+@dataclass
+class DecisionResult:
+    """Output of :func:`repro.core.decision.decision_psdp`.
+
+    Exactly one of :attr:`dual_x` / :attr:`primal_y` is the certified object
+    (according to :attr:`outcome`), but both are populated when available so
+    callers can inspect the non-certified side too.
+
+    Attributes
+    ----------
+    outcome:
+        Which certificate terminated the run.
+    dual_x:
+        The dual (packing) vector, already rescaled to satisfy
+        ``sum_i x_i A_i <= I`` (per Lemma 3.2 / Equation 3.4).
+    primal_y:
+        The primal (covering) matrix ``Y``, the running average of the
+        probability matrices ``P(t)`` (trace exactly 1).
+    dual_value:
+        ``||dual_x||_1`` (0 if no dual vector was produced).
+    primal_min_dot:
+        ``min_i A_i . Y`` for the returned ``Y`` (``nan`` if no ``Y``).
+    dual_lambda_max:
+        Measured ``lambda_max(sum_i dual_x_i A_i)`` — the feasibility margin.
+    iterations:
+        Number of iterations executed.
+    max_iterations:
+        The cap ``R`` that was in force.
+    epsilon:
+        Accuracy parameter the run used.
+    early_exit:
+        True if the run stopped on an early certificate check rather than on
+        the while-loop condition of Algorithm 3.1.
+    history:
+        Optional per-iteration records (``None`` unless requested).
+    counters:
+        Oracle operation counters.
+    work_depth:
+        Work–depth report of the run (model units).
+    """
+
+    outcome: DecisionOutcome
+    dual_x: np.ndarray | None
+    primal_y: np.ndarray | None
+    dual_value: float
+    primal_min_dot: float
+    dual_lambda_max: float
+    iterations: int
+    max_iterations: int
+    epsilon: float
+    early_exit: bool = False
+    history: ConvergenceHistory | None = None
+    counters: OracleCounters = field(default_factory=OracleCounters)
+    work_depth: WorkDepthReport | None = None
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def is_dual(self) -> bool:
+        return self.outcome is DecisionOutcome.DUAL
+
+    @property
+    def is_primal(self) -> bool:
+        return self.outcome is DecisionOutcome.PRIMAL
+
+
+@dataclass
+class SolveResult:
+    """Output of :func:`repro.core.solver.approx_psdp` (the full optimizer).
+
+    The optimizer binary-searches the decision problem (Lemma 2.2) and
+    returns two-sided bounds on the shared optimum of the normalized
+    primal/dual pair together with explicit certificates in both the
+    normalized and the original variable spaces.
+
+    Attributes
+    ----------
+    optimum_lower / optimum_upper:
+        Certified bounds on the normalized optimum ``OPT`` (the packing
+        value = covering value).  Their ratio is at most ``1 + epsilon`` on
+        success.
+    dual_x:
+        Feasible packing vector for the normalized program achieving
+        :attr:`optimum_lower`.
+    primal_y:
+        Feasible covering matrix for the normalized program achieving
+        :attr:`optimum_upper`.
+    original_dual / original_primal:
+        The same certificates mapped back to the original
+        :class:`~repro.core.problem.PositiveSDP` variables (``None`` when the
+        solver was given an already-normalized instance).
+    decision_calls:
+        Number of ε-decision invocations performed by the binary search.
+    total_iterations:
+        Total decision-solver iterations across all calls.
+    epsilon:
+        Target relative accuracy.
+    """
+
+    optimum_lower: float
+    optimum_upper: float
+    dual_x: np.ndarray
+    primal_y: np.ndarray
+    original_dual: np.ndarray | None
+    original_primal: np.ndarray | None
+    decision_calls: int
+    total_iterations: int
+    epsilon: float
+    decision_results: list[DecisionResult] = field(default_factory=list)
+    counters: OracleCounters = field(default_factory=OracleCounters)
+    work_depth: WorkDepthReport | None = None
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def optimum_estimate(self) -> float:
+        """Geometric midpoint of the certified bounds."""
+        return float(np.sqrt(self.optimum_lower * self.optimum_upper))
+
+    @property
+    def relative_gap(self) -> float:
+        """``optimum_upper / optimum_lower - 1`` (the certified relative error)."""
+        if self.optimum_lower <= 0:
+            return float("inf")
+        return self.optimum_upper / self.optimum_lower - 1.0
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"OPT in [{self.optimum_lower:.6g}, {self.optimum_upper:.6g}] "
+            f"(gap {self.relative_gap:.3%}), {self.decision_calls} decision calls, "
+            f"{self.total_iterations} iterations"
+        )

@@ -1,0 +1,68 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can catch the whole family with a single ``except`` clause while still being
+able to discriminate between input problems (:class:`InvalidProblemError`,
+:class:`NotPositiveSemidefiniteError`), numerical issues
+(:class:`NumericalError`), and solver-state issues
+(:class:`SolverError`, :class:`CertificateError`).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class InvalidProblemError(ReproError, ValueError):
+    """The supplied problem data does not describe a valid positive SDP/LP.
+
+    Raised for shape mismatches, negative right-hand sides, empty constraint
+    sets, non-symmetric matrices, and similar structural defects detected
+    during problem construction or validation.
+    """
+
+
+class NotPositiveSemidefiniteError(InvalidProblemError):
+    """A matrix that must be positive semidefinite is not.
+
+    The offending minimum eigenvalue (when available) is stored in
+    :attr:`min_eigenvalue` to aid debugging of nearly-PSD inputs.
+    """
+
+    def __init__(self, message: str, min_eigenvalue: float | None = None):
+        super().__init__(message)
+        self.min_eigenvalue = min_eigenvalue
+
+
+class NumericalError(ReproError, ArithmeticError):
+    """A numerical routine failed to reach its required accuracy.
+
+    Examples: a truncated Taylor series whose requested degree cannot meet
+    the error target, a power iteration that fails to converge, or a
+    Cholesky/eigen factorization that breaks down on an ill-conditioned
+    matrix.
+    """
+
+
+class SolverError(ReproError, RuntimeError):
+    """A solver failed to produce a solution within its resource limits."""
+
+
+class InfeasibleError(SolverError):
+    """The problem instance was detected to be infeasible (or unbounded)."""
+
+
+class CertificateError(ReproError, RuntimeError):
+    """A returned solution failed certificate verification.
+
+    The solvers in :mod:`repro.core` verify their outputs (primal feasibility,
+    dual feasibility, approximation ratio) before returning.  This error is
+    raised when verification fails, which indicates either a bug or a
+    numerically pathological instance.
+    """
+
+
+class BackendError(ReproError, RuntimeError):
+    """A parallel execution backend failed or was misconfigured."""

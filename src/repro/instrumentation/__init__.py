@@ -1,0 +1,12 @@
+"""Instrumentation: convergence histories, counters, and experiment reports."""
+
+from repro.instrumentation.history import IterationRecord, ConvergenceHistory
+from repro.instrumentation.counters import OracleCounters
+from repro.instrumentation.report import ExperimentReport
+
+__all__ = [
+    "IterationRecord",
+    "ConvergenceHistory",
+    "OracleCounters",
+    "ExperimentReport",
+]

@@ -1,0 +1,68 @@
+"""Operation counters for oracle implementations.
+
+The nearly-linear-work claim of Corollary 1.2 is about the number of
+primitive arithmetic operations the oracle performs, dominated by
+matrix–vector products with the (sparse) ``Phi`` and by passes over the
+factor nonzeros.  :class:`OracleCounters` collects these counts so that the
+E2/E3 benchmarks can report work in machine-independent units next to
+wall-clock time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class OracleCounters:
+    """Mutable counter bundle shared between an oracle and its caller.
+
+    Attributes
+    ----------
+    calls:
+        Number of oracle invocations (solver iterations that used it).
+    matvecs:
+        Matrix–vector products against ``Phi`` (each costs ``O(nnz(Phi))``).
+    factor_passes:
+        Number of passes over constraint-factor nonzeros (each costs
+        ``O(q)`` in aggregate).
+    eigendecompositions:
+        Full symmetric eigendecompositions performed (the exact oracle's
+        dominant cost, ``O(m^3)`` each).
+    flops_estimate:
+        Rough floating-point operation estimate accumulated by the oracle.
+    """
+
+    calls: int = 0
+    matvecs: int = 0
+    factor_passes: int = 0
+    eigendecompositions: int = 0
+    flops_estimate: float = 0.0
+    extra: dict[str, float] = field(default_factory=dict)
+
+    def record_call(self) -> None:
+        self.calls += 1
+
+    def add(self, key: str, amount: float = 1.0) -> None:
+        """Accumulate into a free-form named counter."""
+        self.extra[key] = self.extra.get(key, 0.0) + amount
+
+    def merge(self, other: "OracleCounters") -> None:
+        self.calls += other.calls
+        self.matvecs += other.matvecs
+        self.factor_passes += other.factor_passes
+        self.eigendecompositions += other.eigendecompositions
+        self.flops_estimate += other.flops_estimate
+        for key, amount in other.extra.items():
+            self.extra[key] = self.extra.get(key, 0.0) + amount
+
+    def as_dict(self) -> dict[str, float]:
+        out = {
+            "calls": float(self.calls),
+            "matvecs": float(self.matvecs),
+            "factor_passes": float(self.factor_passes),
+            "eigendecompositions": float(self.eigendecompositions),
+            "flops_estimate": self.flops_estimate,
+        }
+        out.update(self.extra)
+        return out

@@ -1,0 +1,92 @@
+"""Per-iteration convergence records for the decision solver.
+
+Experiments E1, E5 and E9 are statements about *how the solver's state
+evolves* (iteration counts, the spectrum bound of Lemma 3.2, the growth of
+``||x||_1``), so the solver can optionally record an
+:class:`IterationRecord` per iteration into a :class:`ConvergenceHistory`.
+Recording is off by default because storing per-iteration data is the only
+part of the solver whose memory footprint grows with the iteration count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """Snapshot of the decision solver's state after one iteration.
+
+    Attributes
+    ----------
+    iteration:
+        1-based iteration index ``t``.
+    x_norm:
+        ``||x(t)||_1`` after the update.
+    updated:
+        Size of the update set ``|B(t)|`` (Algorithm 3.1 line 5).
+    min_value / max_value:
+        Extremes of the oracle values ``P(t) . A_i`` over all constraints.
+    psi_lambda_max:
+        Largest eigenvalue of ``Psi(t) = sum_i x_i(t) A_i`` (tracked lazily —
+        may be ``nan`` if the solver skipped the measurement).
+    oracle_work:
+        Work charged by the oracle during this iteration (model units).
+    """
+
+    iteration: int
+    x_norm: float
+    updated: int
+    min_value: float
+    max_value: float
+    psi_lambda_max: float = float("nan")
+    oracle_work: float = 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "iteration": self.iteration,
+            "x_norm": self.x_norm,
+            "updated": self.updated,
+            "min_value": self.min_value,
+            "max_value": self.max_value,
+            "psi_lambda_max": self.psi_lambda_max,
+            "oracle_work": self.oracle_work,
+        }
+
+
+@dataclass
+class ConvergenceHistory:
+    """Ordered collection of :class:`IterationRecord` objects."""
+
+    records: list[IterationRecord] = field(default_factory=list)
+
+    def append(self, record: IterationRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[IterationRecord]:
+        return iter(self.records)
+
+    def __getitem__(self, index: int) -> IterationRecord:
+        return self.records[index]
+
+    @property
+    def iterations(self) -> int:
+        """Number of recorded iterations."""
+        return len(self.records)
+
+    def final_x_norm(self) -> float:
+        return self.records[-1].x_norm if self.records else 0.0
+
+    def x_norms(self) -> list[float]:
+        return [r.x_norm for r in self.records]
+
+    def update_counts(self) -> list[int]:
+        return [r.updated for r in self.records]
+
+    def as_rows(self) -> list[Mapping[str, float]]:
+        """Rows suitable for :func:`repro.utils.tables.format_table`/CSV."""
+        return [r.as_dict() for r in self.records]

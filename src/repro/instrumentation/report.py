@@ -1,0 +1,65 @@
+"""Experiment report container used by the benchmark harnesses.
+
+Each benchmark (one per experiment in DESIGN.md's experiment index) builds
+an :class:`ExperimentReport`, adds one row per series point, and renders a
+text table plus an optional CSV file under ``benchmarks/results/``.  The
+report is intentionally plain — a name, a list of dict rows, and free-form
+notes — so benchmarks stay declarative.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.utils.tables import format_table, write_csv
+
+
+@dataclass
+class ExperimentReport:
+    """A named table of result rows for one experiment."""
+
+    experiment_id: str
+    title: str
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, **values: Any) -> dict[str, Any]:
+        """Append a row (keyword arguments become columns) and return it."""
+        row = dict(values)
+        self.rows.append(row)
+        return row
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def headers(self) -> list[str]:
+        seen: list[str] = []
+        for row in self.rows:
+            for key in row:
+                if key not in seen:
+                    seen.append(key)
+        return seen
+
+    def render(self, float_fmt: str = ".4g") -> str:
+        """Render the report as a text block (title, table, notes)."""
+        parts = [f"== {self.experiment_id}: {self.title} =="]
+        parts.append(format_table(self.rows, headers=self.headers(), float_fmt=float_fmt))
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts)
+
+    def to_csv(self, directory: str | os.PathLike[str]) -> str:
+        """Write the rows to ``<directory>/<experiment_id>.csv``."""
+        path = os.path.join(os.fspath(directory), f"{self.experiment_id}.csv")
+        return write_csv(path, self.rows, headers=self.headers())
+
+    def column(self, name: str) -> list[Any]:
+        """Extract one column across all rows (missing values become None)."""
+        return [row.get(name) for row in self.rows]
+
+    @staticmethod
+    def combine(reports: Sequence["ExperimentReport"]) -> str:
+        """Render several reports separated by blank lines."""
+        return "\n\n".join(report.render() for report in reports)

@@ -1,0 +1,15 @@
+"""Instance and result serialization."""
+
+from repro.io.serialization import (
+    save_normalized_sdp,
+    load_normalized_sdp,
+    save_positive_sdp,
+    load_positive_sdp,
+)
+
+__all__ = [
+    "save_normalized_sdp",
+    "load_normalized_sdp",
+    "save_positive_sdp",
+    "load_positive_sdp",
+]

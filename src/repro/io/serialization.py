@@ -1,0 +1,86 @@
+"""Save/load positive SDP instances to compressed ``.npz`` archives.
+
+The on-disk format is a single ``numpy`` ``.npz`` archive containing the
+dense constraint matrices (stacked into one 3-D array), the objective and
+right-hand sides for general instances, and a small JSON metadata blob
+(name, format version).  Dense storage keeps the format trivial to inspect
+and reload; factorized/sparse structure is an in-memory optimization and is
+re-derivable (``gram_factor``) after loading, so losing it on a round-trip
+only affects constants, not correctness.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+from repro.exceptions import InvalidProblemError
+from repro.operators.collection import ConstraintCollection
+from repro.operators.dense import DensePSDOperator
+from repro.core.problem import NormalizedPackingSDP, PositiveSDP
+
+_FORMAT_VERSION = 1
+
+
+def _stack_constraints(constraints: ConstraintCollection) -> np.ndarray:
+    return np.stack([op.to_dense() for op in constraints], axis=0)
+
+
+def save_normalized_sdp(path: str | os.PathLike[str], problem: NormalizedPackingSDP) -> str:
+    """Write a normalized packing SDP to ``path`` (``.npz``); returns the path."""
+    path = os.fspath(path)
+    meta = json.dumps({"version": _FORMAT_VERSION, "kind": "normalized", "name": problem.name})
+    np.savez_compressed(
+        path,
+        constraints=_stack_constraints(problem.constraints),
+        metadata=np.array(meta),
+    )
+    return path if path.endswith(".npz") else path + ".npz"
+
+
+def load_normalized_sdp(path: str | os.PathLike[str]) -> NormalizedPackingSDP:
+    """Load a normalized packing SDP previously written by :func:`save_normalized_sdp`."""
+    with np.load(os.fspath(path), allow_pickle=False) as data:
+        meta = json.loads(str(data["metadata"]))
+        if meta.get("kind") != "normalized":
+            raise InvalidProblemError(f"{path} does not contain a normalized packing SDP")
+        stacked = np.asarray(data["constraints"], dtype=np.float64)
+    operators = [DensePSDOperator(stacked[i], validate=False) for i in range(stacked.shape[0])]
+    return NormalizedPackingSDP(
+        ConstraintCollection(operators, validate=False), name=meta.get("name", "loaded")
+    )
+
+
+def save_positive_sdp(path: str | os.PathLike[str], problem: PositiveSDP) -> str:
+    """Write a general positive SDP (objective, constraints, rhs) to ``path``."""
+    path = os.fspath(path)
+    meta = json.dumps({"version": _FORMAT_VERSION, "kind": "positive", "name": problem.name})
+    np.savez_compressed(
+        path,
+        constraints=_stack_constraints(problem.constraints),
+        objective=problem.objective.to_dense(),
+        rhs=problem.rhs,
+        metadata=np.array(meta),
+    )
+    return path if path.endswith(".npz") else path + ".npz"
+
+
+def load_positive_sdp(path: str | os.PathLike[str]) -> PositiveSDP:
+    """Load a general positive SDP previously written by :func:`save_positive_sdp`."""
+    with np.load(os.fspath(path), allow_pickle=False) as data:
+        meta = json.loads(str(data["metadata"]))
+        if meta.get("kind") != "positive":
+            raise InvalidProblemError(f"{path} does not contain a general positive SDP")
+        stacked = np.asarray(data["constraints"], dtype=np.float64)
+        objective = np.asarray(data["objective"], dtype=np.float64)
+        rhs = np.asarray(data["rhs"], dtype=np.float64)
+    operators = [DensePSDOperator(stacked[i], validate=False) for i in range(stacked.shape[0])]
+    return PositiveSDP(
+        DensePSDOperator(objective, validate=False),
+        ConstraintCollection(operators, validate=False),
+        rhs,
+        name=meta.get("name", "loaded"),
+        validate=False,
+    )

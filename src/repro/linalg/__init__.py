@@ -1,0 +1,101 @@
+"""Dense PSD linear-algebra substrate.
+
+This subpackage provides the matrix primitives the positive-SDP solver is
+built on:
+
+* :mod:`repro.linalg.psd` — positive-semidefiniteness checks, Loewner-order
+  comparisons, projection to the PSD cone.
+* :mod:`repro.linalg.factorization` — Gram factorizations ``A = Q Q^T``,
+  inverse square roots ``C^{-1/2}`` (Appendix A of the paper), pivoted
+  Cholesky.
+* :mod:`repro.linalg.expm` — exact (eigendecomposition-based) matrix
+  exponentials and exponential-weighted trace products, the reference
+  implementation of the oracle used in each solver iteration.
+* :mod:`repro.linalg.taylor` — the truncated-Taylor approximation of
+  ``exp(B)`` from Lemma 4.2 (Arora–Kale Lemma 6), with the paper's degree
+  rule ``k = max(e^2 * kappa, ln(2/eps))``.
+* :mod:`repro.linalg.sketching` — Johnson–Lindenstrauss Gaussian sketching
+  used by the nearly-linear-work oracle of Theorem 4.1.
+* :mod:`repro.linalg.norms` — spectral-norm estimation (power iteration and
+  Lanczos), trace inner products, and eigenvalue helpers.
+"""
+
+from repro.linalg.psd import (
+    is_psd,
+    check_psd,
+    min_eigenvalue,
+    max_eigenvalue,
+    loewner_leq,
+    project_to_psd,
+    nearest_psd,
+    random_psd,
+)
+from repro.linalg.factorization import (
+    gram_factor,
+    gram_factor_lowrank,
+    inverse_sqrt,
+    sqrt_psd,
+    pivoted_cholesky,
+)
+from repro.linalg.expm import (
+    expm_psd,
+    expm_eigh,
+    expm_dot,
+    expm_dot_many,
+    expm_trace,
+    expm_normalized,
+)
+from repro.linalg.taylor import (
+    taylor_degree,
+    taylor_expm_apply,
+    taylor_expm_matrix,
+    TaylorExpmOperator,
+)
+from repro.linalg.sketching import (
+    jl_dimension,
+    gaussian_sketch,
+    sketch_columns,
+    SketchedNormEstimator,
+)
+from repro.linalg.norms import (
+    spectral_norm,
+    spectral_norm_power,
+    spectral_norm_lanczos,
+    trace_product,
+    frobenius_inner,
+)
+
+__all__ = [
+    "is_psd",
+    "check_psd",
+    "min_eigenvalue",
+    "max_eigenvalue",
+    "loewner_leq",
+    "project_to_psd",
+    "nearest_psd",
+    "random_psd",
+    "gram_factor",
+    "gram_factor_lowrank",
+    "inverse_sqrt",
+    "sqrt_psd",
+    "pivoted_cholesky",
+    "expm_psd",
+    "expm_eigh",
+    "expm_dot",
+    "expm_dot_many",
+    "expm_trace",
+    "expm_normalized",
+    "taylor_degree",
+    "taylor_expm_apply",
+    "taylor_expm_matrix",
+    "TaylorExpmOperator",
+    "jl_dimension",
+    "gaussian_sketch",
+    "sketch_columns",
+    "SketchedNormEstimator",
+    "spectral_norm",
+    "spectral_norm_power",
+    "spectral_norm_lanczos",
+    "trace_product",
+    "frobenius_inner",
+]

@@ -1,0 +1,125 @@
+"""Exact matrix-exponential primitives.
+
+Every iteration of the decision solver (Algorithm 3.1) needs the quantities
+
+* ``W = exp(Psi)`` for the PSD matrix ``Psi = sum_i x_i A_i``,
+* ``Tr[W]``, and
+* ``W . A_i`` (trace inner products) for every constraint matrix.
+
+For moderate dimensions the cheapest reliable way to obtain all of these is
+a single symmetric eigendecomposition of ``Psi``; this module implements
+that reference path.  The nearly-linear-work approximation of Theorem 4.1
+(truncated Taylor polynomial + Johnson–Lindenstrauss sketching) lives in
+:mod:`repro.linalg.taylor`, :mod:`repro.linalg.sketching`, and
+:mod:`repro.core.dotexp`; its accuracy is validated against the functions
+here.
+
+A numerical subtlety: the exponentials in the solver grow like
+``exp((1 + 10 eps) K)`` with ``K = O(log(n)/eps)``, which can overflow double
+precision.  Because the solver only ever consumes the *normalized* matrix
+``P = W / Tr[W]`` (Equation 3.2), all functions here optionally shift the
+spectrum by its maximum eigenvalue before exponentiating — mathematically a
+multiplication of both numerator and denominator by ``exp(-lambda_max)`` —
+which keeps every intermediate quantity in range without changing ``P``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_symmetric, symmetrize
+
+
+def _eigh_shifted(psi: np.ndarray, shift: bool) -> tuple[np.ndarray, np.ndarray, float]:
+    """Eigendecompose ``psi`` returning (eigvals, eigvecs, applied_shift).
+
+    ``psi`` only needs to be symmetric: the solver always exponentiates PSD
+    matrices, but baseline MMW schemes (and tests) exponentiate matrices with
+    negative eigenvalues too, and the exponential is well-defined either way.
+    """
+    psi = check_symmetric(psi, "psi")
+    eigvals, eigvecs = np.linalg.eigh(psi)
+    applied = float(eigvals[-1]) if (shift and eigvals.size) else 0.0
+    return eigvals, eigvecs, applied
+
+
+def expm_eigh(psi: np.ndarray) -> np.ndarray:
+    """Exact ``exp(psi)`` for a symmetric PSD matrix via eigendecomposition.
+
+    Equivalent to :func:`scipy.linalg.expm` for symmetric inputs but
+    guarantees an exactly symmetric output and reuses the eigenbasis style
+    of the rest of this module.
+    """
+    eigvals, eigvecs, _ = _eigh_shifted(psi, shift=False)
+    return symmetrize((eigvecs * np.exp(eigvals)) @ eigvecs.T)
+
+
+def expm_psd(psi: np.ndarray, shift: bool = False) -> tuple[np.ndarray, float]:
+    """Return ``(E, log_scale)`` with ``exp(psi) = exp(log_scale) * E``.
+
+    With ``shift=True`` the returned ``E = exp(psi - lambda_max I)`` has
+    spectral norm exactly 1 and ``log_scale = lambda_max``; this is the
+    overflow-safe representation used by the solver.  With ``shift=False``
+    the plain exponential is returned with ``log_scale = 0``.
+    """
+    eigvals, eigvecs, applied = _eigh_shifted(psi, shift)
+    mat = symmetrize((eigvecs * np.exp(eigvals - applied)) @ eigvecs.T)
+    return mat, applied
+
+
+def expm_trace(psi: np.ndarray, shift: bool = True) -> tuple[float, float]:
+    """Return ``(t, log_scale)`` with ``Tr[exp(psi)] = exp(log_scale) * t``."""
+    eigvals, _, applied = _eigh_shifted(psi, shift)
+    return float(np.sum(np.exp(eigvals - applied))), applied
+
+
+def expm_normalized(psi: np.ndarray) -> np.ndarray:
+    """Return the density matrix ``P = exp(psi) / Tr[exp(psi)]`` (Eq. 3.2).
+
+    Computed with the spectral shift so it is safe for the large exponents
+    that arise late in a solver run; ``Tr[P] = 1`` exactly up to rounding.
+    """
+    eigvals, eigvecs, applied = _eigh_shifted(psi, shift=True)
+    weights = np.exp(eigvals - applied)
+    total = float(np.sum(weights))
+    if total <= 0:  # pragma: no cover - cannot happen for finite input
+        raise FloatingPointError("trace of matrix exponential vanished")
+    return symmetrize((eigvecs * (weights / total)) @ eigvecs.T)
+
+
+def expm_dot(psi: np.ndarray, a: np.ndarray, normalized: bool = False) -> float:
+    """Compute ``exp(psi) . a`` (or ``P . a`` when ``normalized=True``).
+
+    ``X . Y`` denotes the trace inner product ``Tr[X Y]`` of the paper.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    if a.shape != psi.shape:
+        raise ValueError(f"shape mismatch: psi {psi.shape} vs a {a.shape}")
+    if normalized:
+        return float(np.sum(expm_normalized(psi) * a))
+    return float(np.sum(expm_eigh(psi) * a))
+
+
+def expm_dot_many(
+    psi: np.ndarray,
+    mats: list[np.ndarray] | tuple[np.ndarray, ...],
+    normalized: bool = True,
+) -> np.ndarray:
+    """Compute all trace products ``exp(psi) . A_i`` in one eigendecomposition.
+
+    This is the dense reference implementation of the per-iteration oracle:
+    the eigendecomposition is done once and each product costs one
+    ``m x m`` elementwise multiply-sum.  Returns a vector of length
+    ``len(mats)``.  When ``normalized=True`` the products are against the
+    density matrix ``P`` instead of ``exp(psi)`` itself (the solver only
+    needs the ratio ``(exp(psi) . A_i) / Tr[exp(psi)]``, see Algorithm 3.1
+    line 5).
+    """
+    if normalized:
+        weight_matrix = expm_normalized(psi)
+    else:
+        weight_matrix = expm_eigh(psi)
+    out = np.empty(len(mats), dtype=np.float64)
+    for idx, mat in enumerate(mats):
+        out[idx] = float(np.sum(weight_matrix * mat))
+    return out

@@ -1,0 +1,126 @@
+"""Gram factorizations and matrix square roots for PSD matrices.
+
+The fast oracle of Theorem 4.1 assumes each constraint matrix is given in
+factorized ("prefactored") form ``A_i = Q_i Q_i^T`` and that ``C^{-1/2}`` is
+available.  This module provides:
+
+* :func:`gram_factor` — an eigendecomposition-based factorization
+  ``A = Q Q^T`` with ``Q`` of width equal to the numerical rank,
+* :func:`pivoted_cholesky` — a pivoted Cholesky alternative that produces a
+  lower-triangular-up-to-permutation factor and works on rank-deficient
+  inputs,
+* :func:`sqrt_psd` / :func:`inverse_sqrt` — symmetric (inverse) square roots
+  used by the normalization ``B_i = C^{-1/2} A_i C^{-1/2}`` of Appendix A.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import NumericalError
+from repro.linalg.psd import check_psd
+from repro.utils.validation import symmetrize
+
+
+def _eig_psd(matrix: np.ndarray, name: str) -> tuple[np.ndarray, np.ndarray]:
+    matrix = check_psd(matrix, name)
+    eigvals, eigvecs = np.linalg.eigh(matrix)
+    eigvals = np.clip(eigvals, 0.0, None)
+    return eigvals, eigvecs
+
+
+def gram_factor(matrix: np.ndarray, rank_tol: float = 1e-12) -> np.ndarray:
+    """Return ``Q`` such that ``matrix = Q @ Q.T`` with ``Q`` m-by-r.
+
+    ``r`` is the numerical rank: eigenvalues below ``rank_tol * lambda_max``
+    are dropped.  For the zero matrix a single zero column is returned so
+    that downstream code never has to special-case empty factors.
+    """
+    eigvals, eigvecs = _eig_psd(matrix, "matrix")
+    if eigvals.size == 0:
+        return np.zeros((0, 1))
+    lam_max = float(eigvals[-1])
+    if lam_max <= 0.0:
+        return np.zeros((matrix.shape[0], 1))
+    keep = eigvals > rank_tol * lam_max
+    vals = eigvals[keep]
+    vecs = eigvecs[:, keep]
+    return vecs * np.sqrt(vals)
+
+
+def gram_factor_lowrank(matrix: np.ndarray, rank: int) -> np.ndarray:
+    """Return the best rank-``rank`` Gram factor of a PSD matrix.
+
+    Keeps the ``rank`` largest eigenpairs; the result ``Q`` satisfies
+    ``Q @ Q.T ~= matrix`` with error equal to the discarded eigenvalue mass.
+    """
+    if rank <= 0:
+        raise ValueError(f"rank must be >= 1, got {rank}")
+    eigvals, eigvecs = _eig_psd(matrix, "matrix")
+    order = np.argsort(eigvals)[::-1][: min(rank, eigvals.size)]
+    vals = eigvals[order]
+    vecs = eigvecs[:, order]
+    return vecs * np.sqrt(vals)
+
+
+def pivoted_cholesky(
+    matrix: np.ndarray, tol: float = 1e-12, max_rank: int | None = None
+) -> np.ndarray:
+    """Pivoted (rank-revealing) Cholesky factorization of a PSD matrix.
+
+    Returns ``L`` with ``matrix ~= L @ L.T`` where ``L`` has one column per
+    pivot step.  The algorithm greedily picks the largest remaining diagonal
+    entry, which makes it robust on rank-deficient matrices and gives an
+    approximation error bounded by the trace of the un-eliminated diagonal.
+    """
+    matrix = check_psd(matrix, "matrix")
+    m = matrix.shape[0]
+    if m == 0:
+        return np.zeros((0, 1))
+    diag = np.diag(matrix).astype(np.float64).copy()
+    max_rank = m if max_rank is None else min(max_rank, m)
+    columns: list[np.ndarray] = []
+    residual = matrix.astype(np.float64).copy()
+    threshold = tol * max(1.0, float(diag.max(initial=0.0)))
+    for _ in range(max_rank):
+        pivot = int(np.argmax(diag))
+        pivot_val = diag[pivot]
+        if pivot_val <= threshold:
+            break
+        col = residual[:, pivot] / np.sqrt(pivot_val)
+        columns.append(col)
+        residual -= np.outer(col, col)
+        diag = np.clip(np.diag(residual).copy(), 0.0, None)
+    if not columns:
+        return np.zeros((m, 1))
+    return np.column_stack(columns)
+
+
+def sqrt_psd(matrix: np.ndarray) -> np.ndarray:
+    """Return the symmetric PSD square root ``matrix^{1/2}``."""
+    eigvals, eigvecs = _eig_psd(matrix, "matrix")
+    return symmetrize((eigvecs * np.sqrt(eigvals)) @ eigvecs.T)
+
+
+def inverse_sqrt(matrix: np.ndarray, rcond: float = 1e-12) -> np.ndarray:
+    """Return the symmetric inverse square root ``matrix^{-1/2}``.
+
+    The paper's Appendix A treats the objective matrix ``C`` as full rank on
+    the support of the constraints; here eigenvalues below
+    ``rcond * lambda_max`` are treated as zero and pseudo-inverted, which
+    implements exactly that restriction-to-support behaviour.
+
+    Raises
+    ------
+    NumericalError
+        If the matrix is (numerically) the zero matrix, for which no
+        normalization is possible.
+    """
+    eigvals, eigvecs = _eig_psd(matrix, "matrix")
+    if eigvals.size == 0:
+        return matrix.copy()
+    lam_max = float(eigvals[-1])
+    if lam_max <= 0.0:
+        raise NumericalError("cannot form inverse square root of the zero matrix")
+    inv_sqrt_vals = np.where(eigvals > rcond * lam_max, 1.0 / np.sqrt(np.clip(eigvals, 1e-300, None)), 0.0)
+    return symmetrize((eigvecs * inv_sqrt_vals) @ eigvecs.T)

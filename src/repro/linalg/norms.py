@@ -1,0 +1,138 @@
+"""Spectral norms, trace inner products, and related estimators.
+
+The solver needs ``||Phi||_2`` upper bounds (to pick the Taylor degree in
+Theorem 4.1, Lemma 3.5 guarantees ``||Phi||_2 <= O(log(n)/eps)`` for the
+matrices it exponentiates) and trace inner products ``A . B = Tr[A B]``
+throughout.  For matrices given only through matrix–vector products we
+provide power iteration and a Lanczos-based estimator built on
+``scipy.sparse.linalg.eigsh``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.config import get_config
+from repro.exceptions import NumericalError
+from repro.utils.random_utils import RandomState, as_generator
+from repro.utils.validation import check_symmetric
+
+
+def trace_product(a: np.ndarray | sp.spmatrix, b: np.ndarray | sp.spmatrix) -> float:
+    """Trace inner product ``A . B = Tr[A B] = sum_ij A_ij B_ij`` (Section 2.1).
+
+    For symmetric inputs the elementwise form is used because it is
+    ``O(m^2)`` rather than the ``O(m^3)`` of forming the product ``A B``.
+    """
+    if sp.issparse(a) or sp.issparse(b):
+        a_sp = sp.csr_matrix(a)
+        b_sp = sp.csr_matrix(b)
+        if a_sp.shape != b_sp.shape:
+            raise ValueError(f"shape mismatch: {a_sp.shape} vs {b_sp.shape}")
+        return float(a_sp.multiply(b_sp).sum())
+    a_arr = np.asarray(a, dtype=np.float64)
+    b_arr = np.asarray(b, dtype=np.float64)
+    if a_arr.shape != b_arr.shape:
+        raise ValueError(f"shape mismatch: {a_arr.shape} vs {b_arr.shape}")
+    return float(np.sum(a_arr * b_arr))
+
+
+def frobenius_inner(a: np.ndarray, b: np.ndarray) -> float:
+    """Frobenius inner product; identical to :func:`trace_product` for symmetric inputs."""
+    return trace_product(a, b)
+
+
+def spectral_norm_power(
+    matvec: Callable[[np.ndarray], np.ndarray] | np.ndarray | sp.spmatrix,
+    dim: int | None = None,
+    tol: float | None = None,
+    maxiter: int | None = None,
+    rng: RandomState = None,
+) -> float:
+    """Estimate the spectral norm of a symmetric PSD operator by power iteration.
+
+    Accepts a dense matrix, a sparse matrix, or a matvec callable (in which
+    case ``dim`` is required).  Convergence is declared when the Rayleigh
+    quotient changes by less than ``tol`` relatively between iterations.
+    """
+    cfg = get_config()
+    tol = cfg.power_iteration_tol if tol is None else tol
+    maxiter = cfg.power_iteration_maxiter if maxiter is None else maxiter
+
+    if callable(matvec) and not isinstance(matvec, np.ndarray) and not sp.issparse(matvec):
+        apply_op = matvec
+        if dim is None:
+            raise ValueError("dim is required when passing a matvec callable")
+    elif sp.issparse(matvec):
+        mat = matvec.tocsr()
+        apply_op = lambda v: mat @ v  # noqa: E731
+        dim = mat.shape[0]
+    else:
+        dense = check_symmetric(np.asarray(matvec, dtype=np.float64), "matrix")
+        apply_op = lambda v: dense @ v  # noqa: E731
+        dim = dense.shape[0]
+
+    if dim == 0:
+        return 0.0
+    gen = as_generator(rng)
+    vec = gen.standard_normal(dim)
+    vec /= np.linalg.norm(vec)
+    estimate = 0.0
+    for _ in range(maxiter):
+        new_vec = apply_op(vec)
+        norm = float(np.linalg.norm(new_vec))
+        if norm <= 1e-300:
+            return 0.0
+        new_estimate = float(vec @ new_vec)
+        vec = new_vec / norm
+        if abs(new_estimate - estimate) <= tol * max(abs(new_estimate), 1e-300):
+            return max(new_estimate, 0.0)
+        estimate = new_estimate
+    return max(estimate, 0.0)
+
+
+def spectral_norm_lanczos(matrix: np.ndarray | sp.spmatrix, tol: float = 1e-8) -> float:
+    """Largest eigenvalue of a symmetric matrix via Lanczos (``eigsh``).
+
+    Falls back to a dense ``eigvalsh`` for very small matrices where ARPACK
+    cannot run (``k`` must be < dim).
+    """
+    dim = matrix.shape[0]
+    if dim <= 2 or (not sp.issparse(matrix) and dim <= 64):
+        dense = matrix.toarray() if sp.issparse(matrix) else np.asarray(matrix, dtype=np.float64)
+        dense = check_symmetric(dense, "matrix")
+        if dim == 0:
+            return 0.0
+        return float(np.linalg.eigvalsh(dense)[-1])
+    try:
+        vals = spla.eigsh(matrix, k=1, which="LA", tol=tol, return_eigenvectors=False)
+    except (spla.ArpackNoConvergence, RuntimeError) as exc:  # pragma: no cover
+        raise NumericalError(f"Lanczos eigenvalue estimation failed: {exc}") from exc
+    return float(vals[0])
+
+
+def spectral_norm(matrix: np.ndarray | sp.spmatrix, method: str = "auto") -> float:
+    """Spectral norm (largest eigenvalue) of a symmetric PSD matrix.
+
+    ``method`` is one of ``"auto"``, ``"dense"``, ``"lanczos"``, ``"power"``.
+    ``"auto"`` uses a dense eigendecomposition for small matrices and Lanczos
+    otherwise.
+    """
+    if method not in {"auto", "dense", "lanczos", "power"}:
+        raise ValueError(f"unknown method {method!r}")
+    dim = matrix.shape[0]
+    if method == "power":
+        return spectral_norm_power(matrix)
+    if method == "lanczos":
+        return spectral_norm_lanczos(matrix)
+    if method == "dense" or dim <= 256 or not sp.issparse(matrix):
+        dense = matrix.toarray() if sp.issparse(matrix) else np.asarray(matrix, dtype=np.float64)
+        dense = check_symmetric(dense, "matrix")
+        if dim == 0:
+            return 0.0
+        return float(np.linalg.eigvalsh(dense)[-1])
+    return spectral_norm_lanczos(matrix)

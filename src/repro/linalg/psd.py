@@ -1,0 +1,163 @@
+"""Positive-semidefiniteness checks and the Loewner partial order.
+
+The paper works exclusively with symmetric PSD matrices and the Loewner
+order ``A <= B  iff  B - A`` is PSD (Section 2.1).  This module provides the
+numerical versions of those predicates along with a PSD-cone projection used
+for sanitising nearly-PSD inputs and a random PSD generator used throughout
+tests and synthetic workloads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import get_config
+from repro.exceptions import NotPositiveSemidefiniteError
+from repro.utils.random_utils import RandomState, as_generator
+from repro.utils.validation import check_symmetric, symmetrize
+
+
+def min_eigenvalue(matrix: np.ndarray) -> float:
+    """Return the minimum eigenvalue of a symmetric matrix."""
+    matrix = check_symmetric(matrix, "matrix")
+    if matrix.shape[0] == 0:
+        return 0.0
+    return float(np.linalg.eigvalsh(matrix)[0])
+
+
+def max_eigenvalue(matrix: np.ndarray) -> float:
+    """Return the maximum eigenvalue of a symmetric matrix."""
+    matrix = check_symmetric(matrix, "matrix")
+    if matrix.shape[0] == 0:
+        return 0.0
+    return float(np.linalg.eigvalsh(matrix)[-1])
+
+
+def is_psd(matrix: np.ndarray, tol: float | None = None) -> bool:
+    """Return ``True`` if ``matrix`` is PSD up to tolerance.
+
+    A Cholesky factorization is attempted first (cheap accept path for
+    strictly positive definite matrices); if it fails the minimum eigenvalue
+    is compared against ``-tol * scale`` where ``scale`` bounds the matrix
+    magnitude, so the test is scale-invariant.
+    """
+    matrix = check_symmetric(matrix, "matrix")
+    if matrix.shape[0] == 0:
+        return True
+    tol = get_config().psd_tol if tol is None else tol
+    scale = max(1.0, float(np.abs(matrix).max(initial=0.0)))
+    try:
+        np.linalg.cholesky(matrix + (tol * scale) * np.eye(matrix.shape[0]))
+        return True
+    except np.linalg.LinAlgError:
+        pass
+    return min_eigenvalue(matrix) >= -tol * scale
+
+
+def check_psd(matrix: np.ndarray, name: str = "matrix", tol: float | None = None) -> np.ndarray:
+    """Validate that ``matrix`` is PSD; return its symmetrized form.
+
+    Raises
+    ------
+    NotPositiveSemidefiniteError
+        If the minimum eigenvalue is below ``-tol * scale``.
+    """
+    matrix = check_symmetric(matrix, name)
+    tol = get_config().psd_tol if tol is None else tol
+    if matrix.shape[0] == 0:
+        return matrix
+    scale = max(1.0, float(np.abs(matrix).max(initial=0.0)))
+    lam_min = min_eigenvalue(matrix)
+    if lam_min < -tol * scale:
+        raise NotPositiveSemidefiniteError(
+            f"{name} is not positive semidefinite: lambda_min = {lam_min:.3e}",
+            min_eigenvalue=lam_min,
+        )
+    return matrix
+
+
+def loewner_leq(a: np.ndarray, b: np.ndarray, tol: float | None = None) -> bool:
+    """Return ``True`` if ``a <= b`` in the Loewner order (``b - a`` PSD)."""
+    a = check_symmetric(a, "a")
+    b = check_symmetric(b, "b")
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    return is_psd(b - a, tol=tol)
+
+
+def project_to_psd(matrix: np.ndarray) -> np.ndarray:
+    """Project a symmetric matrix onto the PSD cone (clip negative eigenvalues).
+
+    This is the Frobenius-norm projection: eigenvalues below zero are set to
+    zero and the matrix is reassembled.
+    """
+    matrix = check_symmetric(matrix, "matrix")
+    if matrix.shape[0] == 0:
+        return matrix
+    eigvals, eigvecs = np.linalg.eigh(matrix)
+    eigvals = np.clip(eigvals, 0.0, None)
+    return symmetrize((eigvecs * eigvals) @ eigvecs.T)
+
+
+def nearest_psd(matrix: np.ndarray) -> np.ndarray:
+    """Return the nearest PSD matrix to an arbitrary square matrix.
+
+    The input is first symmetrized (projection onto symmetric matrices) and
+    then projected onto the PSD cone; the composition is the Frobenius-norm
+    projection onto the set of symmetric PSD matrices (Higham, 1988).
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError(f"matrix must be square, got shape {matrix.shape}")
+    return project_to_psd(symmetrize(matrix))
+
+
+def random_psd(
+    dim: int,
+    rank: int | None = None,
+    scale: float = 1.0,
+    rng: RandomState = None,
+    spectrum: np.ndarray | None = None,
+) -> np.ndarray:
+    """Generate a random symmetric PSD matrix.
+
+    Parameters
+    ----------
+    dim:
+        Matrix dimension ``m``.
+    rank:
+        Rank of the output (defaults to full rank).  The matrix is formed as
+        ``G G^T`` with ``G`` an ``m x rank`` Gaussian matrix unless an
+        explicit ``spectrum`` is supplied.
+    scale:
+        The result is scaled so its spectral norm equals ``scale`` (when the
+        matrix is nonzero).
+    spectrum:
+        Optional explicit non-negative eigenvalue vector of length ``dim``;
+        when given, a Haar-random orthogonal basis is used and ``rank`` is
+        ignored.
+    """
+    if dim <= 0:
+        raise ValueError(f"dim must be >= 1, got {dim}")
+    gen = as_generator(rng)
+    if spectrum is not None:
+        spectrum = np.asarray(spectrum, dtype=np.float64)
+        if spectrum.shape != (dim,):
+            raise ValueError(f"spectrum must have shape ({dim},), got {spectrum.shape}")
+        if np.any(spectrum < 0):
+            raise ValueError("spectrum must be non-negative")
+        from repro.utils.random_utils import random_orthogonal
+
+        basis = random_orthogonal(dim, gen)
+        mat = (basis * spectrum) @ basis.T
+    else:
+        rank = dim if rank is None else int(rank)
+        if rank <= 0 or rank > dim:
+            raise ValueError(f"rank must be in [1, {dim}], got {rank}")
+        factor = gen.standard_normal((dim, rank))
+        mat = factor @ factor.T
+    mat = symmetrize(mat)
+    norm = float(np.linalg.eigvalsh(mat)[-1]) if dim else 0.0
+    if norm > 0 and scale > 0:
+        mat *= scale / norm
+    return symmetrize(mat)

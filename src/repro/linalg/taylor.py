@@ -1,0 +1,164 @@
+"""Truncated-Taylor approximation of the matrix exponential (Lemma 4.2).
+
+Lemma 4.2 of the paper (reproduced from Lemma 6 of Arora–Kale) states that
+for a PSD matrix ``B`` with ``||B||_2 <= kappa`` the truncated series
+
+.. math::
+
+    \\hat B \\;=\\; \\sum_{0 \\le i < k} \\frac{1}{i!} B^i,
+    \\qquad k = \\max\\{e^2 \\kappa,\\ \\ln(2/\\varepsilon)\\}
+
+satisfies ``(1 - eps) exp(B) <= \\hat B <= exp(B)`` in the Loewner order.
+The point of the lemma is that :math:`\\hat B` can be *applied to a vector*
+using only ``k`` matrix–vector products with ``B`` — no eigendecomposition —
+which is what makes the nearly-linear-work oracle of Theorem 4.1 possible.
+
+This module provides the degree rule (:func:`taylor_degree`), a vector-apply
+(:func:`taylor_expm_apply`), a dense materialisation used in tests
+(:func:`taylor_expm_matrix`), and :class:`TaylorExpmOperator`, a
+``LinearOperator``-style object representing :math:`\\hat B` for a fixed
+``Phi`` that tracks how many matrix–vector products it performed (the work
+measure used in experiment E2/E3).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import NumericalError
+from repro.utils.validation import check_symmetric
+
+
+MatVec = Callable[[np.ndarray], np.ndarray]
+
+
+def taylor_degree(kappa: float, eps: float) -> int:
+    """Number of Taylor terms ``k = max(e^2 kappa, ln(2/eps))`` (Lemma 4.2).
+
+    Parameters
+    ----------
+    kappa:
+        Upper bound on the spectral norm of the matrix being exponentiated
+        (``kappa >= max(1, ||B||_2)`` in Theorem 4.1).
+    eps:
+        Relative accuracy target in ``(0, 1)``.
+    """
+    if eps <= 0 or eps >= 1:
+        raise ValueError(f"eps must be in (0, 1), got {eps}")
+    if kappa < 0:
+        raise ValueError(f"kappa must be non-negative, got {kappa}")
+    k = max(math.e**2 * max(kappa, 1.0), math.log(2.0 / eps))
+    return int(math.ceil(k))
+
+
+def _as_matvec(phi: np.ndarray | sp.spmatrix | MatVec) -> tuple[MatVec, int | None]:
+    """Normalise ``phi`` into a matvec callable, returning (matvec, dim)."""
+    if callable(phi) and not isinstance(phi, np.ndarray) and not sp.issparse(phi):
+        return phi, None
+    if sp.issparse(phi):
+        mat = phi.tocsr()
+        return (lambda v: mat @ v), mat.shape[0]
+    dense = check_symmetric(np.asarray(phi, dtype=np.float64), "phi")
+    return (lambda v: dense @ v), dense.shape[0]
+
+
+def taylor_expm_apply(
+    phi: np.ndarray | sp.spmatrix | MatVec,
+    vectors: np.ndarray,
+    degree: int,
+) -> np.ndarray:
+    """Apply the degree-``degree`` Taylor polynomial of ``exp(phi)`` to vectors.
+
+    ``vectors`` may be a single vector (1-D) or a matrix whose *columns* are
+    the vectors to transform; the result has the same shape.  The evaluation
+    uses the stable forward recurrence ``t_{i+1} = (phi @ t_i) / (i+1)``,
+    accumulating ``sum_i t_i``, which needs exactly ``degree - 1``
+    matrix–vector products per column.
+    """
+    if degree < 1:
+        raise ValueError(f"degree must be >= 1, got {degree}")
+    matvec, _ = _as_matvec(phi)
+    single = vectors.ndim == 1
+    cols = vectors[:, None] if single else np.asarray(vectors, dtype=np.float64)
+    term = cols.astype(np.float64).copy()
+    acc = term.copy()
+    for i in range(1, degree):
+        term = matvec(term) / float(i)
+        acc += term
+        if not np.all(np.isfinite(acc)):
+            raise NumericalError(
+                "Taylor expm evaluation overflowed; reduce the spectral norm "
+                "of phi (e.g. by splitting exp(phi) = exp(phi/2)^2) or the degree"
+            )
+    return acc[:, 0] if single else acc
+
+
+def taylor_expm_matrix(phi: np.ndarray, degree: int) -> np.ndarray:
+    """Materialise the truncated Taylor polynomial ``sum_{i<degree} phi^i / i!``.
+
+    Intended for validation/tests on small matrices; the solver itself only
+    ever applies the polynomial to (sketched) vectors.
+    """
+    phi = check_symmetric(np.asarray(phi, dtype=np.float64), "phi")
+    return taylor_expm_apply(phi, np.eye(phi.shape[0]), degree)
+
+
+class TaylorExpmOperator:
+    """Operator representing ``exp(phi/2)`` approximated by a Taylor polynomial.
+
+    Theorem 4.1 writes ``exp(Phi) . A_i = || exp(Phi/2) Q_i ||_F^2`` for
+    ``A_i = Q_i Q_i^T``; the operator exponentiates ``phi/2`` so callers can
+    form those Frobenius norms directly.  The operator records the number of
+    matrix–vector products it has performed in :attr:`matvec_count`, which
+    the work–depth accounting of experiment E2 consumes.
+
+    Parameters
+    ----------
+    phi:
+        Symmetric PSD matrix (dense or sparse) or a matvec callable.
+    kappa:
+        Upper bound on ``||phi||_2`` (not ``phi/2``); the degree rule of
+        Lemma 4.2 is applied to ``kappa/2``.
+    eps:
+        Relative accuracy of the polynomial approximation.
+    """
+
+    def __init__(
+        self,
+        phi: np.ndarray | sp.spmatrix | MatVec,
+        kappa: float,
+        eps: float,
+        dim: int | None = None,
+    ) -> None:
+        if kappa < 0:
+            raise ValueError(f"kappa must be >= 0, got {kappa}")
+        self._matvec, inferred_dim = _as_matvec(phi)
+        self.dim = dim if dim is not None else inferred_dim
+        if self.dim is None:
+            raise ValueError("dim must be provided when phi is a callable")
+        self.kappa = float(kappa)
+        self.eps = float(eps)
+        self.degree = taylor_degree(max(self.kappa / 2.0, 1.0), eps)
+        self.matvec_count = 0
+
+    def _counted_matvec(self, block: np.ndarray) -> np.ndarray:
+        ncols = 1 if block.ndim == 1 else block.shape[1]
+        self.matvec_count += ncols
+        return self._matvec(block) * 0.5  # apply phi/2
+
+    def apply(self, vectors: np.ndarray) -> np.ndarray:
+        """Apply the polynomial approximation of ``exp(phi/2)`` to ``vectors``."""
+        return taylor_expm_apply(self._counted_matvec, vectors, self.degree)
+
+    def quadratic_form(self, q: np.ndarray) -> float:
+        """Return ``|| exp(phi/2) q ||_F^2`` approximated by the polynomial.
+
+        For a factor matrix ``q`` (``m x r``) this equals ``exp(phi) . (q q^T)``
+        up to the ``(1 - eps)`` one-sided error of Lemma 4.2.
+        """
+        transformed = self.apply(np.asarray(q, dtype=np.float64))
+        return float(np.sum(transformed * transformed))

@@ -1,0 +1,30 @@
+"""Positive linear programming substrate.
+
+Positive (packing) LPs are the diagonal special case of positive SDPs
+(Section 1.2: axis-aligned ellipses), and the paper's algorithm is the
+matrix generalization of Young's width-independent packing-LP algorithm
+[You01], whose ancestor is Luby–Nisan [LN93].  This subpackage implements:
+
+* :class:`~repro.lp.positive_lp.PackingLP` — the problem class
+  ``max 1^T x`` s.t. ``P x <= 1``, ``x >= 0`` with ``P >= 0``;
+* :func:`~repro.lp.young.young_packing_lp` — Young's (2001) parallel
+  width-independent solver (the scalar counterpart of Algorithm 3.1);
+* :func:`~repro.lp.luby_nisan.luby_nisan_packing_lp` — the Luby–Nisan
+  style phase-based solver;
+* conversions between diagonal positive SDPs and packing LPs used by
+  experiment E7.
+"""
+
+from repro.lp.positive_lp import PackingLP, packing_lp_from_diagonal_sdp, diagonal_sdp_from_packing_lp
+from repro.lp.young import YoungLPResult, young_packing_lp
+from repro.lp.luby_nisan import LubyNisanResult, luby_nisan_packing_lp
+
+__all__ = [
+    "PackingLP",
+    "packing_lp_from_diagonal_sdp",
+    "diagonal_sdp_from_packing_lp",
+    "YoungLPResult",
+    "young_packing_lp",
+    "LubyNisanResult",
+    "luby_nisan_packing_lp",
+]

@@ -1,0 +1,252 @@
+"""Young's width-independent parallel packing-LP algorithm [You01].
+
+This is the scalar algorithm the paper generalizes (Section 1.2): restricted
+to diagonal constraint matrices, Algorithm 3.1 *is* Young's algorithm, with
+the matrix exponential penalty ``exp(Psi)`` degenerating to the row-wise
+"soft-max" weights ``exp((P x)_i)`` and the Loewner threshold degenerating
+to a weighted-average column cost.  The implementation mirrors the SDP
+solver's structure exactly:
+
+* :func:`young_decision_lp` — the scalar ε-decision routine: answer whether
+  the packing optimum of a (scaled) LP is above ~1 by growing a
+  multiplicative iterate; returns measured dual (packing vector) and primal
+  (fractional covering vector, read off the exponential weights)
+  certificates;
+* :func:`young_packing_lp` — the outer binary search over the objective,
+  shrinking a certified bracket exactly like
+  :func:`repro.core.solver.approx_psdp` does for SDPs (Lemma 2.2).
+
+Because every bracket update is backed by an explicitly measured
+certificate, the returned value is a true lower bound on the LP optimum and
+the reported bracket a true enclosure, regardless of how heuristically the
+inner routine behaved.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import InvalidProblemError
+from repro.lp.positive_lp import PackingLP
+
+
+@dataclass
+class LPDecisionResult:
+    """Outcome of one scalar decision run on a scaled packing LP.
+
+    Attributes
+    ----------
+    outcome:
+        ``"dual"`` if the iterate certified that the scaled optimum is
+        >= ~1, ``"primal"`` if the exponential weights certified it is <= ~1.
+    x:
+        The grown packing vector (not yet rescaled to feasibility).
+    max_load:
+        Measured ``max_i (P x)_i``.
+    cover_y:
+        Normalized exponential weights — a fractional covering candidate for
+        the LP dual ``min 1^T y`` s.t. ``P^T y >= 1``.
+    cover_min:
+        Measured ``min_j (P^T cover_y)_j`` (the covering candidate's slack).
+    iterations:
+        Number of multiplicative-update rounds executed.
+    """
+
+    outcome: str
+    x: np.ndarray
+    max_load: float
+    cover_y: np.ndarray
+    cover_min: float
+    iterations: int
+
+
+@dataclass
+class YoungLPResult:
+    """Result of :func:`young_packing_lp`.
+
+    Attributes
+    ----------
+    x:
+        Feasible packing vector (``P x <= 1`` up to rounding).
+    value:
+        Certified objective ``1^T x`` (a lower bound on the LP optimum).
+    upper_bound:
+        Certified upper bound on the LP optimum (from covering certificates).
+    iterations:
+        Total inner iterations across all decision calls.
+    decision_calls:
+        Number of decision invocations the binary search used.
+    max_row:
+        Measured ``max_i (P x)_i`` of the returned ``x``.
+    history:
+        Optional ``||x||_1`` trace of the final decision call.
+    """
+
+    x: np.ndarray
+    value: float
+    upper_bound: float
+    iterations: int
+    decision_calls: int
+    max_row: float
+    history: list[float] = field(default_factory=list)
+
+    @property
+    def relative_gap(self) -> float:
+        """Certified relative gap ``upper_bound / value - 1``."""
+        return self.upper_bound / self.value - 1.0 if self.value > 0 else float("inf")
+
+
+def young_decision_lp(
+    matrix: np.ndarray,
+    epsilon: float,
+    max_iterations: int | None = None,
+    collect_history: bool = False,
+) -> tuple[LPDecisionResult, list[float]]:
+    """Scalar ε-decision routine (Algorithm 3.1 specialised to diagonal matrices).
+
+    ``matrix`` is the already-scaled constraint matrix: the routine decides
+    whether ``max {1^T x : matrix @ x <= 1, x >= 0}`` is above or below ~1.
+    """
+    if not (0 < epsilon < 1):
+        raise InvalidProblemError(f"epsilon must be in (0, 1), got {epsilon}")
+    m, n = matrix.shape
+    col_max = matrix.max(axis=0)
+    if np.any(col_max <= 0):
+        raise InvalidProblemError("every variable needs a positive coefficient somewhere")
+
+    log_n = math.log(max(n, 2))
+    K = (1.0 + log_n) / epsilon
+    alpha = epsilon / (K * (1.0 + 10.0 * epsilon))
+    if max_iterations is None:
+        max_iterations = int(math.ceil(32.0 * log_n / (epsilon * alpha)))
+
+    # x_j(0) = 1 / (n * max_i P_ij): the scalar analogue of 1 / (n Tr[A_j]),
+    # chosen so that P x(0) <= 1 entrywise.
+    x = 1.0 / (n * col_max)
+    history: list[float] = []
+    iterations = 0
+    cover_y = np.full(m, 1.0 / m)
+
+    while float(x.sum()) <= K and iterations < max_iterations:
+        iterations += 1
+        loads = matrix @ x
+        shifted = loads - loads.max(initial=0.0)
+        weights = np.exp(shifted)
+        total = float(weights.sum())
+        cover_y = weights / total
+        costs = cover_y @ matrix
+        mask = costs <= 1.0 + epsilon
+        if collect_history:
+            history.append(float(x.sum()))
+        if not mask.any():
+            # Every variable's weighted cost exceeds 1 + eps: the weight
+            # distribution itself certifies that the optimum is below ~1
+            # (it is a fractional covering candidate with small value).
+            break
+        x = x + np.where(mask, alpha * x, 0.0)
+
+    loads = matrix @ x
+    max_load = float(loads.max(initial=0.0))
+    cover_min = float((cover_y @ matrix).min(initial=np.inf))
+    outcome = "dual" if float(x.sum()) > K else "primal"
+    if outcome == "primal" and max_load > 0 and float(x.sum()) / max_load >= 1.0:
+        # Even without crossing the K threshold the grown iterate may already
+        # certify the dual side; report whichever certificate is stronger.
+        outcome = "dual"
+    return (
+        LPDecisionResult(
+            outcome=outcome,
+            x=x,
+            max_load=max_load,
+            cover_y=cover_y,
+            cover_min=cover_min,
+            iterations=iterations,
+        ),
+        history,
+    )
+
+
+def young_packing_lp(
+    lp: PackingLP,
+    epsilon: float = 0.1,
+    max_decision_calls: int = 60,
+    max_iterations: int | None = None,
+    collect_history: bool = False,
+) -> YoungLPResult:
+    """Approximately solve a packing LP with Young's parallel algorithm.
+
+    Runs the binary-search reduction of Lemma 2.2 over the scalar decision
+    routine and returns certified two-sided bounds: the packing vector ``x``
+    realises ``value`` and the best covering certificate seen realises
+    ``upper_bound``.  On success ``upper_bound / value <= 1 + epsilon``.
+    """
+    if not (0 < epsilon < 1):
+        raise InvalidProblemError(f"epsilon must be in (0, 1), got {epsilon}")
+    matrix = lp.matrix
+    m, n = matrix.shape
+    eps_dec = min(epsilon / 4.0, 0.2)
+
+    col_max = matrix.max(axis=0)
+    row_sums = matrix.sum(axis=1)
+    # Bracket: putting everything on the best single variable is feasible;
+    # summing the constraints bounds any feasible objective by m / min_j sum_i P_ij.
+    lower = float((1.0 / col_max).max())
+    col_sums = matrix.sum(axis=0)
+    upper = float(m / col_sums.min())
+    upper = max(upper, lower)
+
+    best_x = np.zeros(n)
+    best_x[int(np.argmax(1.0 / col_max))] = lower
+    total_iterations = 0
+    calls = 0
+    history: list[float] = []
+    # The certified bracket [lower, upper] only moves when backed by a verified
+    # certificate; the search bracket below is merely a heuristic for choosing
+    # theta and may move on unverified decision outcomes without affecting the
+    # soundness of the reported bounds.
+    search_lo, search_hi = lower, upper
+
+    while upper / lower > 1.0 + epsilon and calls < max_decision_calls:
+        calls += 1
+        if search_hi / search_lo <= 1.0 + epsilon / 4.0:
+            search_lo, search_hi = lower, upper
+        theta = math.sqrt(search_lo * search_hi)
+        result, history = young_decision_lp(
+            theta * matrix, eps_dec, max_iterations=max_iterations, collect_history=collect_history
+        )
+        total_iterations += result.iterations
+        # Dual certificate: x / max_load is feasible for theta*P, so
+        # theta * x / max_load is feasible for P with value theta*||x||/max_load.
+        if result.max_load > 0:
+            candidate = theta * result.x / result.max_load
+            value = float(candidate.sum())
+            if value > lower and lp.feasible(candidate, tol=1e-6):
+                lower = value
+                best_x = candidate
+        # Covering certificate: y with P^T y >= cover_min (for theta*P) gives,
+        # after scaling, an upper bound of theta * (1^T y) / cover_min = theta / cover_min.
+        if result.cover_min > 0:
+            bound = theta * float(result.cover_y.sum()) / result.cover_min
+            if lower <= bound < upper:
+                upper = bound
+        # Steer the next theta by the (unverified) decision outcome.
+        if result.outcome == "dual":
+            search_lo = min(max(search_lo, theta), search_hi)
+        else:
+            search_hi = max(min(search_hi, theta), search_lo)
+        search_lo = max(search_lo, lower)
+        search_hi = min(max(search_hi, search_lo), upper)
+
+    max_row = float((matrix @ best_x).max(initial=0.0))
+    return YoungLPResult(
+        x=best_x,
+        value=float(best_x.sum()),
+        upper_bound=float(upper),
+        iterations=total_iterations,
+        decision_calls=calls,
+        max_row=max_row,
+        history=history,
+    )

@@ -1,0 +1,31 @@
+"""PSD operator representations for constraint matrices.
+
+The solver only ever interacts with each constraint matrix ``A_i`` through a
+small interface: trace, trace inner products against a weight matrix,
+matrix–vector products, additions into a running weighted sum, and (for the
+fast oracle of Theorem 4.1) access to a Gram factor ``Q_i`` with
+``A_i = Q_i Q_i^T``.  Encapsulating this interface in
+:class:`~repro.operators.psd_operator.PSDOperator` lets the same solver code
+run on dense matrices, scipy sparse matrices, explicit low-rank/diagonal
+representations, and "prefactored" inputs (the form Corollary 1.2 assumes),
+while the work accounting can use each representation's true nonzero count.
+"""
+
+from repro.operators.psd_operator import PSDOperator, as_operator
+from repro.operators.dense import DensePSDOperator
+from repro.operators.sparse import SparsePSDOperator
+from repro.operators.diagonal import DiagonalPSDOperator
+from repro.operators.factorized import FactorizedPSDOperator
+from repro.operators.lowrank import LowRankPSDOperator
+from repro.operators.collection import ConstraintCollection
+
+__all__ = [
+    "PSDOperator",
+    "as_operator",
+    "DensePSDOperator",
+    "SparsePSDOperator",
+    "DiagonalPSDOperator",
+    "FactorizedPSDOperator",
+    "LowRankPSDOperator",
+    "ConstraintCollection",
+]

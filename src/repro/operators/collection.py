@@ -1,0 +1,143 @@
+"""Batched constraint collections.
+
+``ConstraintCollection`` wraps the list of constraint operators
+``A_1, ..., A_n`` of a packing/covering SDP and provides the *batched*
+operations the decision solver performs every iteration:
+
+* ``weighted_sum(x)`` — build ``Psi = sum_i x_i A_i`` as a dense matrix;
+* ``dots(W)`` — all trace products ``A_i . W`` at once;
+* ``traces()`` — the vector ``(Tr[A_1], ..., Tr[A_n])``;
+* ``gram_factors()`` — the factors ``Q_i`` for the Theorem 4.1 oracle;
+* ``total_nnz`` — the work parameter ``q`` of Corollary 1.2.
+
+The batched operations optionally run through a
+:class:`repro.parallel.backends.ExecutionBackend` so that per-constraint
+work is expressed as a parallel map (constant depth over ``n`` in the
+work–depth model) and so its work/depth is recorded by the cost tracker.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidProblemError
+from repro.operators.psd_operator import PSDOperator, as_operator
+
+
+class ConstraintCollection:
+    """An immutable ordered collection of PSD constraint operators."""
+
+    def __init__(self, operators: Iterable, validate: bool = True) -> None:
+        ops = [as_operator(op, validate=validate) for op in operators]
+        if not ops:
+            raise InvalidProblemError("constraint collection must contain at least one matrix")
+        dims = {op.dim for op in ops}
+        if len(dims) != 1:
+            raise InvalidProblemError(f"all constraint matrices must share one dimension, got {sorted(dims)}")
+        self._operators: list[PSDOperator] = ops
+        self.dim = ops[0].dim
+        self.size = len(ops)
+
+    # ------------------------------------------------------------------ dunder
+    def __len__(self) -> int:
+        return self.size
+
+    def __iter__(self) -> Iterator[PSDOperator]:
+        return iter(self._operators)
+
+    def __getitem__(self, index: int) -> PSDOperator:
+        return self._operators[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ConstraintCollection(n={self.size}, dim={self.dim}, nnz={self.total_nnz})"
+
+    # ------------------------------------------------------------------ batched ops
+    @property
+    def operators(self) -> Sequence[PSDOperator]:
+        return tuple(self._operators)
+
+    @property
+    def total_nnz(self) -> int:
+        """Total stored nonzeros across the collection (the ``q`` of Cor. 1.2
+        when operators are factorized, and the input-size proxy otherwise)."""
+        return int(sum(op.nnz for op in self._operators))
+
+    def traces(self) -> np.ndarray:
+        """Vector of traces ``Tr[A_i]``."""
+        return np.array([op.trace() for op in self._operators], dtype=np.float64)
+
+    def spectral_norms(self) -> np.ndarray:
+        """Vector of spectral norms ``||A_i||_2`` (the per-constraint widths)."""
+        return np.array([op.spectral_norm() for op in self._operators], dtype=np.float64)
+
+    def width(self) -> float:
+        """The width parameter ``rho = max_i ||A_i||_2`` of the instance."""
+        return float(self.spectral_norms().max())
+
+    def weighted_sum(self, weights: np.ndarray) -> np.ndarray:
+        """Dense matrix ``sum_i weights[i] * A_i``.
+
+        Weights must be non-negative (the sum must stay PSD); zero weights
+        are skipped so the cost is proportional to the support of ``weights``.
+        """
+        weights = np.asarray(weights, dtype=np.float64).ravel()
+        if weights.shape[0] != self.size:
+            raise InvalidProblemError(
+                f"expected {self.size} weights, got {weights.shape[0]}"
+            )
+        if np.any(weights < 0):
+            raise InvalidProblemError("weights must be non-negative")
+        acc = np.zeros((self.dim, self.dim), dtype=np.float64)
+        for weight, op in zip(weights, self._operators):
+            if weight != 0.0:
+                op.add_to(acc, float(weight))
+        return 0.5 * (acc + acc.T)
+
+    def dots(self, weight_matrix: np.ndarray, backend=None) -> np.ndarray:
+        """All trace products ``A_i . W`` as a vector of length ``n``.
+
+        When ``backend`` is given, the products are computed through the
+        backend's parallel ``map`` (and therefore included in its work–depth
+        accounting with per-item work ``nnz(A_i)`` and unit depth).
+        """
+        weight_matrix = np.asarray(weight_matrix, dtype=np.float64)
+        if weight_matrix.shape != (self.dim, self.dim):
+            raise InvalidProblemError(
+                f"weight matrix must have shape {(self.dim, self.dim)}, got {weight_matrix.shape}"
+            )
+        if backend is None:
+            return np.array([op.dot(weight_matrix) for op in self._operators], dtype=np.float64)
+        results = backend.map(
+            lambda op: op.dot(weight_matrix),
+            self._operators,
+            work_per_item=[max(op.nnz, 1) for op in self._operators],
+            label="constraint-dots",
+        )
+        return np.asarray(list(results), dtype=np.float64)
+
+    def gram_factors(self) -> list[np.ndarray]:
+        """Gram factors ``Q_i`` (dense) for every constraint."""
+        return [op.gram_factor() for op in self._operators]
+
+    def to_dense_list(self) -> list[np.ndarray]:
+        """Dense copies of every constraint matrix (for tests / reference solvers)."""
+        return [op.to_dense() for op in self._operators]
+
+    # ------------------------------------------------------------------ transforms
+    def scaled(self, coeffs: np.ndarray) -> "ConstraintCollection":
+        """Return a new collection with each ``A_i`` scaled by ``coeffs[i] >= 0``."""
+        coeffs = np.asarray(coeffs, dtype=np.float64).ravel()
+        if coeffs.shape[0] != self.size:
+            raise InvalidProblemError(f"expected {self.size} coefficients, got {coeffs.shape[0]}")
+        return ConstraintCollection(
+            [op.scaled(float(c)) for op, c in zip(self._operators, coeffs)], validate=False
+        )
+
+    def subset(self, indices: Sequence[int]) -> "ConstraintCollection":
+        """Return the sub-collection with the given constraint indices."""
+        indices = list(indices)
+        if not indices:
+            raise InvalidProblemError("subset must contain at least one index")
+        return ConstraintCollection([self._operators[i] for i in indices], validate=False)

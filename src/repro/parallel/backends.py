@@ -1,0 +1,176 @@
+"""Execution backends for the bulk parallel primitives.
+
+A backend decides *how* a parallel map is executed (serially, in a thread
+pool, or in a process pool) and owns an optional
+:class:`~repro.parallel.workdepth.WorkDepthTracker` so that executed
+primitives are charged to the cost model regardless of the execution
+strategy.  The cost accounting is deliberately identical across backends:
+the paper's work/depth bounds are machine-independent model quantities, so
+the choice of backend must not change the measured work or depth — only the
+wall-clock time.
+
+Notes on Python parallelism: thread pools only help for workloads that
+release the GIL (large NumPy operations do); process pools require the
+mapped function and items to be picklable.  The default backend is serial,
+which is also the fastest option for the small per-item tasks that dominate
+this library on a single-core container.
+"""
+
+from __future__ import annotations
+
+import abc
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro.exceptions import BackendError
+from repro.parallel.workdepth import WorkDepthTracker
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+class ExecutionBackend(abc.ABC):
+    """Interface shared by all execution backends."""
+
+    def __init__(self, tracker: WorkDepthTracker | None = None) -> None:
+        self.tracker = tracker
+
+    # ------------------------------------------------------------------ plumbing
+    def _charge_map(
+        self,
+        count: int,
+        work_per_item: Sequence[float] | float | None,
+        label: str,
+    ) -> None:
+        """Charge a parallel map of ``count`` items to the tracker (if any).
+
+        Work is the sum of the per-item costs; depth is the maximum per-item
+        cost (all items are independent, so in the work–depth model they run
+        in parallel).
+        """
+        if self.tracker is None or count == 0:
+            return
+        if work_per_item is None:
+            works = [1.0] * count
+        elif isinstance(work_per_item, (int, float)):
+            works = [float(work_per_item)] * count
+        else:
+            works = [float(w) for w in work_per_item]
+            if len(works) != count:
+                raise BackendError(
+                    f"work_per_item has {len(works)} entries for {count} items"
+                )
+        self.tracker.charge(sum(works), max(works), label=label or "parallel-map")
+
+    @abc.abstractmethod
+    def _execute(self, func: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        """Run ``func`` over ``items`` and return results in order."""
+
+    # ------------------------------------------------------------------ public API
+    def map(
+        self,
+        func: Callable[[T], R],
+        items: Iterable[T],
+        work_per_item: Sequence[float] | float | None = None,
+        label: str = "",
+    ) -> list[R]:
+        """Apply ``func`` to every item, preserving order, charging the tracker."""
+        items = list(items)
+        self._charge_map(len(items), work_per_item, label)
+        if not items:
+            return []
+        return self._execute(func, items)
+
+    def close(self) -> None:
+        """Release any pooled resources (no-op for stateless backends)."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class SerialBackend(ExecutionBackend):
+    """Run everything sequentially in the calling thread (the default)."""
+
+    def _execute(self, func: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        return [func(item) for item in items]
+
+
+class ThreadBackend(ExecutionBackend):
+    """Run map items on a shared :class:`ThreadPoolExecutor`.
+
+    Suitable when the per-item work is dominated by NumPy/SciPy calls that
+    release the GIL (dense matrix products, eigendecompositions).
+    """
+
+    def __init__(self, max_workers: int = 4, tracker: WorkDepthTracker | None = None) -> None:
+        super().__init__(tracker)
+        if max_workers < 1:
+            raise BackendError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = max_workers
+        self._pool: ThreadPoolExecutor | None = None
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=self.max_workers)
+        return self._pool
+
+    def _execute(self, func: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        pool = self._ensure_pool()
+        return list(pool.map(func, items))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+class ProcessBackend(ExecutionBackend):
+    """Run map items on a :class:`ProcessPoolExecutor`.
+
+    Requires picklable functions and items; intended for coarse-grained
+    per-item work (e.g. solving many independent instances in a parameter
+    sweep).
+    """
+
+    def __init__(self, max_workers: int = 2, tracker: WorkDepthTracker | None = None) -> None:
+        super().__init__(tracker)
+        if max_workers < 1:
+            raise BackendError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = max_workers
+        self._pool: ProcessPoolExecutor | None = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+        return self._pool
+
+    def _execute(self, func: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        pool = self._ensure_pool()
+        try:
+            return list(pool.map(func, items))
+        except Exception as exc:  # pragma: no cover - depends on pickling environment
+            raise BackendError(f"process pool execution failed: {exc}") from exc
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+def get_backend(
+    name: str = "serial",
+    max_workers: int | None = None,
+    tracker: WorkDepthTracker | None = None,
+) -> ExecutionBackend:
+    """Factory for backends by name: ``"serial"``, ``"thread"``, ``"process"``."""
+    name = name.lower()
+    if name == "serial":
+        return SerialBackend(tracker=tracker)
+    if name == "thread":
+        return ThreadBackend(max_workers=max_workers or 4, tracker=tracker)
+    if name == "process":
+        return ProcessBackend(max_workers=max_workers or 2, tracker=tracker)
+    raise BackendError(f"unknown backend {name!r}; expected serial, thread, or process")

@@ -1,0 +1,97 @@
+"""Cost-annotated bulk parallel primitives.
+
+These are the PRAM-style building blocks (map, reduce, scan, filter) in
+terms of which the solver's per-iteration steps decompose.  Each primitive
+charges the standard textbook work/depth costs to the backend's tracker:
+
+* map over ``n`` items with per-item work ``w_i``: work ``sum w_i``, depth
+  ``max w_i``;
+* reduce of ``n`` values: work ``O(n)``, depth ``O(log n)``;
+* scan (prefix sums) of ``n`` values: work ``O(n)``, depth ``O(log n)``;
+* filter/pack of ``n`` values: work ``O(n)``, depth ``O(log n)`` (it is a
+  map plus a scan).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable, Sequence, TypeVar
+
+import numpy as np
+
+from repro.parallel.backends import ExecutionBackend, SerialBackend
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def _log2_ceil(n: int) -> float:
+    return float(max(1, math.ceil(math.log2(max(n, 2)))))
+
+
+def parallel_map(
+    func: Callable[[T], R],
+    items: Iterable[T],
+    backend: ExecutionBackend | None = None,
+    work_per_item: Sequence[float] | float | None = None,
+    label: str = "map",
+) -> list[R]:
+    """Apply ``func`` to every item through the backend's parallel map."""
+    backend = backend or SerialBackend()
+    return backend.map(func, items, work_per_item=work_per_item, label=label)
+
+
+def parallel_reduce(
+    values: Iterable[float],
+    backend: ExecutionBackend | None = None,
+    label: str = "reduce",
+) -> float:
+    """Sum ``values`` with logarithmic-depth tree-reduction accounting.
+
+    The numerical result is an ordinary pairwise sum (``numpy`` already uses
+    pairwise summation internally, matching the tree reduction's rounding
+    behaviour closely); the tracker is charged work ``O(n)`` and depth
+    ``O(log n)``.
+    """
+    arr = np.asarray(list(values), dtype=np.float64)
+    backend = backend or SerialBackend()
+    if backend.tracker is not None and arr.size:
+        backend.tracker.charge(float(arr.size), _log2_ceil(arr.size), label=label)
+    return float(arr.sum())
+
+
+def parallel_scan(
+    values: Iterable[float],
+    backend: ExecutionBackend | None = None,
+    inclusive: bool = True,
+    label: str = "scan",
+) -> np.ndarray:
+    """Prefix sums of ``values`` with Blelloch-scan work/depth accounting."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    backend = backend or SerialBackend()
+    if backend.tracker is not None and arr.size:
+        backend.tracker.charge(2.0 * arr.size, 2.0 * _log2_ceil(arr.size), label=label)
+    sums = np.cumsum(arr)
+    if inclusive:
+        return sums
+    return np.concatenate(([0.0], sums[:-1]))
+
+
+def parallel_filter(
+    predicate: Callable[[T], bool],
+    items: Iterable[T],
+    backend: ExecutionBackend | None = None,
+    label: str = "filter",
+) -> list[T]:
+    """Keep the items satisfying ``predicate`` (a map followed by a pack).
+
+    This is the primitive behind Algorithm 3.1 line 5, which selects the
+    coordinate set ``B(t) = {i : W . A_i <= (1+eps) Tr W}`` in parallel.
+    """
+    items = list(items)
+    backend = backend or SerialBackend()
+    flags = backend.map(predicate, items, work_per_item=1.0, label=label + "-flags")
+    if backend.tracker is not None and items:
+        # The pack step is a prefix sum over the flags.
+        backend.tracker.charge(float(len(items)), _log2_ceil(len(items)), label=label + "-pack")
+    return [item for item, flag in zip(items, flags) if flag]

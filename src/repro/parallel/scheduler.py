@@ -1,0 +1,84 @@
+"""Brent's-theorem scheduling estimates.
+
+Given the work ``W`` and depth ``D`` measured by a
+:class:`~repro.parallel.workdepth.WorkDepthTracker`, Brent's theorem bounds
+the running time on ``p`` processors by ``T_p <= W/p + D``.  Experiment E10
+uses :func:`simulate_schedule` to turn measured work/depth traces into
+simulated speedup curves — the honest way to report "parallel performance"
+on a single-core container, and the quantity the paper's NC claims actually
+constrain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.parallel.workdepth import WorkDepthReport, WorkDepthTracker
+
+
+@dataclass(frozen=True)
+class BrentSchedule:
+    """Simulated execution on ``processors`` processors.
+
+    Attributes
+    ----------
+    processors:
+        Number of processors ``p``.
+    time_upper:
+        Brent bound ``W/p + D``.
+    time_lower:
+        Trivial lower bound ``max(W/p, D)``.
+    speedup_upper / speedup_lower:
+        ``W / time`` for the respective bounds (work-normalised speedup,
+        i.e. relative to the one-processor time ``W``).
+    efficiency:
+        ``speedup_lower / p`` — fraction of ideal linear speedup that is
+        certainly achievable.
+    """
+
+    processors: int
+    work: float
+    depth: float
+    time_upper: float
+    time_lower: float
+
+    @property
+    def speedup_upper(self) -> float:
+        return self.work / self.time_lower if self.time_lower > 0 else float("inf")
+
+    @property
+    def speedup_lower(self) -> float:
+        return self.work / self.time_upper if self.time_upper > 0 else float("inf")
+
+    @property
+    def efficiency(self) -> float:
+        return self.speedup_lower / self.processors if self.processors else 0.0
+
+
+def simulate_schedule(
+    report: WorkDepthReport | WorkDepthTracker,
+    processors: int,
+) -> BrentSchedule:
+    """Apply Brent's theorem to a work–depth report for ``processors`` processors."""
+    if processors < 1:
+        raise ValueError(f"processors must be >= 1, got {processors}")
+    if isinstance(report, WorkDepthTracker):
+        report = report.report()
+    work, depth = float(report.work), float(report.depth)
+    upper = work / processors + depth
+    lower = max(work / processors, depth)
+    return BrentSchedule(
+        processors=processors,
+        work=work,
+        depth=depth,
+        time_upper=upper,
+        time_lower=lower,
+    )
+
+
+def speedup_curve(
+    report: WorkDepthReport | WorkDepthTracker,
+    processor_counts: list[int],
+) -> list[BrentSchedule]:
+    """Simulated schedules for each processor count (for speedup tables)."""
+    return [simulate_schedule(report, p) for p in processor_counts]

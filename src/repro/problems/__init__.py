@@ -1,0 +1,46 @@
+"""Workload generators: synthetic and application-derived positive SDP instances.
+
+These generators produce the instances the experiment harness sweeps:
+
+* :mod:`repro.problems.random_instances` — random packing SDPs with
+  controlled dimension, rank, sparsity and width (E1, E2, E5);
+* :mod:`repro.problems.maxcut` — the MaxCut SDP in its positive
+  (packing-style) form from Klein–Lu, built from :mod:`networkx` graphs (E6);
+* :mod:`repro.problems.beamforming` — synthetic downlink-beamforming
+  covering SDP relaxations in the style of Iyengar–Phillips–Stein (the one
+  application of [IPS10] the paper says falls inside the packing framework);
+* :mod:`repro.problems.lp_instances` — diagonal instances that are positive
+  LPs in disguise (E7), including fractional set-cover style families;
+* :mod:`repro.problems.sparse_pca` — sparse-PCA style packing instances
+  (one of the applications credited to positive packing SDPs in [IPS11]).
+"""
+
+from repro.problems.random_instances import (
+    random_packing_sdp,
+    random_factorized_packing_sdp,
+    random_width_controlled_sdp,
+    random_positive_sdp,
+)
+from repro.problems.maxcut import maxcut_sdp, maxcut_value_bound, random_graph
+from repro.problems.beamforming import beamforming_sdp
+from repro.problems.lp_instances import (
+    random_packing_lp,
+    set_cover_lp,
+    diagonal_packing_sdp,
+)
+from repro.problems.sparse_pca import sparse_pca_sdp
+
+__all__ = [
+    "random_packing_sdp",
+    "random_factorized_packing_sdp",
+    "random_width_controlled_sdp",
+    "random_positive_sdp",
+    "maxcut_sdp",
+    "maxcut_value_bound",
+    "random_graph",
+    "beamforming_sdp",
+    "random_packing_lp",
+    "set_cover_lp",
+    "diagonal_packing_sdp",
+    "sparse_pca_sdp",
+]

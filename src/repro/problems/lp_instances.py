@@ -1,0 +1,85 @@
+"""Diagonal / LP-flavoured instance generators (the E7 workloads).
+
+When every constraint matrix is diagonal the packing SDP *is* a positive
+packing LP (Section 1.2).  These generators produce such instances in both
+representations so the SDP solver, the LP solvers in :mod:`repro.lp`, and
+the baselines can be run on literally the same data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import InvalidProblemError
+from repro.lp.positive_lp import PackingLP, diagonal_sdp_from_packing_lp
+from repro.core.problem import NormalizedPackingSDP
+from repro.utils.random_utils import RandomState, as_generator
+
+
+def random_packing_lp(
+    constraints: int,
+    variables: int,
+    density: float = 0.5,
+    rng: RandomState = None,
+    name: str | None = None,
+) -> PackingLP:
+    """Random non-negative packing LP with the requested density.
+
+    Nonzero coefficients are uniform in ``(0, 1]``; every column gets at
+    least one nonzero so every variable is constrained.
+    """
+    if not (0 < density <= 1):
+        raise InvalidProblemError(f"density must be in (0, 1], got {density}")
+    gen = as_generator(rng)
+    matrix = gen.uniform(0.0, 1.0, size=(constraints, variables))
+    mask = gen.random((constraints, variables)) < density
+    matrix = matrix * mask
+    for j in range(variables):
+        if not matrix[:, j].any():
+            matrix[gen.integers(constraints), j] = gen.uniform(0.1, 1.0)
+    return PackingLP(matrix, name=name or f"random-lp({constraints}x{variables})")
+
+
+def set_cover_lp(
+    elements: int,
+    sets: int,
+    coverage: int = 3,
+    rng: RandomState = None,
+    name: str | None = None,
+) -> PackingLP:
+    """Fractional set-packing LP derived from a random set system.
+
+    Each of the ``sets`` variables corresponds to picking a set; each of the
+    ``elements`` rows limits the total (fractional) multiplicity with which
+    that element may be covered to 1 — the classic packing LP whose
+    rounding underlies the positive-LP applications cited in the paper's
+    introduction.  ``coverage`` controls how many elements each set touches.
+    """
+    if coverage < 1 or coverage > elements:
+        raise InvalidProblemError(f"coverage must be in [1, {elements}], got {coverage}")
+    gen = as_generator(rng)
+    matrix = np.zeros((elements, sets), dtype=np.float64)
+    for j in range(sets):
+        members = gen.choice(elements, size=coverage, replace=False)
+        matrix[members, j] = 1.0
+    for i in range(elements):
+        if not matrix[i].any():
+            matrix[i, gen.integers(sets)] = 1.0
+    return PackingLP(matrix, name=name or f"set-packing({elements}el,{sets}sets)")
+
+
+def diagonal_packing_sdp(
+    constraints: int,
+    variables: int,
+    density: float = 0.5,
+    rng: RandomState = None,
+) -> tuple[NormalizedPackingSDP, PackingLP]:
+    """A random diagonal packing SDP together with its LP twin.
+
+    Returns ``(sdp, lp)`` describing the same instance, so experiment E7 can
+    feed one to :func:`repro.core.approx_psdp` and the other to the LP
+    solvers and compare the certified values directly.
+    """
+    lp = random_packing_lp(constraints, variables, density=density, rng=rng)
+    sdp = diagonal_sdp_from_packing_lp(lp)
+    return sdp, lp

@@ -1,0 +1,152 @@
+"""Random positive-SDP instance generators.
+
+All generators take a seed / Generator and return either a
+:class:`~repro.core.problem.NormalizedPackingSDP` (already in the Figure 2
+form, the common case for the solver experiments) or a general
+:class:`~repro.core.problem.PositiveSDP` (used to exercise the Appendix A
+normalization path).  Parameters are chosen so the instances exercise the
+regimes the paper's analysis cares about:
+
+* ``width`` — the maximum spectral norm ``max_i ||A_i||_2``; the
+  width-independence experiment (E5) sweeps this over orders of magnitude;
+* ``rank`` — low-rank constraints are both the application-realistic case
+  (MaxCut edge matrices are rank 1) and the case where the factorized
+  oracle of Theorem 4.1 shines;
+* ``density`` — fraction of nonzero entries in the factors, the ``q``
+  parameter of Corollary 1.2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import InvalidProblemError
+from repro.linalg.psd import random_psd
+from repro.operators.collection import ConstraintCollection
+from repro.operators.dense import DensePSDOperator
+from repro.operators.factorized import FactorizedPSDOperator
+from repro.core.problem import NormalizedPackingSDP, PositiveSDP
+from repro.utils.random_utils import RandomState, as_generator
+
+
+def random_packing_sdp(
+    n: int,
+    m: int,
+    rank: int | None = None,
+    scale_spread: float = 4.0,
+    rng: RandomState = None,
+    name: str | None = None,
+) -> NormalizedPackingSDP:
+    """Random dense packing SDP with ``n`` constraints of dimension ``m``.
+
+    Each constraint is a random PSD matrix of the requested rank whose
+    spectral norm is drawn log-uniformly from ``[1/scale_spread,
+    scale_spread]``, giving mild heterogeneity without extreme width.
+    """
+    if n < 1 or m < 1:
+        raise InvalidProblemError(f"need n >= 1 and m >= 1, got n={n}, m={m}")
+    gen = as_generator(rng)
+    mats = []
+    for _ in range(n):
+        scale = float(np.exp(gen.uniform(-np.log(scale_spread), np.log(scale_spread))))
+        mats.append(random_psd(m, rank=rank, scale=scale, rng=gen))
+    return NormalizedPackingSDP(
+        ConstraintCollection([DensePSDOperator(mat, validate=False) for mat in mats], validate=False),
+        name=name or f"random-packing(n={n},m={m})",
+    )
+
+
+def random_factorized_packing_sdp(
+    n: int,
+    m: int,
+    rank: int = 2,
+    density: float = 0.5,
+    rng: RandomState = None,
+    name: str | None = None,
+) -> NormalizedPackingSDP:
+    """Random packing SDP in *prefactored* form (the Corollary 1.2 input format).
+
+    Each constraint is ``A_i = Q_i Q_i^T`` with ``Q_i`` an ``m x rank``
+    sparse Gaussian factor of the requested density; factors are stored as
+    :class:`~repro.operators.FactorizedPSDOperator` so the fast oracle and
+    the nnz-based work accounting see the true ``q``.
+    """
+    if not (0 < density <= 1):
+        raise InvalidProblemError(f"density must be in (0, 1], got {density}")
+    if rank < 1:
+        raise InvalidProblemError(f"rank must be >= 1, got {rank}")
+    gen = as_generator(rng)
+    operators = []
+    for _ in range(n):
+        dense_factor = gen.standard_normal((m, rank))
+        if density < 1.0:
+            mask = gen.random((m, rank)) < density
+            # Guarantee at least one nonzero per factor so the constraint is nonzero.
+            if not mask.any():
+                mask[gen.integers(m), gen.integers(rank)] = True
+            dense_factor = dense_factor * mask
+        if np.count_nonzero(dense_factor) == 0:
+            dense_factor[gen.integers(m), gen.integers(rank)] = 1.0
+        factor = sp.csr_matrix(dense_factor) if density < 0.4 else dense_factor
+        operators.append(FactorizedPSDOperator(factor))
+    return NormalizedPackingSDP(
+        ConstraintCollection(operators, validate=False),
+        name=name or f"random-factorized(n={n},m={m},rank={rank},density={density})",
+    )
+
+
+def random_width_controlled_sdp(
+    n: int,
+    m: int,
+    width: float,
+    rng: RandomState = None,
+    name: str | None = None,
+) -> NormalizedPackingSDP:
+    """Random packing SDP whose width ``max_i ||A_i||_2`` equals ``width``.
+
+    Half of the constraints (rounded up) have unit spectral norm, the rest
+    are scaled up to the requested width, so the instance's optimum stays
+    within a moderate range while the width parameter alone grows — the
+    construction used by the width-independence experiment (E5).
+    """
+    if width < 1.0:
+        raise InvalidProblemError(f"width must be >= 1, got {width}")
+    gen = as_generator(rng)
+    operators = []
+    for i in range(n):
+        scale = width if i >= (n + 1) // 2 else 1.0
+        mat = random_psd(m, rank=max(1, m // 2), scale=scale, rng=gen)
+        operators.append(DensePSDOperator(mat, validate=False))
+    return NormalizedPackingSDP(
+        ConstraintCollection(operators, validate=False),
+        name=name or f"width-controlled(n={n},m={m},width={width})",
+    )
+
+
+def random_positive_sdp(
+    n: int,
+    m: int,
+    rng: RandomState = None,
+    objective_condition: float = 10.0,
+    name: str | None = None,
+) -> PositiveSDP:
+    """Random general positive SDP (Equation 1.1 form, *not* normalized).
+
+    The objective ``C`` is a random well-conditioned positive definite
+    matrix (condition number ``objective_condition``); right-hand sides are
+    uniform in ``[0.5, 2]``.  Used to exercise the Appendix A normalization
+    and the full ``approx_psdp`` pipeline end to end.
+    """
+    gen = as_generator(rng)
+    spectrum = np.exp(gen.uniform(0.0, np.log(objective_condition), size=m))
+    objective = random_psd(m, rng=gen, spectrum=spectrum, scale=float(spectrum.max()))
+    constraints = [random_psd(m, rank=max(1, m // 2), scale=float(gen.uniform(0.5, 2.0)), rng=gen) for _ in range(n)]
+    rhs = gen.uniform(0.5, 2.0, size=n)
+    return PositiveSDP(
+        objective,
+        constraints,
+        rhs,
+        name=name or f"random-positive-sdp(n={n},m={m})",
+        validate=False,
+    )

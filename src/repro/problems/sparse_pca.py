@@ -1,0 +1,81 @@
+"""Sample-covariance covering instances (sparse-PCA / experiment-design flavour).
+
+Iyengar–Phillips–Stein's packing-SDP applications include sparse PCA, whose
+relaxations are built from sample outer products ``a_i a_i^T`` of a data
+matrix.  The positive-SDP core of that construction that fits the Figure 2
+framework verbatim is the *sample-variance covering program*
+
+.. math::
+
+    \\min \\mathrm{Tr}[Y] \\quad\\text{s.t.}\\quad (a_i^T Y a_i) \\ge 1
+    \\;\\; (i = 1..n), \\; Y \\succeq 0,
+
+("find the cheapest PSD quadratic form giving every sample direction at
+least unit variance"), together with its packing dual
+``max 1^T x`` s.t. ``sum_i x_i a_i a_i^T <= I`` — a D/E-experiment-design
+style weighting of the samples.  Real sparse-PCA datasets are not available
+offline, so the generator synthesizes data matrices with a planted
+low-dimensional spike, which produces the ill-conditioned covariance
+structure that makes these instances interesting (a few directions are
+covered by many samples, the rest by few).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import InvalidProblemError
+from repro.operators.collection import ConstraintCollection
+from repro.operators.lowrank import LowRankPSDOperator
+from repro.core.problem import NormalizedPackingSDP
+from repro.utils.random_utils import RandomState, as_generator
+
+
+def sparse_pca_sdp(
+    samples: int,
+    features: int,
+    spike_rank: int = 1,
+    spike_strength: float = 4.0,
+    rng: RandomState = None,
+    name: str | None = None,
+) -> NormalizedPackingSDP:
+    """Generate a sample-variance covering/packing instance.
+
+    Parameters
+    ----------
+    samples:
+        Number of data vectors (= constraints ``n``).
+    features:
+        Ambient dimension (= matrix dimension ``m``).
+    spike_rank:
+        Dimension of the planted signal subspace.
+    spike_strength:
+        Variance multiplier of the planted subspace relative to the
+        isotropic noise floor.
+    """
+    if samples < 1 or features < 1:
+        raise InvalidProblemError(f"need samples >= 1 and features >= 1, got {samples}, {features}")
+    if spike_rank < 0 or spike_rank > features:
+        raise InvalidProblemError(f"spike_rank must be in [0, {features}], got {spike_rank}")
+    if spike_strength <= 0:
+        raise InvalidProblemError(f"spike_strength must be > 0, got {spike_strength}")
+    gen = as_generator(rng)
+
+    basis = np.linalg.qr(gen.standard_normal((features, max(spike_rank, 1))))[0][:, :spike_rank]
+    operators = []
+    for _ in range(samples):
+        noise = gen.standard_normal(features)
+        if spike_rank > 0:
+            signal = basis @ gen.standard_normal(spike_rank) * np.sqrt(spike_strength)
+        else:
+            signal = 0.0
+        sample = noise + signal
+        norm = np.linalg.norm(sample)
+        if norm < 1e-12:
+            sample = np.ones(features)
+            norm = np.linalg.norm(sample)
+        operators.append(LowRankPSDOperator.outer(sample, weight=1.0))
+    return NormalizedPackingSDP(
+        ConstraintCollection(operators, validate=False),
+        name=name or f"sparse-pca({samples}samples,{features}features)",
+    )

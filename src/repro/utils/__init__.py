@@ -1,0 +1,28 @@
+"""Shared small utilities: validation, RNG plumbing, timing, text tables."""
+
+from repro.utils.validation import (
+    as_float_array,
+    check_square,
+    check_symmetric,
+    ensure_1d,
+    ensure_positive_scalar,
+    symmetrize,
+)
+from repro.utils.random_utils import as_generator, spawn_generators
+from repro.utils.timer import Timer, timed
+from repro.utils.tables import format_table, write_csv
+
+__all__ = [
+    "as_float_array",
+    "check_square",
+    "check_symmetric",
+    "ensure_1d",
+    "ensure_positive_scalar",
+    "symmetrize",
+    "as_generator",
+    "spawn_generators",
+    "Timer",
+    "timed",
+    "format_table",
+    "write_csv",
+]

@@ -1,0 +1,35 @@
+"""Logging configuration helpers.
+
+The solvers use the standard :mod:`logging` module under the ``"repro"``
+logger namespace.  :func:`get_logger` returns namespaced child loggers and
+:func:`enable_verbose_logging` installs a console handler with a compact
+format, which examples and benchmarks use when the user passes ``--verbose``.
+"""
+
+from __future__ import annotations
+
+import logging
+
+_ROOT_NAME = "repro"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Return the package logger or a child logger named ``repro.<name>``."""
+    if not name:
+        return logging.getLogger(_ROOT_NAME)
+    if name.startswith(_ROOT_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def enable_verbose_logging(level: int = logging.INFO) -> logging.Logger:
+    """Attach a stream handler to the package logger (idempotent)."""
+    logger = get_logger()
+    logger.setLevel(level)
+    if not any(isinstance(h, logging.StreamHandler) for h in logger.handlers):
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
+        )
+        logger.addHandler(handler)
+    return logger

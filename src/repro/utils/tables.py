@@ -1,0 +1,90 @@
+"""Plain-text table and CSV rendering for benchmark and experiment reports.
+
+The environment this repository targets has no plotting stack, so every
+benchmark harness reports its "figure" as an aligned text table (one row per
+series point) and optionally a CSV file for downstream plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Any, Iterable, Mapping, Sequence
+
+
+def _format_cell(value: Any, float_fmt: str) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return format(value, float_fmt)
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, Any]] | Sequence[Sequence[Any]],
+    headers: Sequence[str] | None = None,
+    float_fmt: str = ".4g",
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` as an aligned monospace table.
+
+    ``rows`` may be a sequence of dictionaries (headers inferred from the
+    first row if not given) or a sequence of sequences (headers required).
+    """
+    rows = list(rows)
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+
+    if isinstance(rows[0], Mapping):
+        if headers is None:
+            headers = list(rows[0].keys())
+        table = [
+            [_format_cell(row.get(h, ""), float_fmt) for h in headers]  # type: ignore[union-attr]
+            for row in rows
+        ]
+    else:
+        if headers is None:
+            raise ValueError("headers are required when rows are sequences")
+        table = [[_format_cell(cell, float_fmt) for cell in row] for row in rows]
+
+    headers = [str(h) for h in headers]
+    widths = [len(h) for h in headers]
+    for row in table:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in table)
+    return "\n".join(lines)
+
+
+def write_csv(
+    path: str | os.PathLike[str],
+    rows: Iterable[Mapping[str, Any]],
+    headers: Sequence[str] | None = None,
+) -> str:
+    """Write dictionaries ``rows`` to ``path`` as CSV and return the path.
+
+    Parent directories are created as needed.  Returns the string path so
+    callers can log it.
+    """
+    rows = list(rows)
+    path = os.fspath(path)
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    if headers is None:
+        headers = list(rows[0].keys()) if rows else []
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(headers))
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({h: row.get(h, "") for h in headers})
+    return path

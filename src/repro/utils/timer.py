@@ -1,0 +1,83 @@
+"""Lightweight wall-clock timing helpers used by benchmarks and examples."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass
+class Timer:
+    """Accumulating wall-clock timer.
+
+    A ``Timer`` can be started/stopped repeatedly; :attr:`elapsed` reports
+    the total accumulated time and :attr:`laps` the individual segments.
+
+    Example
+    -------
+    >>> t = Timer()
+    >>> with t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = 0.0
+    laps: list[float] = field(default_factory=list)
+    _start: float | None = None
+
+    def start(self) -> "Timer":
+        if self._start is not None:
+            raise RuntimeError("Timer is already running")
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("Timer is not running")
+        lap = time.perf_counter() - self._start
+        self._start = None
+        self.laps.append(lap)
+        self.elapsed += lap
+        return lap
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self.laps.clear()
+        self._start = None
+
+    @property
+    def running(self) -> bool:
+        return self._start is not None
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+@contextmanager
+def timed(label: str = "", sink: Callable[[str], None] | None = None) -> Iterator[Timer]:
+    """Context manager that times its body and optionally reports the result.
+
+    Parameters
+    ----------
+    label:
+        Human-readable description included in the report line.
+    sink:
+        Callable receiving the formatted report (defaults to ``print``).
+    """
+    timer = Timer()
+    timer.start()
+    try:
+        yield timer
+    finally:
+        timer.stop()
+        if label:
+            report = f"[timed] {label}: {timer.elapsed:.6f}s"
+            (sink or print)(report)

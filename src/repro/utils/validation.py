@@ -1,0 +1,97 @@
+"""Input validation helpers shared across the package.
+
+These helpers normalise user inputs (lists, integer arrays, sparse matrices)
+into the dense/sparse float representations the algorithms expect, and raise
+:class:`repro.exceptions.InvalidProblemError` with actionable messages when
+inputs are malformed.  Keeping validation centralised means every public
+entry point applies the same rules.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.config import get_config
+from repro.exceptions import InvalidProblemError
+
+
+def as_float_array(value: Any, name: str = "array") -> np.ndarray:
+    """Convert ``value`` to a C-contiguous ``float64`` ndarray.
+
+    Sparse matrices are densified (callers that want to stay sparse should
+    use the operator classes in :mod:`repro.operators` instead).  NaNs and
+    infinities are rejected.
+    """
+    if sp.issparse(value):
+        arr = np.asarray(value.todense(), dtype=np.float64)
+    else:
+        arr = np.ascontiguousarray(value, dtype=np.float64)
+    if not np.all(np.isfinite(arr)):
+        raise InvalidProblemError(f"{name} contains NaN or infinite entries")
+    return arr
+
+
+def check_square(matrix: np.ndarray, name: str = "matrix") -> np.ndarray:
+    """Validate that ``matrix`` is a 2-D square array and return it."""
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2:
+        raise InvalidProblemError(
+            f"{name} must be 2-dimensional, got shape {matrix.shape}"
+        )
+    if matrix.shape[0] != matrix.shape[1]:
+        raise InvalidProblemError(
+            f"{name} must be square, got shape {matrix.shape}"
+        )
+    return matrix
+
+
+def check_symmetric(
+    matrix: np.ndarray, name: str = "matrix", tol: float | None = None
+) -> np.ndarray:
+    """Validate that ``matrix`` is symmetric up to a relative tolerance.
+
+    Returns the exactly-symmetrized matrix ``(M + M.T)/2`` so downstream
+    eigendecompositions see a bitwise-symmetric input.
+    """
+    matrix = check_square(matrix, name=name)
+    tol = get_config().symmetry_tol if tol is None else tol
+    scale = max(1.0, float(np.abs(matrix).max(initial=0.0)))
+    asym = float(np.abs(matrix - matrix.T).max(initial=0.0))
+    if asym > tol * scale:
+        raise InvalidProblemError(
+            f"{name} is not symmetric: max |M - M.T| = {asym:.3e} "
+            f"(scale {scale:.3e}, tolerance {tol:.3e})"
+        )
+    return symmetrize(matrix)
+
+
+def symmetrize(matrix: np.ndarray) -> np.ndarray:
+    """Return the symmetric part ``(M + M.T) / 2`` of ``matrix``."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    return 0.5 * (matrix + matrix.T)
+
+
+def ensure_1d(value: Any, name: str = "vector") -> np.ndarray:
+    """Convert ``value`` into a finite 1-D ``float64`` vector."""
+    arr = np.atleast_1d(np.asarray(value, dtype=np.float64)).ravel()
+    if not np.all(np.isfinite(arr)):
+        raise InvalidProblemError(f"{name} contains NaN or infinite entries")
+    return arr
+
+
+def ensure_positive_scalar(value: Any, name: str = "value", strict: bool = True) -> float:
+    """Validate a (strictly) positive scalar and return it as ``float``."""
+    try:
+        scalar = float(value)
+    except (TypeError, ValueError) as exc:
+        raise InvalidProblemError(f"{name} must be a real scalar") from exc
+    if not np.isfinite(scalar):
+        raise InvalidProblemError(f"{name} must be finite, got {scalar}")
+    if strict and scalar <= 0:
+        raise InvalidProblemError(f"{name} must be > 0, got {scalar}")
+    if not strict and scalar < 0:
+        raise InvalidProblemError(f"{name} must be >= 0, got {scalar}")
+    return scalar

@@ -1,0 +1,141 @@
+"""Tests for the baseline solvers (Arora–Kale, Jain–Yao style, exact references)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidProblemError
+from repro.linalg.psd import random_psd
+from repro.operators.collection import ConstraintCollection
+from repro.baselines import (
+    arora_kale_packing,
+    exact_packing_frank_wolfe,
+    exact_packing_value,
+    jain_yao_packing,
+)
+from repro.core.certificates import verify_dual
+from repro.core.problem import NormalizedPackingSDP
+from repro.problems.random_instances import random_packing_sdp, random_width_controlled_sdp
+
+
+class TestExactSolvers:
+    def test_single_constraint_closed_form(self, rng):
+        """With one constraint the optimum is exactly 1 / ||A||_2."""
+        mat = random_psd(4, rng=rng, scale=2.0)
+        problem = NormalizedPackingSDP([mat])
+        result = exact_packing_value(problem)
+        assert result.value == pytest.approx(0.5, rel=1e-4)
+        assert result.lambda_max <= 1.0 + 1e-8
+
+    def test_identity_constraints_closed_form(self):
+        """n copies of I/c: optimum is c (all weight splittable arbitrarily)."""
+        problem = NormalizedPackingSDP([np.eye(3) * 0.5, np.eye(3) * 0.5])
+        result = exact_packing_value(problem)
+        assert result.value == pytest.approx(2.0, rel=1e-4)
+
+    def test_diagonal_instance_matches_lp_reasoning(self):
+        """Diagonal constraints decouple: optimum = min over rows of budget."""
+        a = np.diag([1.0, 0.0])
+        b = np.diag([0.0, 1.0])
+        problem = NormalizedPackingSDP([a, b], validate=False)
+        result = exact_packing_value(problem)
+        assert result.value == pytest.approx(2.0, rel=1e-4)
+
+    def test_solution_is_feasible(self, rng):
+        problem = random_packing_sdp(4, 5, rng=rng)
+        result = exact_packing_value(problem)
+        cert = verify_dual(problem.constraints, result.x, tol=1e-6)
+        assert cert.feasible
+
+    def test_frank_wolfe_feasible_and_below_exact(self, rng):
+        problem = random_packing_sdp(3, 4, rng=rng)
+        fw = exact_packing_frank_wolfe(problem)
+        exact = exact_packing_value(problem)
+        cert = verify_dual(problem.constraints, fw.x, tol=1e-6)
+        assert cert.feasible
+        assert fw.value <= exact.value * 1.01 + 1e-9
+
+    def test_frank_wolfe_nontrivial_value(self, rng):
+        problem = random_packing_sdp(3, 4, rng=rng)
+        fw = exact_packing_frank_wolfe(problem)
+        lower, _ = problem.value_bounds()
+        assert fw.value >= 0.5 * lower
+
+    def test_rejects_zero_constraint(self):
+        collection = ConstraintCollection([np.zeros((3, 3)), np.eye(3)], validate=False)
+        with pytest.raises(InvalidProblemError):
+            exact_packing_value(collection)
+
+
+class TestAroraKale:
+    def test_solution_feasible(self, rng):
+        problem = random_packing_sdp(4, 4, rng=rng)
+        result = arora_kale_packing(problem, epsilon=0.2)
+        cert = verify_dual(problem.constraints, result.x, tol=1e-6)
+        assert cert.feasible
+        assert result.lambda_max <= 1.0 + 1e-6
+
+    def test_width_reported(self, rng):
+        problem = random_width_controlled_sdp(4, 4, width=16.0, rng=rng)
+        result = arora_kale_packing(problem, epsilon=0.3)
+        assert result.width == pytest.approx(16.0, rel=1e-6)
+
+    def test_iterations_grow_with_width(self, rng):
+        """The width-dependent baseline needs more rounds on wider instances
+        to reach the same target value (the E5 phenomenon)."""
+        narrow = random_width_controlled_sdp(4, 4, width=1.0, rng=np.random.default_rng(1))
+        wide = random_width_controlled_sdp(4, 4, width=64.0, rng=np.random.default_rng(1))
+        target = 0.5  # reachable on both
+        res_narrow = arora_kale_packing(narrow, epsilon=0.3, target_value=target)
+        res_wide = arora_kale_packing(wide, epsilon=0.3, target_value=target)
+        assert res_wide.iterations > res_narrow.iterations
+
+    def test_reaches_target_on_easy_instance(self, rng):
+        problem = NormalizedPackingSDP([np.eye(3) * 0.1] * 3)
+        result = arora_kale_packing(problem, epsilon=0.2, target_value=1.0)
+        assert result.reached_target
+        assert result.value >= 0.8
+
+    def test_invalid_epsilon(self, rng):
+        problem = random_packing_sdp(3, 3, rng=rng)
+        with pytest.raises(InvalidProblemError):
+            arora_kale_packing(problem, epsilon=0.0)
+
+    def test_history_collection(self, rng):
+        problem = random_packing_sdp(3, 3, rng=rng)
+        result = arora_kale_packing(problem, epsilon=0.3, collect_history=True)
+        assert len(result.history) == len(result.history)  # present (possibly empty)
+
+
+class TestJainYao:
+    def test_outputs_have_right_shapes(self, rng):
+        problem = random_packing_sdp(4, 4, rng=rng)
+        result = jain_yao_packing(problem, epsilon=0.3)
+        assert result.primal_y.shape == (4, 4)
+        assert result.dual_x.shape == (4,)
+        assert result.iterations >= 1
+
+    def test_dual_candidate_feasible(self, rng):
+        problem = random_packing_sdp(4, 4, rng=rng)
+        result = jain_yao_packing(problem, epsilon=0.3)
+        cert = verify_dual(problem.constraints, result.dual_x, tol=1e-6)
+        assert cert.feasible
+
+    def test_primal_candidate_psd_unit_trace(self, rng):
+        problem = random_packing_sdp(3, 4, rng=rng)
+        result = jain_yao_packing(problem, epsilon=0.3)
+        assert np.trace(result.primal_y) == pytest.approx(1.0, abs=1e-6)
+        assert np.linalg.eigvalsh(result.primal_y)[0] >= -1e-9
+
+    def test_terminates_when_covered(self):
+        """On an instance where the uniform density already covers every
+        constraint, the loop exits immediately."""
+        problem = NormalizedPackingSDP([np.eye(3) * 10.0] * 2)
+        result = jain_yao_packing(problem, epsilon=0.3)
+        assert result.iterations == 1
+
+    def test_invalid_epsilon(self, rng):
+        problem = random_packing_sdp(3, 3, rng=rng)
+        with pytest.raises(InvalidProblemError):
+            jain_yao_packing(problem, epsilon=2.0)

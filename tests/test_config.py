@@ -1,0 +1,57 @@
+"""Tests for repro.config."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ReproConfig, config_override, get_config, set_config
+
+
+class TestReproConfig:
+    def test_defaults_are_sane(self):
+        cfg = ReproConfig()
+        assert 0 < cfg.psd_tol < 1e-3
+        assert 0 < cfg.default_epsilon < 1
+        assert cfg.power_iteration_maxiter > 10
+
+    def test_replace_returns_modified_copy(self):
+        cfg = ReproConfig()
+        new = cfg.replace(psd_tol=1e-4)
+        assert new.psd_tol == 1e-4
+        assert cfg.psd_tol != 1e-4
+        assert new is not cfg
+
+    def test_set_config_type_check(self):
+        with pytest.raises(TypeError):
+            set_config({"psd_tol": 1.0})  # type: ignore[arg-type]
+
+    def test_set_and_get_roundtrip(self):
+        original = get_config()
+        try:
+            replacement = original.replace(default_epsilon=0.05)
+            set_config(replacement)
+            assert get_config().default_epsilon == 0.05
+        finally:
+            set_config(original)
+
+
+class TestConfigOverride:
+    def test_override_is_scoped(self):
+        before = get_config().psd_tol
+        with config_override(psd_tol=1e-5) as cfg:
+            assert cfg.psd_tol == 1e-5
+            assert get_config().psd_tol == 1e-5
+        assert get_config().psd_tol == before
+
+    def test_override_restores_on_exception(self):
+        before = get_config().feasibility_tol
+        with pytest.raises(RuntimeError):
+            with config_override(feasibility_tol=1.0):
+                raise RuntimeError("boom")
+        assert get_config().feasibility_tol == before
+
+    def test_nested_overrides(self):
+        with config_override(psd_tol=1e-5):
+            with config_override(psd_tol=1e-3):
+                assert get_config().psd_tol == 1e-3
+            assert get_config().psd_tol == 1e-5

@@ -1,0 +1,106 @@
+"""Tests for certificate verification."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CertificateError
+from repro.linalg.psd import random_psd
+from repro.operators.collection import ConstraintCollection
+from repro.core.certificates import (
+    approximation_ratio,
+    require_dual_certificate,
+    verify_dual,
+    verify_primal,
+)
+
+
+class TestVerifyDual:
+    def test_zero_vector_feasible(self, small_collection):
+        cert = verify_dual(small_collection, np.zeros(4))
+        assert cert.feasible
+        assert cert.value == 0.0
+
+    def test_large_vector_infeasible(self, small_collection):
+        cert = verify_dual(small_collection, np.full(4, 100.0))
+        assert not cert.feasible
+        assert cert.lambda_max > 1.0
+
+    def test_scaled_value_restores_feasibility(self, small_collection):
+        x = np.full(4, 100.0)
+        cert = verify_dual(small_collection, x)
+        rescaled = verify_dual(small_collection, x / cert.lambda_max)
+        assert rescaled.feasible
+        assert rescaled.value == pytest.approx(cert.scaled_value, rel=1e-9)
+
+    def test_negative_entries_flagged(self, small_collection):
+        cert = verify_dual(small_collection, np.array([-0.1, 0.0, 0.0, 0.0]))
+        assert not cert.feasible
+        assert cert.min_entry == pytest.approx(-0.1)
+
+    def test_wrong_length(self, small_collection):
+        with pytest.raises(ValueError):
+            verify_dual(small_collection, np.zeros(3))
+
+    def test_boundary_feasible_within_tolerance(self, rng):
+        mat = random_psd(4, rng=rng, scale=1.0)
+        collection = ConstraintCollection([mat])
+        cert = verify_dual(collection, np.array([1.0]))
+        assert cert.feasible
+        assert cert.lambda_max == pytest.approx(1.0, abs=1e-9)
+
+
+class TestVerifyPrimal:
+    def test_scaled_identity_feasible(self, small_collection):
+        traces = small_collection.traces()
+        y = np.eye(5) * (5.0 / float(traces.min()))
+        cert = verify_primal(small_collection, y)
+        assert cert.feasible
+        assert cert.min_dot >= 1.0 - 1e-9
+
+    def test_zero_matrix_infeasible(self, small_collection):
+        cert = verify_primal(small_collection, np.zeros((5, 5)))
+        assert not cert.feasible
+        assert cert.scaled_value == float("inf")
+
+    def test_scaled_value_restores_feasibility(self, small_collection):
+        y = np.eye(5) * 0.01
+        cert = verify_primal(small_collection, y)
+        if not cert.feasible and cert.min_dot > 0:
+            rescaled = verify_primal(small_collection, y / cert.min_dot)
+            assert rescaled.feasible
+            assert rescaled.value == pytest.approx(cert.scaled_value, rel=1e-9)
+
+    def test_non_psd_candidate_rejected(self, small_collection):
+        y = np.diag([10.0, 10.0, 10.0, 10.0, -1.0])
+        cert = verify_primal(small_collection, y)
+        assert not cert.feasible
+
+
+class TestRequireDualCertificate:
+    def test_passes_on_feasible(self, small_collection):
+        cert = require_dual_certificate(small_collection, np.zeros(4), min_value=0.0)
+        assert cert.feasible
+
+    def test_raises_on_infeasible(self, small_collection):
+        with pytest.raises(CertificateError):
+            require_dual_certificate(small_collection, np.full(4, 100.0), min_value=0.0)
+
+    def test_raises_on_low_value(self, small_collection):
+        with pytest.raises(CertificateError):
+            require_dual_certificate(small_collection, np.zeros(4), min_value=1.0)
+
+
+class TestApproximationRatio:
+    def test_ratio_of_matching_bounds(self, small_collection):
+        traces = small_collection.traces()
+        dual = verify_dual(small_collection, np.zeros(4).copy() + 1e-3)
+        primal = verify_primal(small_collection, np.eye(5) * (5.0 / float(traces.min())))
+        ratio = approximation_ratio(dual, primal)
+        assert ratio >= 1.0 or ratio == float("inf")
+
+    def test_infinite_when_lower_zero(self, small_collection):
+        dual = verify_dual(small_collection, np.zeros(4))
+        primal = verify_primal(small_collection, np.eye(5) * 100.0)
+        assert approximation_ratio(dual, primal) == float("inf")

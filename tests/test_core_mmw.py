@@ -1,0 +1,115 @@
+"""Tests for the matrix multiplicative weights engine (Theorem 2.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import InvalidProblemError
+from repro.linalg.psd import random_psd
+from repro.core.mmw import MatrixMultiplicativeWeights
+
+
+class TestConstruction:
+    def test_invalid_eps0(self):
+        with pytest.raises(InvalidProblemError):
+            MatrixMultiplicativeWeights(3, 0.6)
+        with pytest.raises(InvalidProblemError):
+            MatrixMultiplicativeWeights(3, 0.0)
+
+    def test_invalid_dim(self):
+        with pytest.raises(InvalidProblemError):
+            MatrixMultiplicativeWeights(0, 0.1)
+
+    def test_initial_probability_is_uniform(self):
+        mmw = MatrixMultiplicativeWeights(4, 0.25)
+        np.testing.assert_allclose(mmw.probability_matrix(), np.eye(4) / 4, atol=1e-12)
+
+
+class TestUpdates:
+    def test_update_returns_dot_before_update(self, rng):
+        mmw = MatrixMultiplicativeWeights(4, 0.3)
+        gain = random_psd(4, rng=rng, scale=0.8)
+        expected = float(np.sum(gain * mmw.probability_matrix()))
+        assert mmw.update(gain) == pytest.approx(expected, rel=1e-10)
+        assert mmw.rounds == 1
+
+    def test_gain_shape_checked(self):
+        mmw = MatrixMultiplicativeWeights(3, 0.2)
+        with pytest.raises(InvalidProblemError):
+            mmw.update(np.eye(4))
+
+    def test_gain_psd_checked(self):
+        mmw = MatrixMultiplicativeWeights(2, 0.2)
+        with pytest.raises(InvalidProblemError):
+            mmw.update(np.diag([1.0, -0.5]))
+
+    def test_gain_bounded_by_identity_checked(self):
+        mmw = MatrixMultiplicativeWeights(2, 0.2)
+        with pytest.raises(InvalidProblemError):
+            mmw.update(np.diag([2.0, 0.5]))
+
+    def test_validation_can_be_disabled(self):
+        mmw = MatrixMultiplicativeWeights(2, 0.2, validate_gains=False)
+        mmw.update(np.diag([2.0, 0.5]))  # no exception
+        assert mmw.rounds == 1
+
+    def test_probability_follows_heavy_gain_direction(self):
+        """Repeated gains on one coordinate concentrate the density there."""
+        mmw = MatrixMultiplicativeWeights(3, 0.5)
+        gain = np.diag([1.0, 0.0, 0.0])
+        for _ in range(40):
+            mmw.update(gain)
+        prob = mmw.probability_matrix()
+        assert prob[0, 0] > 0.99
+
+    def test_gain_sum_accumulates(self, rng):
+        mmw = MatrixMultiplicativeWeights(3, 0.2)
+        gains = [random_psd(3, rng=rng, scale=0.5) for _ in range(3)]
+        for gain in gains:
+            mmw.update(gain)
+        np.testing.assert_allclose(mmw.gain_sum(), sum(gains), atol=1e-10)
+
+
+class TestRegretBound:
+    def test_regret_bound_adversarial_sequence(self, rng):
+        """Theorem 2.1 holds for arbitrary PSD gains bounded by I."""
+        mmw = MatrixMultiplicativeWeights(5, 0.4)
+        for t in range(60):
+            gain = random_psd(5, rng=rng, scale=float(rng.uniform(0.2, 1.0)))
+            mmw.update(gain)
+        assert mmw.regret_bound_satisfied()
+        assert mmw.regret_gap() >= -1e-7
+
+    def test_regret_bound_single_direction(self):
+        mmw = MatrixMultiplicativeWeights(4, 0.25)
+        gain = np.zeros((4, 4))
+        gain[1, 1] = 1.0
+        for _ in range(100):
+            mmw.update(gain)
+        assert mmw.regret_bound_satisfied()
+
+    def test_regret_zero_rounds(self):
+        mmw = MatrixMultiplicativeWeights(3, 0.1)
+        assert mmw.lambda_max_gain_sum() == 0.0
+        assert mmw.regret_bound_satisfied()
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=9999),
+    eps0=st.floats(min_value=0.05, max_value=0.5),
+    rounds=st.integers(min_value=1, max_value=30),
+)
+def test_regret_bound_property(seed, eps0, rounds):
+    """Property: the Theorem 2.1 inequality holds for random gain sequences."""
+    rng = np.random.default_rng(seed)
+    dim = 4
+    mmw = MatrixMultiplicativeWeights(dim, eps0, validate_gains=False)
+    for _ in range(rounds):
+        gain = random_psd(dim, rng=rng, scale=float(rng.uniform(0.1, 1.0)))
+        mmw.update(gain)
+    lhs = (1.0 + eps0) * mmw.total_gain_dot_probability()
+    rhs = mmw.lambda_max_gain_sum() - np.log(dim) / eps0
+    assert lhs >= rhs - 1e-6

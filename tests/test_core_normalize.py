@@ -1,0 +1,134 @@
+"""Tests for repro.core.normalize (Appendix A transformation, Lemma 2.2 trace cap)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidProblemError
+from repro.linalg.psd import random_psd
+from repro.operators.collection import ConstraintCollection
+from repro.operators.factorized import FactorizedPSDOperator
+from repro.core.normalize import apply_trace_cap, normalize_sdp
+from repro.core.problem import PositiveSDP
+from repro.baselines.exact import exact_packing_value
+
+
+def _general_problem(rng, n=3, m=4, identity_objective=False):
+    constraints = [random_psd(m, rng=rng, scale=float(rng.uniform(0.5, 2.0))) for _ in range(n)]
+    if identity_objective:
+        objective = np.eye(m)
+    else:
+        objective = random_psd(m, rng=rng, spectrum=rng.uniform(0.5, 2.0, size=m), scale=2.0)
+    rhs = rng.uniform(0.5, 2.0, size=n)
+    return PositiveSDP(objective, constraints, rhs, name="general")
+
+
+class TestNormalizeSDP:
+    def test_identity_objective_unit_rhs_is_noop(self, rng):
+        constraints = [random_psd(4, rng=rng) for _ in range(3)]
+        problem = PositiveSDP(np.eye(4), constraints, np.ones(3))
+        normalized, mapping = normalize_sdp(problem)
+        for original, op in zip(constraints, normalized.constraints):
+            np.testing.assert_allclose(op.to_dense(), original, atol=1e-9)
+        np.testing.assert_allclose(mapping.c_inv_sqrt, np.eye(4), atol=1e-9)
+
+    def test_rhs_scaling(self, rng):
+        constraint = random_psd(3, rng=rng)
+        problem = PositiveSDP(np.eye(3), [constraint], [2.0])
+        normalized, _ = normalize_sdp(problem)
+        np.testing.assert_allclose(normalized.constraints[0].to_dense(), constraint / 2.0, atol=1e-10)
+
+    def test_normalized_matrices_formula(self, rng):
+        problem = _general_problem(rng)
+        normalized, mapping = normalize_sdp(problem)
+        c_inv_sqrt = mapping.c_inv_sqrt
+        for idx, op in enumerate(normalized.constraints):
+            expected = c_inv_sqrt @ problem.constraints[idx].to_dense() @ c_inv_sqrt / problem.rhs[idx]
+            np.testing.assert_allclose(op.to_dense(), expected, atol=1e-9)
+
+    def test_zero_rhs_constraints_dropped(self, rng):
+        constraints = [random_psd(3, rng=rng) for _ in range(3)]
+        problem = PositiveSDP(np.eye(3), constraints, [1.0, 0.0, 2.0])
+        normalized, mapping = normalize_sdp(problem)
+        assert normalized.num_constraints == 2
+        assert mapping.dropped_zero_rhs == [1]
+
+    def test_all_zero_rhs_rejected(self, rng):
+        problem = PositiveSDP(np.eye(3), [random_psd(3, rng=rng)], [0.0])
+        with pytest.raises(InvalidProblemError):
+            normalize_sdp(problem)
+
+    def test_factorized_constraints_stay_factorized(self, rng):
+        factor = rng.standard_normal((4, 2))
+        problem = PositiveSDP(
+            np.eye(4) * 2.0, [FactorizedPSDOperator(factor)], [1.5], validate=False
+        )
+        normalized, _ = normalize_sdp(problem)
+        op = normalized.constraints[0]
+        assert isinstance(op, FactorizedPSDOperator)
+        expected = (factor @ factor.T) / (2.0 * 1.5)
+        np.testing.assert_allclose(op.to_dense(), expected, atol=1e-9)
+
+    def test_primal_roundtrip(self, rng):
+        problem = _general_problem(rng)
+        _, mapping = normalize_sdp(problem)
+        z = random_psd(4, rng=rng)
+        back = mapping.primal_from_original(mapping.primal_to_original(z))
+        np.testing.assert_allclose(back, z, atol=1e-8)
+
+    def test_dual_mapping_divides_by_rhs(self, rng):
+        problem = _general_problem(rng)
+        _, mapping = normalize_sdp(problem)
+        x = np.abs(rng.uniform(0.1, 1.0, size=3))
+        original = mapping.dual_to_original(x)
+        np.testing.assert_allclose(original, x / problem.rhs, atol=1e-12)
+
+    def test_dual_mapping_wrong_length(self, rng):
+        problem = _general_problem(rng)
+        _, mapping = normalize_sdp(problem)
+        with pytest.raises(InvalidProblemError):
+            mapping.dual_to_original(np.ones(5))
+
+    def test_normalization_preserves_optimum(self, rng):
+        """The packing optimum is invariant under the Appendix A transform
+        when the objective is the identity (where both forms coincide)."""
+        problem = _general_problem(rng, identity_objective=True)
+        normalized, _ = normalize_sdp(problem)
+        # With C = I the normalized constraints are A_i / b_i; the packing
+        # optimum of the normalized program equals that of constraints
+        # {A_i / b_i} directly.
+        direct = ConstraintCollection(
+            [op.to_dense() / b for op, b in zip(problem.constraints, problem.rhs)], validate=False
+        )
+        val_direct = exact_packing_value(direct).value
+        val_normalized = exact_packing_value(normalized.constraints).value
+        assert val_normalized == pytest.approx(val_direct, rel=1e-3)
+
+
+class TestTraceCap:
+    def test_no_drop_when_under_cap(self, small_collection):
+        result = apply_trace_cap(small_collection)
+        assert result.dropped_indices == []
+        assert result.constraints is small_collection
+
+    def test_drops_large_trace_constraints(self, rng):
+        small = random_psd(3, rng=rng)
+        huge = random_psd(3, rng=rng, scale=1e7)
+        collection = ConstraintCollection([small, huge], validate=False)
+        result = apply_trace_cap(collection, trace_cap=100.0)
+        assert result.dropped_indices == [1]
+        assert len(result.constraints) == 1
+
+    def test_default_cap_is_n_cubed(self, small_collection):
+        result = apply_trace_cap(small_collection)
+        assert result.trace_cap == pytest.approx(len(small_collection) ** 3)
+
+    def test_all_dropped_rejected(self, rng):
+        huge = random_psd(3, rng=rng, scale=1e6)
+        with pytest.raises(InvalidProblemError):
+            apply_trace_cap(ConstraintCollection([huge], validate=False), trace_cap=1.0)
+
+    def test_invalid_cap(self, small_collection):
+        with pytest.raises(InvalidProblemError):
+            apply_trace_cap(small_collection, trace_cap=0.0)

@@ -1,0 +1,108 @@
+"""Tests for repro.core.problem (PositiveSDP / NormalizedPackingSDP)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidProblemError
+from repro.linalg.psd import random_psd
+from repro.core.problem import NormalizedPackingSDP, PositiveSDP
+
+
+class TestPositiveSDP:
+    def _problem(self, rng, n=3, m=4):
+        constraints = [random_psd(m, rng=rng) for _ in range(n)]
+        objective = random_psd(m, rng=rng) + 0.5 * np.eye(m)
+        rhs = np.abs(rng.uniform(0.5, 1.5, size=n))
+        return PositiveSDP(objective, constraints, rhs, name="test")
+
+    def test_basic_construction(self, rng):
+        problem = self._problem(rng)
+        assert problem.dim == 4
+        assert problem.num_constraints == 3
+        assert problem.name == "test"
+
+    def test_dimension_mismatch(self, rng):
+        with pytest.raises(InvalidProblemError):
+            PositiveSDP(np.eye(3), [random_psd(4, rng=rng)], [1.0])
+
+    def test_rhs_length_mismatch(self, rng):
+        with pytest.raises(InvalidProblemError):
+            PositiveSDP(np.eye(4), [random_psd(4, rng=rng)], [1.0, 2.0])
+
+    def test_negative_rhs_rejected(self, rng):
+        with pytest.raises(InvalidProblemError):
+            PositiveSDP(np.eye(4), [random_psd(4, rng=rng)], [-1.0])
+
+    def test_non_psd_objective_rejected(self, rng):
+        with pytest.raises(InvalidProblemError):
+            PositiveSDP(np.diag([1.0, -1.0, 1.0, 1.0]), [random_psd(4, rng=rng)], [1.0])
+
+    def test_objective_and_constraint_values(self, rng):
+        problem = self._problem(rng)
+        y = random_psd(4, rng=rng)
+        assert problem.objective_value(y) == pytest.approx(
+            float(np.sum(problem.objective.to_dense() * y))
+        )
+        vals = problem.constraint_values(y)
+        assert vals.shape == (3,)
+
+    def test_primal_feasibility_check(self, rng):
+        problem = self._problem(rng)
+        # A large multiple of the identity satisfies every covering constraint.
+        traces = problem.constraints.traces()
+        big = np.eye(4) * float(problem.rhs.max() / min(traces) * problem.dim * 10)
+        assert problem.primal_feasible(big)
+        assert not problem.primal_feasible(np.zeros((4, 4)))
+
+
+class TestNormalizedPackingSDP:
+    def test_value_bounds_order(self, small_problem):
+        lower, upper = small_problem.value_bounds()
+        assert 0 < lower <= upper
+
+    def test_value_bounds_certifiable(self, small_problem):
+        """The lower bound is realised by a feasible single-coordinate vector."""
+        lower, _ = small_problem.value_bounds()
+        norms = small_problem.constraints.spectral_norms()
+        x = np.zeros(len(small_problem.constraints))
+        best = int(np.argmax(1.0 / norms))
+        x[best] = 1.0 / norms[best]
+        assert small_problem.dual_feasible(x)
+        assert small_problem.dual_value(x) == pytest.approx(lower)
+
+    def test_dual_feasibility(self, small_problem):
+        n = small_problem.num_constraints
+        assert small_problem.dual_feasible(np.zeros(n))
+        assert not small_problem.dual_feasible(np.full(n, 1e6))
+        assert not small_problem.dual_feasible(-np.ones(n))
+
+    def test_primal_feasibility(self, small_problem):
+        traces = small_problem.constraints.traces()
+        y = np.eye(small_problem.dim) * (2.0 / float(traces.min()) * small_problem.dim)
+        assert small_problem.primal_feasible(y)
+        assert not small_problem.primal_feasible(np.zeros((small_problem.dim, small_problem.dim)))
+
+    def test_scaled_optimum_scales_inversely(self, small_problem):
+        """Scaling constraints by theta scales the packing optimum by 1/theta."""
+        n = small_problem.num_constraints
+        x = np.zeros(n)
+        norms = small_problem.constraints.spectral_norms()
+        x[0] = 1.0 / norms[0]
+        scaled = small_problem.scaled(2.0)
+        assert scaled.dual_feasible(x / 2.0)
+        assert not scaled.dual_feasible(x * 1.5)
+
+    def test_scaled_invalid_theta(self, small_problem):
+        with pytest.raises(InvalidProblemError):
+            small_problem.scaled(0.0)
+
+    def test_zero_constraint_rejected_in_bounds(self):
+        problem = NormalizedPackingSDP([np.zeros((3, 3)), np.eye(3)], validate=False)
+        with pytest.raises(InvalidProblemError):
+            problem.value_bounds()
+
+    def test_primal_value_is_trace(self, small_problem):
+        y = np.diag([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert small_problem.primal_value(y) == pytest.approx(15.0)

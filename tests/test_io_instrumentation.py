@@ -1,0 +1,136 @@
+"""Tests for repro.io serialization and repro.instrumentation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidProblemError
+from repro.instrumentation import ConvergenceHistory, ExperimentReport, IterationRecord, OracleCounters
+from repro.io import (
+    load_normalized_sdp,
+    load_positive_sdp,
+    save_normalized_sdp,
+    save_positive_sdp,
+)
+from repro.problems.random_instances import random_packing_sdp, random_positive_sdp
+
+
+class TestSerialization:
+    def test_normalized_roundtrip(self, tmp_path, rng):
+        problem = random_packing_sdp(4, 5, rng=rng)
+        path = save_normalized_sdp(tmp_path / "instance.npz", problem)
+        loaded = load_normalized_sdp(path)
+        assert loaded.num_constraints == problem.num_constraints
+        assert loaded.dim == problem.dim
+        assert loaded.name == problem.name
+        for a, b in zip(loaded.constraints, problem.constraints):
+            np.testing.assert_allclose(a.to_dense(), b.to_dense(), atol=1e-12)
+
+    def test_positive_roundtrip(self, tmp_path, rng):
+        problem = random_positive_sdp(3, 4, rng=rng)
+        path = save_positive_sdp(tmp_path / "general.npz", problem)
+        loaded = load_positive_sdp(path)
+        np.testing.assert_allclose(loaded.objective.to_dense(), problem.objective.to_dense(), atol=1e-12)
+        np.testing.assert_allclose(loaded.rhs, problem.rhs, atol=1e-12)
+        assert loaded.num_constraints == problem.num_constraints
+
+    def test_kind_mismatch_detected(self, tmp_path, rng):
+        problem = random_packing_sdp(3, 4, rng=rng)
+        path = save_normalized_sdp(tmp_path / "instance.npz", problem)
+        with pytest.raises(InvalidProblemError):
+            load_positive_sdp(path)
+
+    def test_normalized_kind_mismatch_detected(self, tmp_path, rng):
+        problem = random_positive_sdp(3, 4, rng=rng)
+        path = save_positive_sdp(tmp_path / "general.npz", problem)
+        with pytest.raises(InvalidProblemError):
+            load_normalized_sdp(path)
+
+
+class TestConvergenceHistory:
+    def _record(self, t, norm):
+        return IterationRecord(iteration=t, x_norm=norm, updated=2, min_value=0.5, max_value=1.5)
+
+    def test_append_and_access(self):
+        history = ConvergenceHistory()
+        history.append(self._record(1, 0.1))
+        history.append(self._record(2, 0.2))
+        assert len(history) == 2
+        assert history[1].x_norm == 0.2
+        assert history.iterations == 2
+        assert history.final_x_norm() == 0.2
+        assert history.x_norms() == [0.1, 0.2]
+        assert history.update_counts() == [2, 2]
+
+    def test_empty_history(self):
+        history = ConvergenceHistory()
+        assert history.final_x_norm() == 0.0
+        assert list(history) == []
+
+    def test_as_rows(self):
+        history = ConvergenceHistory()
+        history.append(self._record(1, 0.1))
+        rows = history.as_rows()
+        assert rows[0]["iteration"] == 1
+        assert "x_norm" in rows[0]
+
+
+class TestOracleCounters:
+    def test_merge(self):
+        a = OracleCounters(calls=1, matvecs=10)
+        b = OracleCounters(calls=2, matvecs=5, flops_estimate=100.0)
+        b.add("custom", 3.0)
+        a.merge(b)
+        assert a.calls == 3
+        assert a.matvecs == 15
+        assert a.flops_estimate == 100.0
+        assert a.extra["custom"] == 3.0
+
+    def test_as_dict_contains_extras(self):
+        counters = OracleCounters()
+        counters.record_call()
+        counters.add("norm_estimates")
+        payload = counters.as_dict()
+        assert payload["calls"] == 1.0
+        assert payload["norm_estimates"] == 1.0
+
+
+class TestExperimentReport:
+    def test_add_rows_and_render(self):
+        report = ExperimentReport("E0", "smoke experiment")
+        report.add_row(n=4, iterations=10, value=1.5)
+        report.add_row(n=8, iterations=20, value=2.5, extra="x")
+        report.add_note("synthetic data")
+        text = report.render()
+        assert "E0" in text and "smoke experiment" in text
+        assert "iterations" in text
+        assert "note: synthetic data" in text
+
+    def test_headers_union_preserves_order(self):
+        report = ExperimentReport("E0", "t")
+        report.add_row(a=1)
+        report.add_row(b=2, a=3)
+        assert report.headers() == ["a", "b"]
+
+    def test_column_extraction(self):
+        report = ExperimentReport("E0", "t")
+        report.add_row(a=1)
+        report.add_row(b=2)
+        assert report.column("a") == [1, None]
+
+    def test_to_csv(self, tmp_path):
+        report = ExperimentReport("E99", "csv test")
+        report.add_row(x=1, y=2.5)
+        path = report.to_csv(tmp_path)
+        content = open(path).read()
+        assert "x,y" in content
+        assert "1,2.5" in content
+
+    def test_combine(self):
+        a = ExperimentReport("E1", "first")
+        a.add_row(v=1)
+        b = ExperimentReport("E2", "second")
+        b.add_row(v=2)
+        combined = ExperimentReport.combine([a, b])
+        assert "E1" in combined and "E2" in combined

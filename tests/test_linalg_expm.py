@@ -1,0 +1,121 @@
+"""Tests for repro.linalg.expm (exact matrix exponential primitives)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.linalg
+from hypothesis import given, settings, strategies as st
+
+from repro.linalg.expm import (
+    expm_dot,
+    expm_dot_many,
+    expm_eigh,
+    expm_normalized,
+    expm_psd,
+    expm_trace,
+)
+from repro.linalg.psd import random_psd
+
+
+class TestExpmEigh:
+    def test_matches_scipy(self, small_psd):
+        np.testing.assert_allclose(expm_eigh(small_psd), scipy.linalg.expm(small_psd), atol=1e-9)
+
+    def test_zero_matrix_gives_identity(self):
+        np.testing.assert_allclose(expm_eigh(np.zeros((3, 3))), np.eye(3), atol=1e-12)
+
+    def test_diagonal_matrix(self):
+        mat = np.diag([0.0, 1.0, 2.0])
+        np.testing.assert_allclose(expm_eigh(mat), np.diag(np.exp([0.0, 1.0, 2.0])), atol=1e-12)
+
+    def test_output_symmetric(self, small_psd):
+        out = expm_eigh(small_psd)
+        np.testing.assert_array_equal(out, out.T)
+
+    def test_negative_definite_allowed(self):
+        mat = -np.diag([1.0, 2.0])
+        np.testing.assert_allclose(expm_eigh(mat), np.diag(np.exp([-1.0, -2.0])), atol=1e-12)
+
+
+class TestExpmPsdShift:
+    def test_shift_representation_consistent(self, small_psd):
+        plain = expm_eigh(small_psd)
+        shifted, log_scale = expm_psd(small_psd, shift=True)
+        np.testing.assert_allclose(np.exp(log_scale) * shifted, plain, atol=1e-9)
+
+    def test_no_shift(self, small_psd):
+        mat, log_scale = expm_psd(small_psd, shift=False)
+        assert log_scale == 0.0
+        np.testing.assert_allclose(mat, expm_eigh(small_psd), atol=1e-12)
+
+    def test_shifted_norm_is_one(self, small_psd):
+        shifted, _ = expm_psd(4.0 * small_psd, shift=True)
+        assert np.linalg.eigvalsh(shifted)[-1] == pytest.approx(1.0, abs=1e-10)
+
+
+class TestExpmTrace:
+    def test_trace_matches_direct(self, small_psd):
+        t, log_scale = expm_trace(small_psd)
+        direct = np.trace(expm_eigh(small_psd))
+        assert np.exp(log_scale) * t == pytest.approx(direct, rel=1e-10)
+
+    def test_huge_exponent_no_overflow(self):
+        mat = np.diag([800.0, 1.0, 0.0])
+        t, log_scale = expm_trace(mat)
+        assert np.isfinite(t)
+        assert log_scale == pytest.approx(800.0)
+
+
+class TestExpmNormalized:
+    def test_unit_trace(self, small_psd):
+        density = expm_normalized(small_psd)
+        assert np.trace(density) == pytest.approx(1.0, abs=1e-12)
+
+    def test_matches_direct_normalization(self, small_psd):
+        direct = expm_eigh(small_psd)
+        direct /= np.trace(direct)
+        np.testing.assert_allclose(expm_normalized(small_psd), direct, atol=1e-10)
+
+    def test_large_exponent_stays_finite(self):
+        mat = np.diag([750.0, 740.0, 0.0])
+        density = expm_normalized(mat)
+        assert np.all(np.isfinite(density))
+        assert np.trace(density) == pytest.approx(1.0, abs=1e-12)
+
+    def test_zero_matrix_gives_uniform(self):
+        np.testing.assert_allclose(expm_normalized(np.zeros((4, 4))), np.eye(4) / 4, atol=1e-12)
+
+
+class TestExpmDot:
+    def test_matches_definition(self, small_psd, rng):
+        a = random_psd(5, rng=rng)
+        expected = float(np.sum(expm_eigh(small_psd) * a))
+        assert expm_dot(small_psd, a) == pytest.approx(expected, rel=1e-10)
+
+    def test_normalized_variant(self, small_psd, rng):
+        a = random_psd(5, rng=rng)
+        expected = float(np.sum(expm_normalized(small_psd) * a))
+        assert expm_dot(small_psd, a, normalized=True) == pytest.approx(expected, rel=1e-10)
+
+    def test_shape_mismatch(self, small_psd):
+        with pytest.raises(ValueError):
+            expm_dot(small_psd, np.eye(3))
+
+    def test_dot_many_matches_individual(self, small_psd, rng):
+        mats = [random_psd(5, rng=rng) for _ in range(3)]
+        batch = expm_dot_many(small_psd, mats, normalized=True)
+        for value, mat in zip(batch, mats):
+            assert value == pytest.approx(expm_dot(small_psd, mat, normalized=True), rel=1e-10)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=9999), scale=st.floats(min_value=0.1, max_value=5.0))
+def test_expm_monotone_trace_property(seed, scale):
+    """Property: Tr[exp(c*A)] is finite, >= dim, and the density has unit trace."""
+    mat = scale * random_psd(4, rng=seed)
+    t, log_scale = expm_trace(mat)
+    assert np.exp(log_scale) * t >= 4.0 - 1e-9  # exp of PSD has eigenvalues >= 1
+    density = expm_normalized(mat)
+    assert np.trace(density) == pytest.approx(1.0, abs=1e-10)
+    assert np.all(np.linalg.eigvalsh(density) >= -1e-12)

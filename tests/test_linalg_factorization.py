@@ -1,0 +1,109 @@
+"""Tests for repro.linalg.factorization (Gram factors, inverse square roots)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import NumericalError
+from repro.linalg.factorization import (
+    gram_factor,
+    gram_factor_lowrank,
+    inverse_sqrt,
+    pivoted_cholesky,
+    sqrt_psd,
+)
+from repro.linalg.psd import random_psd
+
+
+class TestGramFactor:
+    def test_reconstruction(self, small_psd):
+        q = gram_factor(small_psd)
+        np.testing.assert_allclose(q @ q.T, small_psd, atol=1e-9)
+
+    def test_rank_deficient_width(self, rng):
+        mat = random_psd(6, rank=2, rng=rng)
+        q = gram_factor(mat)
+        assert q.shape[1] == 2
+        np.testing.assert_allclose(q @ q.T, mat, atol=1e-9)
+
+    def test_zero_matrix(self):
+        q = gram_factor(np.zeros((4, 4)))
+        assert q.shape == (4, 1)
+        np.testing.assert_array_equal(q, 0.0)
+
+
+class TestGramFactorLowRank:
+    def test_exact_when_rank_suffices(self, rng):
+        mat = random_psd(5, rank=2, rng=rng)
+        q = gram_factor_lowrank(mat, 2)
+        np.testing.assert_allclose(q @ q.T, mat, atol=1e-9)
+
+    def test_truncation_error_bounded(self, rng):
+        mat = random_psd(6, rng=rng)
+        q = gram_factor_lowrank(mat, 3)
+        eigvals = np.sort(np.linalg.eigvalsh(mat))[::-1]
+        err = np.linalg.norm(q @ q.T - mat, ord=2)
+        assert err <= eigvals[3] + 1e-9
+
+    def test_invalid_rank(self):
+        with pytest.raises(ValueError):
+            gram_factor_lowrank(np.eye(3), 0)
+
+
+class TestPivotedCholesky:
+    def test_reconstruction_full_rank(self, small_psd):
+        factor = pivoted_cholesky(small_psd)
+        np.testing.assert_allclose(factor @ factor.T, small_psd, atol=1e-8)
+
+    def test_rank_deficient(self, rng):
+        mat = random_psd(6, rank=3, rng=rng)
+        factor = pivoted_cholesky(mat)
+        assert factor.shape[1] <= 4
+        np.testing.assert_allclose(factor @ factor.T, mat, atol=1e-8)
+
+    def test_max_rank_truncation(self, small_psd):
+        factor = pivoted_cholesky(small_psd, max_rank=2)
+        assert factor.shape[1] == 2
+
+    def test_zero_matrix(self):
+        factor = pivoted_cholesky(np.zeros((3, 3)))
+        np.testing.assert_array_equal(factor, np.zeros((3, 1)))
+
+
+class TestSqrtAndInverseSqrt:
+    def test_sqrt_squares_back(self, small_psd):
+        root = sqrt_psd(small_psd)
+        np.testing.assert_allclose(root @ root, small_psd, atol=1e-9)
+
+    def test_inverse_sqrt_whitens(self, rng):
+        mat = random_psd(5, rng=rng, scale=3.0) + 0.5 * np.eye(5)
+        inv_root = inverse_sqrt(mat)
+        np.testing.assert_allclose(inv_root @ mat @ inv_root, np.eye(5), atol=1e-8)
+
+    def test_inverse_sqrt_pseudo_on_singular(self, rng):
+        mat = random_psd(6, rank=3, rng=rng)
+        inv_root = inverse_sqrt(mat)
+        projector = inv_root @ mat @ inv_root
+        # On the range of the matrix this acts as the identity (a projector).
+        np.testing.assert_allclose(projector @ projector, projector, atol=1e-8)
+        assert np.trace(projector) == pytest.approx(3.0, abs=1e-6)
+
+    def test_inverse_sqrt_zero_matrix_raises(self):
+        with pytest.raises(NumericalError):
+            inverse_sqrt(np.zeros((3, 3)))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    dim=st.integers(min_value=1, max_value=7),
+    rank=st.integers(min_value=1, max_value=7),
+    seed=st.integers(min_value=0, max_value=9999),
+)
+def test_gram_factor_roundtrip_property(dim, rank, seed):
+    """Property: gram_factor exactly reconstructs arbitrary random PSD matrices."""
+    rank = min(rank, dim)
+    mat = random_psd(dim, rank=rank, rng=seed)
+    q = gram_factor(mat)
+    np.testing.assert_allclose(q @ q.T, mat, atol=1e-8)

@@ -1,0 +1,158 @@
+"""Tests for repro.linalg.psd (PSD checks, Loewner order, random generation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import NotPositiveSemidefiniteError, InvalidProblemError
+from repro.linalg.psd import (
+    check_psd,
+    is_psd,
+    loewner_leq,
+    max_eigenvalue,
+    min_eigenvalue,
+    nearest_psd,
+    project_to_psd,
+    random_psd,
+)
+
+
+class TestIsPsd:
+    def test_identity_is_psd(self):
+        assert is_psd(np.eye(4))
+
+    def test_negative_definite_is_not_psd(self):
+        assert not is_psd(-np.eye(3))
+
+    def test_indefinite_is_not_psd(self):
+        assert not is_psd(np.diag([1.0, -1.0]))
+
+    def test_zero_matrix_is_psd(self):
+        assert is_psd(np.zeros((3, 3)))
+
+    def test_rank_deficient_psd(self):
+        v = np.array([1.0, 2.0, 3.0])
+        assert is_psd(np.outer(v, v))
+
+    def test_rejects_asymmetric(self):
+        with pytest.raises(InvalidProblemError):
+            is_psd(np.array([[1.0, 2.0], [0.0, 1.0]]))
+
+    def test_tolerance_scale_invariance(self):
+        v = np.array([1.0, -1.0])
+        mat = 1e6 * np.outer(v, v)
+        # A tiny negative perturbation relative to the scale should pass.
+        mat[0, 0] -= 1e-4
+        assert is_psd(mat)
+
+
+class TestCheckPsd:
+    def test_returns_symmetrized(self):
+        mat = check_psd(np.eye(3))
+        assert np.array_equal(mat, mat.T)
+
+    def test_raises_with_eigenvalue(self):
+        with pytest.raises(NotPositiveSemidefiniteError) as err:
+            check_psd(np.diag([1.0, -2.0]))
+        assert err.value.min_eigenvalue == pytest.approx(-2.0)
+
+
+class TestEigenvalueHelpers:
+    def test_min_max_eigenvalue_diag(self):
+        mat = np.diag([0.5, 3.0, 1.0])
+        assert min_eigenvalue(mat) == pytest.approx(0.5)
+        assert max_eigenvalue(mat) == pytest.approx(3.0)
+
+
+class TestLoewnerOrder:
+    def test_scaling_orders(self):
+        a = np.eye(3)
+        assert loewner_leq(a, 2 * a)
+        assert not loewner_leq(2 * a, a)
+
+    def test_reflexive(self, small_psd):
+        assert loewner_leq(small_psd, small_psd)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            loewner_leq(np.eye(2), np.eye(3))
+
+
+class TestProjection:
+    def test_project_clips_negative_eigenvalues(self):
+        mat = np.diag([2.0, -1.0])
+        proj = project_to_psd(mat)
+        np.testing.assert_allclose(proj, np.diag([2.0, 0.0]), atol=1e-12)
+
+    def test_projection_idempotent(self, small_psd):
+        np.testing.assert_allclose(project_to_psd(small_psd), small_psd, atol=1e-10)
+
+    def test_nearest_psd_symmetrizes_first(self):
+        mat = np.array([[1.0, 4.0], [0.0, 1.0]])
+        out = nearest_psd(mat)
+        assert is_psd(out)
+
+    def test_nearest_psd_rejects_rectangular(self):
+        with pytest.raises(ValueError):
+            nearest_psd(np.ones((2, 3)))
+
+
+class TestRandomPsd:
+    def test_is_psd_and_scaled(self, rng):
+        mat = random_psd(6, rng=rng, scale=2.5)
+        assert is_psd(mat)
+        assert max_eigenvalue(mat) == pytest.approx(2.5, rel=1e-8)
+
+    def test_rank_control(self, rng):
+        mat = random_psd(8, rank=2, rng=rng)
+        eigvals = np.linalg.eigvalsh(mat)
+        assert np.sum(eigvals > 1e-10) == 2
+
+    def test_explicit_spectrum(self, rng):
+        spectrum = np.array([4.0, 1.0, 0.0, 0.0])
+        mat = random_psd(4, spectrum=spectrum, scale=4.0, rng=rng)
+        eigvals = np.sort(np.linalg.eigvalsh(mat))[::-1]
+        np.testing.assert_allclose(eigvals, np.sort(spectrum)[::-1], atol=1e-8)
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            random_psd(0)
+
+    def test_invalid_rank(self):
+        with pytest.raises(ValueError):
+            random_psd(3, rank=5)
+
+    def test_negative_spectrum_rejected(self):
+        with pytest.raises(ValueError):
+            random_psd(2, spectrum=np.array([1.0, -1.0]))
+
+    def test_reproducible_with_seed(self):
+        a = random_psd(5, rng=123)
+        b = random_psd(5, rng=123)
+        np.testing.assert_array_equal(a, b)
+
+
+@settings(max_examples=25, deadline=None)
+@given(dim=st.integers(min_value=1, max_value=8), seed=st.integers(min_value=0, max_value=10_000))
+def test_random_psd_always_psd(dim, seed):
+    """Property: random_psd always produces PSD matrices of the right shape."""
+    mat = random_psd(dim, rng=seed)
+    assert mat.shape == (dim, dim)
+    assert is_psd(mat)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_projection_is_closest_in_tested_directions(seed):
+    """Property: the PSD projection never moves further than clipping all eigenvalues."""
+    rng = np.random.default_rng(seed)
+    base = rng.standard_normal((4, 4))
+    sym = 0.5 * (base + base.T)
+    proj = project_to_psd(sym)
+    assert is_psd(proj)
+    # The projection error equals the norm of the clipped negative part.
+    eigvals = np.linalg.eigvalsh(sym)
+    expected = np.sqrt(np.sum(np.clip(-eigvals, 0, None) ** 2))
+    assert np.linalg.norm(proj - sym) == pytest.approx(expected, abs=1e-8)

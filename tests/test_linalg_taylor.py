@@ -1,0 +1,133 @@
+"""Tests for repro.linalg.taylor (Lemma 4.2 truncated exponentials)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import NumericalError
+from repro.linalg.expm import expm_eigh
+from repro.linalg.psd import is_psd, random_psd
+from repro.linalg.taylor import (
+    TaylorExpmOperator,
+    taylor_degree,
+    taylor_expm_apply,
+    taylor_expm_matrix,
+)
+
+
+class TestTaylorDegree:
+    def test_matches_lemma_formula(self):
+        kappa, eps = 3.0, 0.1
+        expected = math.ceil(max(math.e**2 * kappa, math.log(2.0 / eps)))
+        assert taylor_degree(kappa, eps) == expected
+
+    def test_small_kappa_floor(self):
+        # kappa below 1 is clamped to 1 inside the rule.
+        assert taylor_degree(0.0, 0.5) == math.ceil(math.e**2)
+
+    def test_eps_dominates_for_tiny_eps(self):
+        assert taylor_degree(0.0, 1e-9) >= math.log(2e9) - 1
+
+    def test_invalid_eps(self):
+        with pytest.raises(ValueError):
+            taylor_degree(1.0, 0.0)
+        with pytest.raises(ValueError):
+            taylor_degree(1.0, 1.0)
+
+    def test_invalid_kappa(self):
+        with pytest.raises(ValueError):
+            taylor_degree(-1.0, 0.5)
+
+
+class TestTaylorApply:
+    def test_matrix_matches_expm_at_high_degree(self, small_psd):
+        approx = taylor_expm_matrix(small_psd, degree=40)
+        np.testing.assert_allclose(approx, expm_eigh(small_psd), atol=1e-8)
+
+    def test_vector_apply_matches_matrix(self, small_psd, rng):
+        vec = rng.standard_normal(5)
+        full = taylor_expm_matrix(small_psd, degree=15)
+        np.testing.assert_allclose(taylor_expm_apply(small_psd, vec, 15), full @ vec, atol=1e-9)
+
+    def test_block_apply_matches_columns(self, small_psd, rng):
+        block = rng.standard_normal((5, 3))
+        out = taylor_expm_apply(small_psd, block, 12)
+        for j in range(3):
+            np.testing.assert_allclose(out[:, j], taylor_expm_apply(small_psd, block[:, j], 12), atol=1e-10)
+
+    def test_degree_one_is_identity(self, small_psd, rng):
+        vec = rng.standard_normal(5)
+        np.testing.assert_allclose(taylor_expm_apply(small_psd, vec, 1), vec)
+
+    def test_invalid_degree(self, small_psd):
+        with pytest.raises(ValueError):
+            taylor_expm_apply(small_psd, np.ones(5), 0)
+
+    def test_sparse_input(self, rng):
+        import scipy.sparse as sp
+
+        dense = random_psd(6, rng=rng)
+        sparse = sp.csr_matrix(dense)
+        vec = rng.standard_normal(6)
+        np.testing.assert_allclose(
+            taylor_expm_apply(sparse, vec, 20), taylor_expm_apply(dense, vec, 20), atol=1e-10
+        )
+
+    def test_overflow_detection(self):
+        mat = np.diag([400.0, 0.0])
+        with pytest.raises(NumericalError):
+            # Astronomically large intermediate terms must be flagged, not returned.
+            taylor_expm_apply(mat * 10, np.ones(2) * 1e300, 50)
+
+
+class TestLemma42Guarantee:
+    @pytest.mark.parametrize("eps", [0.3, 0.1, 0.05])
+    def test_one_sided_sandwich(self, rng, eps):
+        """(1 - eps) exp(B) <= B_hat <= exp(B) in the Loewner order (Lemma 4.2)."""
+        kappa = 2.0
+        mat = random_psd(6, rng=rng, scale=kappa)
+        degree = taylor_degree(kappa, eps)
+        approx = taylor_expm_matrix(mat, degree)
+        exact = expm_eigh(mat)
+        assert is_psd(exact - approx, tol=1e-9)
+        assert is_psd(approx - (1 - eps) * exact, tol=1e-9)
+
+
+class TestTaylorExpmOperator:
+    def test_quadratic_form_approximates_exp_dot(self, rng):
+        mat = random_psd(6, rng=rng, scale=2.0)
+        q = rng.standard_normal((6, 2))
+        op = TaylorExpmOperator(mat, kappa=2.0, eps=0.01)
+        exact = float(np.sum(expm_eigh(mat) * (q @ q.T)))
+        assert op.quadratic_form(q) == pytest.approx(exact, rel=0.02)
+
+    def test_matvec_counter_increments(self, rng):
+        mat = random_psd(4, rng=rng)
+        op = TaylorExpmOperator(mat, kappa=1.0, eps=0.1)
+        before = op.matvec_count
+        op.apply(np.ones(4))
+        assert op.matvec_count == before + (op.degree - 1)
+
+    def test_callable_requires_dim(self):
+        with pytest.raises(ValueError):
+            TaylorExpmOperator(lambda v: v, kappa=1.0, eps=0.1)
+
+    def test_negative_kappa_rejected(self, small_psd):
+        with pytest.raises(ValueError):
+            TaylorExpmOperator(small_psd, kappa=-1.0, eps=0.1)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=9999), eps=st.floats(min_value=0.05, max_value=0.5))
+def test_taylor_underestimates_trace_property(seed, eps):
+    """Property: the Lemma 4.2 polynomial never exceeds the true exponential trace."""
+    mat = random_psd(5, rng=seed, scale=1.5)
+    degree = taylor_degree(1.5, eps)
+    approx_trace = float(np.trace(taylor_expm_matrix(mat, degree)))
+    exact_trace = float(np.trace(expm_eigh(mat)))
+    assert approx_trace <= exact_trace + 1e-9
+    assert approx_trace >= (1 - eps) * exact_trace - 1e-9

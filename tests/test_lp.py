@@ -1,0 +1,164 @@
+"""Tests for the positive-LP substrate (problem class, Young, Luby–Nisan)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import InvalidProblemError
+from repro.lp import (
+    PackingLP,
+    diagonal_sdp_from_packing_lp,
+    luby_nisan_packing_lp,
+    packing_lp_from_diagonal_sdp,
+    young_packing_lp,
+)
+from repro.lp.young import young_decision_lp
+from repro.problems.lp_instances import random_packing_lp, set_cover_lp
+from repro.baselines.exact import exact_packing_value
+
+
+class TestPackingLP:
+    def test_construction_and_shape(self):
+        lp = PackingLP(np.array([[1.0, 0.5], [0.0, 2.0]]))
+        assert lp.num_constraints == 2
+        assert lp.num_variables == 2
+        assert lp.width == 2.0
+
+    def test_rejects_negative_entries(self):
+        with pytest.raises(InvalidProblemError):
+            PackingLP(np.array([[1.0, -0.5]]))
+
+    def test_rejects_nan(self):
+        with pytest.raises(InvalidProblemError):
+            PackingLP(np.array([[np.nan, 1.0]]))
+
+    def test_rejects_unconstrained_variable(self):
+        with pytest.raises(InvalidProblemError):
+            PackingLP(np.array([[1.0, 0.0]]))
+
+    def test_feasibility_and_value(self):
+        lp = PackingLP(np.array([[1.0, 1.0], [2.0, 0.5]]))
+        x = np.array([0.25, 0.25])
+        assert lp.feasible(x)
+        assert lp.value(x) == pytest.approx(0.5)
+        assert not lp.feasible(np.array([1.0, 1.0]))
+
+    def test_slack(self):
+        lp = PackingLP(np.array([[1.0, 1.0]]))
+        np.testing.assert_allclose(lp.slack(np.array([0.25, 0.25])), [0.5])
+
+
+class TestDiagonalConversions:
+    def test_roundtrip(self, rng):
+        lp = random_packing_lp(4, 5, rng=rng)
+        sdp = diagonal_sdp_from_packing_lp(lp)
+        back = packing_lp_from_diagonal_sdp(sdp)
+        np.testing.assert_allclose(back.matrix, lp.matrix, atol=1e-12)
+
+    def test_non_diagonal_rejected(self, small_problem):
+        with pytest.raises(InvalidProblemError):
+            packing_lp_from_diagonal_sdp(small_problem)
+
+    def test_sdp_and_lp_have_same_optimum(self, rng):
+        lp = random_packing_lp(4, 4, rng=rng)
+        sdp = diagonal_sdp_from_packing_lp(lp)
+        sdp_value = exact_packing_value(sdp).value
+        # Reference LP value via scipy linprog-free check: the diagonal SDP's
+        # exact packing value must be achievable by an LP-feasible vector.
+        lp_vector = exact_packing_value(sdp).x
+        assert lp.feasible(lp_vector, tol=1e-6)
+        assert lp.value(lp_vector) == pytest.approx(sdp_value, rel=1e-9)
+
+
+class TestYoungLP:
+    def test_known_optimum_single_constraint(self):
+        # max x1 + x2 s.t. x1 + x2 <= 1  ->  OPT = 1.
+        lp = PackingLP(np.array([[1.0, 1.0]]))
+        result = young_packing_lp(lp, epsilon=0.1)
+        assert lp.feasible(result.x, tol=1e-6)
+        assert result.value >= 0.85
+        assert result.upper_bound >= result.value
+
+    def test_identity_constraints(self):
+        # max sum x s.t. x_j <= 1 -> OPT = n.
+        lp = PackingLP(np.eye(4))
+        result = young_packing_lp(lp, epsilon=0.1)
+        assert result.value >= 4 / 1.2
+        assert result.upper_bound <= 4 * 1.3
+
+    def test_certified_gap_meets_epsilon(self, rng):
+        lp = random_packing_lp(5, 6, rng=rng)
+        result = young_packing_lp(lp, epsilon=0.15)
+        assert lp.feasible(result.x, tol=1e-6)
+        assert result.relative_gap <= 0.15 + 1e-9
+
+    def test_close_to_exact(self, rng):
+        lp = random_packing_lp(4, 5, rng=rng)
+        sdp = diagonal_sdp_from_packing_lp(lp)
+        exact = exact_packing_value(sdp).value
+        result = young_packing_lp(lp, epsilon=0.1)
+        assert result.value >= exact / 1.12
+        assert result.upper_bound >= exact * (1 - 1e-6)
+
+    def test_invalid_epsilon(self, rng):
+        lp = random_packing_lp(3, 3, rng=rng)
+        with pytest.raises(InvalidProblemError):
+            young_packing_lp(lp, epsilon=0.0)
+
+    def test_decision_routine_dual_side(self):
+        # Scaled so the optimum is clearly above 1: small coefficients.
+        matrix = np.full((2, 3), 0.05)
+        result, _ = young_decision_lp(matrix, epsilon=0.2)
+        assert result.outcome == "dual"
+        assert result.max_load > 0
+
+    def test_decision_routine_primal_side(self):
+        # Scaled so the optimum is clearly below 1: large coefficients.
+        matrix = np.full((2, 3), 50.0)
+        result, _ = young_decision_lp(matrix, epsilon=0.2)
+        assert result.outcome == "primal"
+        assert result.cover_min > 0
+
+    def test_history_collection(self, rng):
+        lp = random_packing_lp(3, 4, rng=rng)
+        result = young_packing_lp(lp, epsilon=0.2, collect_history=True)
+        assert isinstance(result.history, list)
+
+
+class TestLubyNisanLP:
+    def test_certified_gap(self, rng):
+        lp = random_packing_lp(4, 5, rng=rng)
+        result = luby_nisan_packing_lp(lp, epsilon=0.2)
+        assert lp.feasible(result.x, tol=1e-6)
+        assert result.relative_gap <= 0.2 + 1e-9
+        assert result.phases >= 1
+
+    def test_agrees_with_young(self, rng):
+        lp = random_packing_lp(4, 4, rng=rng)
+        young = young_packing_lp(lp, epsilon=0.15)
+        ln = luby_nisan_packing_lp(lp, epsilon=0.15)
+        # Both certify the same optimum within their epsilon bands.
+        assert ln.value == pytest.approx(young.value, rel=0.35)
+
+    def test_set_cover_instance(self, rng):
+        lp = set_cover_lp(6, 8, coverage=2, rng=rng)
+        result = luby_nisan_packing_lp(lp, epsilon=0.2)
+        assert lp.feasible(result.x, tol=1e-6)
+        assert result.value > 0
+
+    def test_invalid_epsilon(self, rng):
+        lp = random_packing_lp(3, 3, rng=rng)
+        with pytest.raises(InvalidProblemError):
+            luby_nisan_packing_lp(lp, epsilon=1.0)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=999))
+def test_young_always_feasible_property(seed):
+    """Property: Young's solver always returns an exactly feasible vector."""
+    lp = random_packing_lp(3, 4, density=0.7, rng=seed)
+    result = young_packing_lp(lp, epsilon=0.25)
+    assert lp.feasible(result.x, tol=1e-6)
+    assert result.value <= result.upper_bound + 1e-9

@@ -1,0 +1,219 @@
+"""Tests for the workload generators in repro.problems."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidProblemError
+from repro.linalg.psd import is_psd
+from repro.operators.diagonal import DiagonalPSDOperator
+from repro.operators.factorized import FactorizedPSDOperator
+from repro.problems import (
+    beamforming_sdp,
+    diagonal_packing_sdp,
+    maxcut_sdp,
+    maxcut_value_bound,
+    random_factorized_packing_sdp,
+    random_graph,
+    random_packing_lp,
+    random_packing_sdp,
+    random_positive_sdp,
+    random_width_controlled_sdp,
+    set_cover_lp,
+    sparse_pca_sdp,
+)
+
+
+class TestRandomPackingSDP:
+    def test_shapes(self, rng):
+        problem = random_packing_sdp(5, 7, rng=rng)
+        assert problem.num_constraints == 5
+        assert problem.dim == 7
+
+    def test_all_constraints_psd(self, rng):
+        problem = random_packing_sdp(4, 5, rng=rng)
+        for op in problem.constraints:
+            assert is_psd(op.to_dense())
+
+    def test_reproducibility(self):
+        a = random_packing_sdp(3, 4, rng=11)
+        b = random_packing_sdp(3, 4, rng=11)
+        for op_a, op_b in zip(a.constraints, b.constraints):
+            np.testing.assert_array_equal(op_a.to_dense(), op_b.to_dense())
+
+    def test_rank_control(self, rng):
+        problem = random_packing_sdp(3, 6, rank=2, rng=rng)
+        for op in problem.constraints:
+            eigvals = np.linalg.eigvalsh(op.to_dense())
+            assert np.sum(eigvals > 1e-9) <= 2
+
+    def test_invalid_sizes(self):
+        with pytest.raises(InvalidProblemError):
+            random_packing_sdp(0, 3)
+
+
+class TestFactorizedGenerator:
+    def test_operators_are_factorized(self, rng):
+        problem = random_factorized_packing_sdp(4, 6, rank=2, density=0.5, rng=rng)
+        for op in problem.constraints:
+            assert isinstance(op, FactorizedPSDOperator)
+            assert op.rank == 2
+
+    def test_density_controls_nnz(self):
+        sparse = random_factorized_packing_sdp(6, 20, rank=3, density=0.2, rng=5)
+        dense = random_factorized_packing_sdp(6, 20, rank=3, density=1.0, rng=5)
+        assert sparse.constraints.total_nnz < dense.constraints.total_nnz
+
+    def test_invalid_density(self):
+        with pytest.raises(InvalidProblemError):
+            random_factorized_packing_sdp(3, 4, density=0.0)
+
+    def test_invalid_rank(self):
+        with pytest.raises(InvalidProblemError):
+            random_factorized_packing_sdp(3, 4, rank=0)
+
+
+class TestWidthControlledGenerator:
+    @pytest.mark.parametrize("width", [1.0, 8.0, 64.0])
+    def test_width_is_exact(self, width):
+        problem = random_width_controlled_sdp(4, 5, width=width, rng=3)
+        assert problem.constraints.width() == pytest.approx(width, rel=1e-8)
+
+    def test_invalid_width(self):
+        with pytest.raises(InvalidProblemError):
+            random_width_controlled_sdp(3, 4, width=0.5)
+
+
+class TestRandomPositiveSDP:
+    def test_valid_general_instance(self, rng):
+        problem = random_positive_sdp(3, 4, rng=rng)
+        problem.validate()  # should not raise
+        assert np.all(problem.rhs > 0)
+
+
+class TestGraphInstances:
+    def test_random_graph_kinds(self, rng):
+        for kind in ("cycle", "complete", "star", "grid", "regular", "erdos_renyi"):
+            graph = random_graph(kind, 8, rng=rng)
+            assert graph.number_of_nodes() >= 2
+
+    def test_unknown_kind(self):
+        with pytest.raises(InvalidProblemError):
+            random_graph("hypercube-of-doom", 8)
+
+    def test_maxcut_sdp_structure(self):
+        graph = nx.cycle_graph(6)
+        problem = maxcut_sdp(graph)
+        assert problem.num_constraints == 6
+        assert problem.dim == 6
+        for op in problem.constraints:
+            dense = op.to_dense()
+            # Each edge matrix is 1/4 (e_u - e_v)(e_u - e_v)^T: trace 1/2.
+            assert np.trace(dense) == pytest.approx(0.5)
+            assert np.linalg.matrix_rank(dense) == 1
+
+    def test_maxcut_weighted_edges(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 1, weight=2.0)
+        graph.add_edge(1, 2, weight=0.0)
+        problem = maxcut_sdp(graph)
+        # Zero-weight edges are skipped.
+        assert problem.num_constraints == 1
+        assert np.trace(problem.constraints[0].to_dense()) == pytest.approx(1.0)
+
+    def test_maxcut_negative_weight_rejected(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 1, weight=-1.0)
+        with pytest.raises(InvalidProblemError):
+            maxcut_sdp(graph)
+
+    def test_maxcut_empty_graph_rejected(self):
+        with pytest.raises(InvalidProblemError):
+            maxcut_sdp(nx.empty_graph(3))
+
+    def test_value_bound_positive(self):
+        graph = nx.cycle_graph(8)
+        assert maxcut_value_bound(graph) > 0
+
+    def test_cycle_packing_optimum_known(self):
+        """For the n-cycle the uniform solution x_e = 4 / lambda_max(L) is
+        optimal by symmetry (the feasible set and objective are invariant
+        under the cycle's automorphisms), so OPT = |E| * 4 / lambda_max(L)."""
+        from repro.baselines.exact import exact_packing_value
+
+        graph = nx.cycle_graph(6)
+        problem = maxcut_sdp(graph)
+        lam_max = float(np.linalg.eigvalsh(nx.laplacian_matrix(graph).toarray().astype(float))[-1])
+        expected = graph.number_of_edges() * 4.0 / lam_max
+        assert exact_packing_value(problem).value == pytest.approx(expected, rel=1e-3)
+
+
+class TestBeamforming:
+    def test_structure(self, rng):
+        problem = beamforming_sdp(3, 5, rng=rng)
+        assert problem.dim == 6  # real embedding doubles the antenna count
+        assert problem.num_constraints == 5
+        for op in problem.constraints:
+            assert np.linalg.matrix_rank(op.to_dense()) == 1
+
+    def test_power_shaping_objective(self, rng):
+        problem = beamforming_sdp(2, 3, power_shaping=True, rng=rng)
+        assert not np.allclose(problem.objective.to_dense(), np.eye(4))
+
+    def test_snr_targets_become_rhs(self, rng):
+        problem = beamforming_sdp(2, 3, snr_targets=2.5, rng=rng)
+        np.testing.assert_allclose(problem.rhs, 2.5)
+
+    def test_invalid_targets(self, rng):
+        with pytest.raises(InvalidProblemError):
+            beamforming_sdp(2, 3, snr_targets=0.0, rng=rng)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(InvalidProblemError):
+            beamforming_sdp(0, 3)
+
+
+class TestLPInstances:
+    def test_random_lp_every_variable_constrained(self, rng):
+        lp = random_packing_lp(5, 8, density=0.3, rng=rng)
+        assert np.all(lp.matrix.max(axis=0) > 0)
+
+    def test_set_cover_coverage(self, rng):
+        lp = set_cover_lp(6, 10, coverage=2, rng=rng)
+        col_counts = (lp.matrix > 0).sum(axis=0)
+        assert np.all(col_counts == 2)
+
+    def test_set_cover_invalid_coverage(self, rng):
+        with pytest.raises(InvalidProblemError):
+            set_cover_lp(3, 5, coverage=10, rng=rng)
+
+    def test_diagonal_packing_pair_consistent(self, rng):
+        sdp, lp = diagonal_packing_sdp(4, 5, rng=rng)
+        assert sdp.num_constraints == lp.num_variables
+        for j, op in enumerate(sdp.constraints):
+            assert isinstance(op, DiagonalPSDOperator)
+            np.testing.assert_allclose(op.diagonal, lp.matrix[:, j])
+
+
+class TestSparsePCA:
+    def test_structure(self, rng):
+        problem = sparse_pca_sdp(6, 5, rng=rng)
+        assert problem.num_constraints == 6
+        assert problem.dim == 5
+        for op in problem.constraints:
+            assert np.linalg.matrix_rank(op.to_dense()) == 1
+
+    def test_spike_raises_width(self):
+        flat = sparse_pca_sdp(10, 6, spike_rank=0, rng=9)
+        spiked = sparse_pca_sdp(10, 6, spike_rank=1, spike_strength=25.0, rng=9)
+        assert spiked.constraints.width() > flat.constraints.width()
+
+    def test_invalid_args(self):
+        with pytest.raises(InvalidProblemError):
+            sparse_pca_sdp(0, 3)
+        with pytest.raises(InvalidProblemError):
+            sparse_pca_sdp(3, 3, spike_rank=5)
+        with pytest.raises(InvalidProblemError):
+            sparse_pca_sdp(3, 3, spike_strength=0.0)

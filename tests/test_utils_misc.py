@@ -1,0 +1,143 @@
+"""Tests for repro.utils.{timer, tables, random_utils, logging_utils}."""
+
+from __future__ import annotations
+
+import logging
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils.logging_utils import enable_verbose_logging, get_logger
+from repro.utils.random_utils import (
+    as_generator,
+    random_orthogonal,
+    random_partition,
+    random_unit_vector,
+    spawn_generators,
+)
+from repro.utils.tables import format_table, write_csv
+from repro.utils.timer import Timer, timed
+
+
+class TestTimer:
+    def test_accumulates(self):
+        timer = Timer()
+        with timer:
+            time.sleep(0.002)
+        with timer:
+            time.sleep(0.002)
+        assert timer.elapsed >= 0.004
+        assert len(timer.laps) == 2
+
+    def test_double_start_rejected(self):
+        timer = Timer()
+        timer.start()
+        with pytest.raises(RuntimeError):
+            timer.start()
+        timer.stop()
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_reset(self):
+        timer = Timer()
+        with timer:
+            pass
+        timer.reset()
+        assert timer.elapsed == 0.0
+        assert timer.laps == []
+        assert not timer.running
+
+    def test_timed_context_reports(self):
+        messages = []
+        with timed("unit-test", sink=messages.append):
+            pass
+        assert len(messages) == 1
+        assert "unit-test" in messages[0]
+
+
+class TestTables:
+    def test_format_dict_rows(self):
+        text = format_table([{"a": 1, "b": 2.5}, {"a": 10, "b": 0.25}], title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_sequence_rows_requires_headers(self):
+        with pytest.raises(ValueError):
+            format_table([[1, 2]], headers=None)
+
+    def test_format_empty(self):
+        assert "(no rows)" in format_table([])
+
+    def test_bool_rendering(self):
+        text = format_table([{"ok": True}, {"ok": False}])
+        assert "yes" in text and "no" in text
+
+    def test_write_csv_creates_directories(self, tmp_path):
+        path = write_csv(tmp_path / "sub" / "data.csv", [{"x": 1, "y": "a"}])
+        content = open(path).read()
+        assert "x,y" in content and "1,a" in content
+
+    def test_write_csv_missing_keys(self, tmp_path):
+        path = write_csv(tmp_path / "data.csv", [{"x": 1}, {"y": 2}], headers=["x", "y"])
+        lines = open(path).read().strip().splitlines()
+        assert lines[1] == "1,"
+        assert lines[2] == ",2"
+
+
+class TestRandomUtils:
+    def test_as_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_as_generator_seed_reproducible(self):
+        assert as_generator(42).integers(1000) == as_generator(42).integers(1000)
+
+    def test_as_generator_default_seed(self):
+        a = as_generator(None).integers(1000)
+        b = as_generator(None).integers(1000)
+        assert a == b  # default seed comes from config
+
+    def test_spawn_generators_independent(self):
+        gens = spawn_generators(7, 3)
+        values = [g.integers(10**6) for g in gens]
+        assert len(set(values)) == 3
+
+    def test_spawn_negative_count(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+    def test_random_orthogonal(self):
+        q = random_orthogonal(5, rng=1)
+        np.testing.assert_allclose(q @ q.T, np.eye(5), atol=1e-10)
+
+    def test_random_unit_vector(self):
+        v = random_unit_vector(7, rng=2)
+        assert np.linalg.norm(v) == pytest.approx(1.0)
+
+    def test_random_partition_sums(self):
+        parts = random_partition(5.0, 4, rng=3)
+        assert parts.shape == (4,)
+        assert parts.sum() == pytest.approx(5.0)
+        assert np.all(parts >= 0)
+
+    def test_random_partition_invalid(self):
+        with pytest.raises(ValueError):
+            random_partition(1.0, 0)
+
+
+class TestLogging:
+    def test_get_logger_namespacing(self):
+        assert get_logger().name == "repro"
+        assert get_logger("core").name == "repro.core"
+        assert get_logger("repro.linalg").name == "repro.linalg"
+
+    def test_enable_verbose_idempotent(self):
+        logger = enable_verbose_logging(logging.DEBUG)
+        handlers_before = len(logger.handlers)
+        enable_verbose_logging(logging.DEBUG)
+        assert len(logger.handlers) == handlers_before

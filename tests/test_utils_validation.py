@@ -1,0 +1,116 @@
+"""Tests for repro.utils.validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.exceptions import InvalidProblemError
+from repro.utils.validation import (
+    as_float_array,
+    check_square,
+    check_symmetric,
+    ensure_1d,
+    ensure_positive_scalar,
+    symmetrize,
+)
+
+
+class TestAsFloatArray:
+    def test_list_input(self):
+        arr = as_float_array([[1, 2], [3, 4]])
+        assert arr.dtype == np.float64
+        assert arr.flags["C_CONTIGUOUS"]
+
+    def test_sparse_input_densified(self):
+        arr = as_float_array(sp.eye(3, format="csr"))
+        np.testing.assert_allclose(arr, np.eye(3))
+
+    def test_rejects_nan(self):
+        with pytest.raises(InvalidProblemError):
+            as_float_array([1.0, np.nan])
+
+    def test_rejects_inf(self):
+        with pytest.raises(InvalidProblemError):
+            as_float_array([1.0, np.inf])
+
+
+class TestCheckSquare:
+    def test_accepts_square(self):
+        mat = check_square(np.ones((3, 3)))
+        assert mat.shape == (3, 3)
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(InvalidProblemError):
+            check_square(np.ones((2, 3)))
+
+    def test_rejects_1d(self):
+        with pytest.raises(InvalidProblemError):
+            check_square(np.ones(4))
+
+
+class TestCheckSymmetric:
+    def test_accepts_symmetric(self):
+        mat = np.array([[1.0, 2.0], [2.0, 3.0]])
+        out = check_symmetric(mat)
+        np.testing.assert_allclose(out, out.T)
+
+    def test_rejects_asymmetric(self):
+        mat = np.array([[1.0, 2.0], [0.0, 3.0]])
+        with pytest.raises(InvalidProblemError):
+            check_symmetric(mat)
+
+    def test_tolerates_tiny_asymmetry(self):
+        mat = np.array([[1.0, 2.0], [2.0 + 1e-14, 3.0]])
+        out = check_symmetric(mat)
+        np.testing.assert_allclose(out, out.T)
+
+    def test_output_exactly_symmetric(self):
+        rng = np.random.default_rng(0)
+        base = rng.standard_normal((6, 6))
+        mat = base + base.T + 1e-12 * rng.standard_normal((6, 6))
+        out = check_symmetric(mat)
+        assert np.array_equal(out, out.T)
+
+
+class TestSymmetrize:
+    def test_symmetrize_average(self):
+        mat = np.array([[0.0, 2.0], [0.0, 0.0]])
+        np.testing.assert_allclose(symmetrize(mat), [[0.0, 1.0], [1.0, 0.0]])
+
+
+class TestEnsure1d:
+    def test_flattens(self):
+        assert ensure_1d([[1.0], [2.0]]).shape == (2,)
+
+    def test_scalar_becomes_vector(self):
+        assert ensure_1d(3.0).shape == (1,)
+
+    def test_rejects_nan(self):
+        with pytest.raises(InvalidProblemError):
+            ensure_1d([np.nan])
+
+
+class TestEnsurePositiveScalar:
+    def test_accepts_positive(self):
+        assert ensure_positive_scalar(2) == 2.0
+
+    def test_rejects_zero_when_strict(self):
+        with pytest.raises(InvalidProblemError):
+            ensure_positive_scalar(0.0)
+
+    def test_accepts_zero_when_not_strict(self):
+        assert ensure_positive_scalar(0.0, strict=False) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(InvalidProblemError):
+            ensure_positive_scalar(-1.0, strict=False)
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(InvalidProblemError):
+            ensure_positive_scalar("abc")
+
+    def test_rejects_infinite(self):
+        with pytest.raises(InvalidProblemError):
+            ensure_positive_scalar(np.inf)
