@@ -1,0 +1,230 @@
+"""E11 — packed Gram-factor fast path vs the seed per-factor loop.
+
+Measures, across an ``(n, m, factor sparsity)`` grid:
+
+* the latency of one :class:`~repro.core.dotexp.FastDotExpOracle` call on
+  the packed single-GEMM path (``packed=True``) against the seed
+  per-factor Python loop (``packed=False``);
+* the end-to-end wall clock of ``decision_psdp(oracle="fast")`` on both
+  paths (iteration-capped so the grid finishes quickly);
+* the packed-vs-reference agreement of ``big_dot_exp(use_sketch=False)``
+  (the deterministic path, which must match to ~1e-8).
+
+Results are printed as a table and emitted machine-readably to
+``BENCH_packed.json`` at the repository root (override with ``--output``).
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_e11_packed.py [--quick]
+
+The ``--quick`` mode is the CI smoke invocation: a reduced grid and fewer
+repetitions, still exercising every code path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+import numpy as np
+import scipy.sparse as sp
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
+
+from repro.core.decision import decision_psdp  # noqa: E402
+from repro.core.dotexp import FastDotExpOracle, big_dot_exp  # noqa: E402
+from repro.operators import ConstraintCollection, FactorizedPSDOperator  # noqa: E402
+
+DEFAULT_OUTPUT = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_packed.json"
+)
+
+# (n, m, factor_kind) grid; "sparse" factors carry ~5% nonzeros.
+FULL_GRID = [
+    (50, 64, "dense"),
+    (200, 128, "dense"),
+    (200, 128, "sparse"),
+    (400, 128, "dense"),
+    (200, 256, "dense"),
+    (400, 256, "sparse"),
+]
+QUICK_GRID = [
+    (40, 32, "dense"),
+    (60, 48, "sparse"),
+]
+
+RANK = 2
+SPARSE_DENSITY = 0.05
+ORACLE_EPS = 0.1
+DECISION_CAP = 40
+
+
+def make_operators(n: int, m: int, kind: str, seed: int) -> list[FactorizedPSDOperator]:
+    """Random factorized constraints, scaled so the threshold-1 decision
+    problem is non-trivial but bounded."""
+    rng = np.random.default_rng(seed)
+    scale = 1.0 / np.sqrt(m)
+    ops = []
+    for i in range(n):
+        if kind == "sparse":
+            factor = sp.random(
+                m, RANK, density=SPARSE_DENSITY, random_state=rng, format="csr"
+            )
+            factor = factor * (scale * np.sqrt(1.0 / SPARSE_DENSITY))
+            if factor.nnz == 0:  # keep every constraint's trace positive
+                factor = sp.csr_matrix(
+                    (np.full(RANK, scale), (rng.integers(0, m, RANK), np.arange(RANK))),
+                    shape=(m, RANK),
+                )
+            ops.append(FactorizedPSDOperator(factor))
+        else:
+            ops.append(FactorizedPSDOperator(scale * rng.standard_normal((m, RANK))))
+    return ops
+
+
+def fresh_collection(ops) -> ConstraintCollection:
+    """A new collection over the same factors (so no packed cache leaks
+    between the seed-path and packed-path measurements)."""
+    return ConstraintCollection(
+        [FactorizedPSDOperator(op.gram_factor_raw()) for op in ops], validate=False
+    )
+
+
+def time_call(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_oracle(ops, n: int, m: int, repeats: int, seed: int) -> dict:
+    x = np.abs(np.random.default_rng(seed).random(n)) / n
+    psi_placeholder = np.zeros((m, m))  # the fast oracle reads x, not psi
+
+    timings = {}
+    for label, packed in (("seed", False), ("packed", True)):
+        coll = fresh_collection(ops)
+        oracle = FastDotExpOracle(coll, eps=ORACLE_EPS, rng=seed, packed=packed)
+        oracle(psi_placeholder, x)  # warm up (factor packing, BLAS init)
+        timings[label] = time_call(lambda: oracle(psi_placeholder, x), repeats)
+
+    # Deterministic-path equivalence: packed vs per-factor loop, no sketch.
+    coll = fresh_collection(ops)
+    phi = coll.weighted_sum(x)
+    reference = big_dot_exp(phi, coll.gram_factors(), kappa=2.0, eps=0.2, use_sketch=False)
+    packed_vals = big_dot_exp(phi, coll.packed(), kappa=2.0, eps=0.2, use_sketch=False)
+    max_abs_err = float(np.max(np.abs(packed_vals - reference)))
+
+    return {
+        "seed_seconds": timings["seed"],
+        "packed_seconds": timings["packed"],
+        "speedup": timings["seed"] / max(timings["packed"], 1e-12),
+        "nosketch_max_abs_err": max_abs_err,
+    }
+
+
+def bench_decision(ops, n: int, m: int, seed: int, cap: int) -> dict:
+    results = {}
+    for label, packed in (("seed", False), ("packed", True)):
+        coll = fresh_collection(ops)
+        oracle = FastDotExpOracle(coll, eps=ORACLE_EPS, rng=seed, packed=packed)
+        start = time.perf_counter()
+        result = decision_psdp(
+            coll, epsilon=0.2, oracle=oracle, max_iterations=cap, rng=seed
+        )
+        results[label] = {
+            "seconds": time.perf_counter() - start,
+            "outcome": result.outcome.name,
+            "iterations": result.iterations,
+        }
+    return {
+        "seed_seconds": results["seed"]["seconds"],
+        "packed_seconds": results["packed"]["seconds"],
+        "speedup": results["seed"]["seconds"] / max(results["packed"]["seconds"], 1e-12),
+        "outcome_seed": results["seed"]["outcome"],
+        "outcome_packed": results["packed"]["outcome"],
+        "iterations_seed": results["seed"]["iterations"],
+        "iterations_packed": results["packed"]["iterations"],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI smoke grid")
+    parser.add_argument("--output", default=DEFAULT_OUTPUT, help="JSON output path")
+    parser.add_argument("--seed", type=int, default=7, help="instance seed")
+    args = parser.parse_args(argv)
+
+    grid = QUICK_GRID if args.quick else FULL_GRID
+    repeats = 2 if args.quick else 3
+    cap = 10 if args.quick else DECISION_CAP
+
+    oracle_rows = []
+    decision_rows = []
+    for n, m, kind in grid:
+        ops = make_operators(n, m, kind, args.seed)
+        q = sum(op.nnz for op in ops)
+        base = {"n": n, "m": m, "factor_kind": kind, "rank": RANK, "total_nnz": q}
+
+        row = {**base, **bench_oracle(ops, n, m, repeats, args.seed)}
+        oracle_rows.append(row)
+        print(
+            f"[oracle]   n={n:4d} m={m:4d} {kind:6s} "
+            f"seed={row['seed_seconds']*1e3:9.2f}ms packed={row['packed_seconds']*1e3:8.2f}ms "
+            f"speedup={row['speedup']:7.1f}x nosketch_err={row['nosketch_max_abs_err']:.2e}"
+        )
+
+        row = {**base, **bench_decision(ops, n, m, args.seed, cap)}
+        decision_rows.append(row)
+        print(
+            f"[decision] n={n:4d} m={m:4d} {kind:6s} "
+            f"seed={row['seed_seconds']:8.3f}s  packed={row['packed_seconds']:7.3f}s  "
+            f"speedup={row['speedup']:7.1f}x outcomes={row['outcome_seed']}/{row['outcome_packed']}"
+        )
+
+    payload = {
+        "experiment": "E11-packed",
+        "description": "packed Gram-factor fast path vs seed per-factor loop",
+        "quick": args.quick,
+        "config": {
+            "rank": RANK,
+            "sparse_density": SPARSE_DENSITY,
+            "oracle_eps": ORACLE_EPS,
+            "decision_iteration_cap": cap,
+            "repeats": repeats,
+            "seed": args.seed,
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "oracle": oracle_rows,
+        "decision": decision_rows,
+    }
+    output = os.path.abspath(args.output)
+    with open(output, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"[json] {output}")
+
+    failures = []
+    for row in oracle_rows:
+        if row["nosketch_max_abs_err"] > 1e-8:
+            failures.append(f"no-sketch mismatch {row['nosketch_max_abs_err']:.2e} at {row}")
+        if not args.quick and row["n"] >= 200 and row["m"] >= 128 and row["speedup"] < 5.0:
+            failures.append(
+                f"speedup {row['speedup']:.1f}x < 5x at n={row['n']}, m={row['m']}"
+            )
+    for line in failures:
+        print(f"[FAIL] {line}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -36,6 +36,7 @@ certifies):
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from dataclasses import dataclass, field
 from typing import Any
@@ -46,7 +47,9 @@ from repro.config import get_config
 from repro.exceptions import InvalidProblemError, SolverError
 from repro.instrumentation.history import ConvergenceHistory, IterationRecord
 from repro.linalg.expm import expm_normalized
+from repro.linalg.norms import top_eigenvalue
 from repro.operators.collection import ConstraintCollection
+from repro.utils.random_utils import spawn_generators
 from repro.parallel.backends import ExecutionBackend, SerialBackend
 from repro.parallel.workdepth import WorkDepthTracker
 from repro.core.dotexp import DotExpOracle, make_oracle
@@ -173,7 +176,9 @@ def decision_psdp(
             raise TypeError(f"unknown decision options: {sorted(unknown)}")
         opts = DecisionOptions(**{**opts.__dict__, **overrides})
     if epsilon is not None:
-        opts.epsilon = float(epsilon)
+        # Copy before overriding: the caller's options object must not be
+        # silently mutated across calls.
+        opts = dataclasses.replace(opts, epsilon=float(epsilon))
 
     constraints = _resolve_constraints(problem)
     cfg = get_config()
@@ -225,6 +230,20 @@ def decision_psdp(
     history = ConvergenceHistory() if opts.collect_history else None
     log_depth = math.log2(max(n, 2)) + math.log2(max(m, 2))
 
+    # Top-eigenvalue estimation (certificate checks, history, final dual
+    # rescaling): Lanczos at O(m^2) per sweep instead of the O(m^3)
+    # eigendecomposition; tiny matrices fall back to exact eigvalsh inside
+    # top_eigenvalue.  The work charge reflects the cheaper routine.  The
+    # generator is spawned, not shared: consuming the oracle's stream here
+    # would make sketch draws depend on history/certificate cadence.
+    eig_rng = spawn_generators(opts.rng, 1)[0]
+    eig_cost = float(m * m * min(m, cfg.power_iteration_maxiter))
+
+    def psi_lambda_max(matrix: np.ndarray) -> float:
+        if m == 0:
+            return 0.0
+        return top_eigenvalue(matrix, rng=eig_rng)
+
     # --- initialisation (Claim 3.3): x_i(0) = 1 / (n Tr[A_i]) ------------------
     x = 1.0 / (n * traces)
     psi = constraints.weighted_sum(x)
@@ -251,7 +270,8 @@ def decision_psdp(
         # by (1 + 10 eps) K, so this is never worse than the paper's scaling,
         # and scaling *up* when lam < 1 only strengthens the certificate.
         psi_now = constraints.weighted_sum(dual_candidate)
-        lam = float(np.linalg.eigvalsh(psi_now)[-1]) if m else 0.0
+        lam = psi_lambda_max(psi_now)
+        tracker.charge(eig_cost, log_depth, label="dual-rescale")
         scale = lam if lam > 0 else 1.0
         dual_x = dual_candidate / scale
         dual_value = float(dual_x.sum())
@@ -312,9 +332,9 @@ def decision_psdp(
                     iteration=t,
                     x_norm=float(x.sum()),
                     updated=updated,
-                    min_value=float(values.min(initial=np.nan)),
-                    max_value=float(values.max(initial=np.nan)),
-                    psi_lambda_max=float(np.linalg.eigvalsh(psi)[-1]) if m else 0.0,
+                    min_value=float(values.min(initial=np.inf)),
+                    max_value=float(values.max(initial=-np.inf)),
+                    psi_lambda_max=psi_lambda_max(psi),
                     oracle_work=output.work,
                 )
             )
@@ -331,13 +351,25 @@ def decision_psdp(
         # Line 6: multiply the selected coordinates by (1 + alpha).
         delta = np.where(mask, params.alpha * x, 0.0)
         x = x + delta
+        # weighted_sum routes through the packed Gram-factor view when the
+        # fast oracle built one (and the factors are exact): a single GEMM
+        # over the active columns only.
         psi = psi + constraints.weighted_sum(delta)
-        tracker.charge(constraints.total_nnz + n, log_depth, label="update")
+        packed_view = constraints.packed_fast_path
+        if packed_view is not None and packed_view.total_rank > 0:
+            # Charge only the touched share of the factor nonzeros.
+            active_cols = int(packed_view.ranks[mask].sum())
+            update_work = (
+                constraints.total_nnz * active_cols / packed_view.total_rank + n
+            )
+        else:
+            update_work = constraints.total_nnz + n
+        tracker.charge(update_work, log_depth, label="update")
 
         # Early certificate checks (non-strict mode only).
         if check_every and t % check_every == 0:
-            lam = float(np.linalg.eigvalsh(psi)[-1]) if m else 0.0
-            tracker.charge(float(m**3), log_depth, label="certificate-check")
+            lam = psi_lambda_max(psi)
+            tracker.charge(eig_cost, log_depth, label="certificate-check")
             if lam > 0 and float(x.sum()) / lam >= 1.0 - eps:
                 return build_result(DecisionOutcome.DUAL, t, early=True, dual_candidate=x)
             primal_candidate = current_primal()

@@ -19,6 +19,26 @@ interchangeable oracle implementations are provided:
 The standalone function :func:`big_dot_exp` exposes the Theorem 4.1
 primitive directly (given ``Phi``, a norm bound ``kappa``, and the factors),
 which is what the E3/E8 benchmarks exercise.
+
+Packed fast path
+----------------
+``big_dot_exp`` accepts either a plain sequence of factors (the reference
+per-factor loop, kept bit-for-bit as the correctness baseline) or a
+:class:`repro.operators.packed.PackedGramFactors` view.  With the packed
+view the estimate pass ``|| (Pi exp(Phi/2)) Q_i ||_F^2`` for *all* ``n``
+constraints is one ``(d, m) x (m, R)`` GEMM followed by a segment sum over
+the column blocks — the Python loop over factors disappears.  The trace
+normalisation ``Tr[exp(Phi)] ≈ || Pi exp(Phi/2) ||_F^2`` is read directly
+off the already-computed transformed sketch block (``Q = I`` makes the
+estimate GEMM the identity), so the packed path never materialises the
+dense ``np.eye(m)`` pseudo-factor the reference path appends.
+
+:class:`FastDotExpOracle` uses the packed view by default (``packed=True``):
+its ``Psi``-matvec becomes ``Q (w ∘ (Q^T v))`` — two GEMMs over the stacked
+factor matrix instead of an ``n``-term loop — and its estimates use the
+packed pass above.  In the work–depth model both paths charge identical
+``O(q)``-work / polylog-depth costs; ``benchmarks/bench_e11_packed.py``
+measures the wall-clock difference.
 """
 
 from __future__ import annotations
@@ -36,6 +56,7 @@ from repro.linalg.norms import spectral_norm_power
 from repro.linalg.sketching import gaussian_sketch, jl_dimension
 from repro.linalg.taylor import taylor_degree, taylor_expm_apply
 from repro.operators.collection import ConstraintCollection
+from repro.operators.packed import PackedGramFactors, segment_sums
 from repro.parallel.backends import ExecutionBackend
 from repro.utils.random_utils import RandomState, as_generator
 
@@ -80,7 +101,7 @@ class DotExpOracle(Protocol):
 
 def big_dot_exp(
     phi,
-    factors: Sequence[np.ndarray | sp.spmatrix],
+    factors: Sequence[np.ndarray | sp.spmatrix] | PackedGramFactors,
     kappa: float | None = None,
     eps: float = 0.1,
     rng: RandomState = None,
@@ -88,7 +109,8 @@ def big_dot_exp(
     use_sketch: bool = True,
     counters: OracleCounters | None = None,
     dim: int | None = None,
-) -> np.ndarray:
+    return_trace: bool = False,
+) -> np.ndarray | tuple[np.ndarray, float]:
     """Approximate all ``exp(phi) . (Q_i Q_i^T)`` (Theorem 4.1's ``bigDotExp``).
 
     Parameters
@@ -100,7 +122,9 @@ def big_dot_exp(
         ``Psi = sum_i x_i Q_i Q_i^T`` is applied through the factors).
     factors:
         The Gram factors ``Q_i`` of the constraint matrices, each of shape
-        ``(m, r_i)``.
+        ``(m, r_i)`` — either a plain sequence (reference per-factor loop)
+        or a :class:`~repro.operators.packed.PackedGramFactors` view (the
+        single-GEMM batched path).
     kappa:
         Upper bound on ``max(1, ||phi||_2)``; estimated by power iteration
         when omitted.
@@ -117,15 +141,23 @@ def big_dot_exp(
         to separate the two error sources in tests and E3.
     counters:
         Optional operation counters to update.
+    return_trace:
+        When ``True`` the estimate of ``Tr[exp(phi)] = exp(phi) . I`` is
+        returned alongside the values.  On the packed sketch path this is
+        read directly off the transformed sketch block
+        (``|| Pi exp(phi/2) ||_F^2``) at no extra cost; on the sequence path
+        it is computed by appending the identity pseudo-factor.
 
     Returns
     -------
-    numpy.ndarray
-        Vector of approximations to ``exp(phi) . Q_i Q_i^T``.
+    numpy.ndarray or (numpy.ndarray, float)
+        Vector of approximations to ``exp(phi) . Q_i Q_i^T``, plus the trace
+        estimate when ``return_trace`` is set.
     """
     if eps <= 0 or eps >= 1:
         raise InvalidProblemError(f"eps must be in (0, 1), got {eps}")
-    if not factors:
+    packed = factors if isinstance(factors, PackedGramFactors) else None
+    if packed is None and not factors:
         raise InvalidProblemError("factors must be a non-empty sequence")
     phi_is_callable = callable(phi) and not isinstance(phi, np.ndarray) and not sp.issparse(phi)
     if phi_is_callable:
@@ -163,8 +195,23 @@ def big_dot_exp(
         ).T
         if counters is not None:
             counters.matvecs += sketch_dim * (degree - 1)
-        results = np.empty(len(factors), dtype=np.float64)
-        for idx, factor in enumerate(factors):
+        if packed is not None:
+            results = packed.estimates_from_transform(transformed)
+            if counters is not None:
+                # One GEMM covers every constraint, but the count keeps the
+                # reference path's per-constraint unit so counter reports
+                # stay comparable across packed=True/False (the aggregate
+                # nonzeros touched are identical).
+                counters.factor_passes += len(packed) + (1 if return_trace else 0)
+                counters.add("packed_estimate_gemms")
+            if return_trace:
+                # exp(phi) . I estimated from the already-computed block:
+                # || Pi exp(phi/2) I ||_F^2 = || transformed ||_F^2.
+                return results, float(np.sum(transformed * transformed))
+            return results
+        seq = list(factors) + ([np.eye(dim)] if return_trace else [])
+        results = np.empty(len(seq), dtype=np.float64)
+        for idx, factor in enumerate(seq):
             if sp.issparse(factor):
                 sketched = np.asarray(transformed @ factor)
             else:
@@ -172,16 +219,38 @@ def big_dot_exp(
             results[idx] = float(np.sum(sketched * sketched))
             if counters is not None:
                 counters.factor_passes += 1
+        if return_trace:
+            return results[:-1], float(results[-1])
         return results
 
-    results = np.empty(len(factors), dtype=np.float64)
-    for idx, factor in enumerate(factors):
+    if packed is not None:
+        stacked = packed.dense_columns()
+        transformed = taylor_expm_apply(_half_matvec(phi), stacked, degree)
+        col_vals = np.einsum("ij,ij->j", transformed, transformed)
+        results = segment_sums(col_vals, packed.offsets)
+        if counters is not None:
+            counters.matvecs += packed.total_rank * (degree - 1)
+            counters.factor_passes += len(packed)
+            counters.add("packed_estimate_gemms")
+        if return_trace:
+            eye_transformed = taylor_expm_apply(_half_matvec(phi), np.eye(dim), degree)
+            if counters is not None:
+                counters.matvecs += dim * (degree - 1)
+                counters.factor_passes += 1
+            return results, float(np.sum(eye_transformed * eye_transformed))
+        return results
+
+    seq = list(factors) + ([np.eye(dim)] if return_trace else [])
+    results = np.empty(len(seq), dtype=np.float64)
+    for idx, factor in enumerate(seq):
         dense_factor = factor.toarray() if sp.issparse(factor) else np.asarray(factor, dtype=np.float64)
         transformed = taylor_expm_apply(_half_matvec(phi), dense_factor, degree)
         results[idx] = float(np.sum(transformed * transformed))
         if counters is not None:
             counters.matvecs += dense_factor.shape[1] * (degree - 1)
             counters.factor_passes += 1
+    if return_trace:
+        return results[:-1], float(results[-1])
     return results
 
 
@@ -251,6 +320,14 @@ class FastDotExpOracle:
         JL dimension multiplier.
     rng:
         Randomness source (a fresh sketch is drawn every call).
+    packed:
+        When ``True`` (default) the oracle uses the collection's cached
+        :class:`~repro.operators.packed.PackedGramFactors` view: the
+        ``Psi``-matvec and the estimate pass become single GEMMs over the
+        stacked factor matrix, and the trace estimate is read off the
+        transformed sketch block instead of a dense identity pseudo-factor.
+        ``False`` keeps the seed per-factor loop (the reference the packed
+        path is benchmarked and tested against).
     """
 
     def __init__(
@@ -261,6 +338,7 @@ class FastDotExpOracle:
         sketch_constant: float = 8.0,
         rng: RandomState = None,
         backend: ExecutionBackend | None = None,
+        packed: bool = True,
     ) -> None:
         if eps <= 0 or eps >= 1:
             raise InvalidProblemError(f"eps must be in (0, 1), got {eps}")
@@ -271,13 +349,27 @@ class FastDotExpOracle:
         self.rng = as_generator(rng)
         self.backend = backend
         self.counters = OracleCounters()
-        self._factors = constraints.gram_factors()
-        self._identity = np.eye(constraints.dim)
+        if packed:
+            self._packed: PackedGramFactors | None = constraints.packed()
+            self._factors: list | None = None
+            self._identity: np.ndarray | None = None
+        else:
+            self._packed = None
+            self._factors = constraints.gram_factors()
+            self._identity = np.eye(constraints.dim)
+
+    @property
+    def packed(self) -> PackedGramFactors | None:
+        """The packed factor view when the fast path is enabled."""
+        return self._packed
 
     def _factored_matvec(self, x: np.ndarray):
         """Matvec ``v -> Psi v = sum_i x_i Q_i (Q_i^T v)`` applied through the
         factors — the Corollary 1.2 representation, O(q) per (block) matvec,
-        never materialising the dense ``Psi``."""
+        never materialising the dense ``Psi``.  With the packed view this is
+        ``Q (x_cols ∘ (Q^T v))``: two GEMMs over the stacked matrix."""
+        if self._packed is not None:
+            return self._packed.matvec_fn(x)
         active = [(float(xi), q) for xi, q in zip(x, self._factors) if xi != 0.0]
 
         def matvec(block: np.ndarray) -> np.ndarray:
@@ -295,22 +387,35 @@ class FastDotExpOracle:
         if kappa is None:
             kappa = max(1.0, spectral_norm_power(matvec, dim=m, rng=self.rng) * 1.05)
             self.counters.add("norm_estimates")
-        raw = big_dot_exp(
-            matvec,
-            list(self._factors) + [self._identity],
-            kappa=kappa,
-            eps=self.eps,
-            rng=self.rng,
-            sketch_constant=self.sketch_constant,
-            counters=self.counters,
-            dim=m,
-        )
-        trace_estimate = float(raw[-1])
+        if self._packed is not None:
+            estimates, trace_estimate = big_dot_exp(
+                matvec,
+                self._packed,
+                kappa=kappa,
+                eps=self.eps,
+                rng=self.rng,
+                sketch_constant=self.sketch_constant,
+                counters=self.counters,
+                dim=m,
+                return_trace=True,
+            )
+        else:
+            raw = big_dot_exp(
+                matvec,
+                list(self._factors) + [self._identity],
+                kappa=kappa,
+                eps=self.eps,
+                rng=self.rng,
+                sketch_constant=self.sketch_constant,
+                counters=self.counters,
+                dim=m,
+            )
+            estimates, trace_estimate = raw[:-1], float(raw[-1])
         if trace_estimate <= 0:
             raise InvalidProblemError(
                 "sketched trace estimate is non-positive; increase the sketch dimension"
             )
-        values = raw[:-1] / trace_estimate
+        values = estimates / trace_estimate
         sketch_dim = min(jl_dimension(m, self.eps / 2.0, constant=self.sketch_constant), m)
         degree = taylor_degree(kappa / 2.0, self.eps / 2.0)
         # Work in the Corollary 1.2 units: each of the `degree` polynomial
@@ -329,6 +434,7 @@ def make_oracle(
     kappa_bound: float | None = None,
     rng: RandomState = None,
     backend: ExecutionBackend | None = None,
+    packed: bool = True,
 ) -> DotExpOracle:
     """Factory for the decision solver's oracle (``"exact"`` or ``"fast"``)."""
     kind = kind.lower()
@@ -336,6 +442,11 @@ def make_oracle(
         return ExactDotExpOracle(constraints, backend=backend)
     if kind == "fast":
         return FastDotExpOracle(
-            constraints, eps=eps, kappa_bound=kappa_bound, rng=rng, backend=backend
+            constraints,
+            eps=eps,
+            kappa_bound=kappa_bound,
+            rng=rng,
+            backend=backend,
+            packed=packed,
         )
     raise InvalidProblemError(f"unknown oracle kind {kind!r}; expected 'exact' or 'fast'")

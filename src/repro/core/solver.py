@@ -29,6 +29,7 @@ early exits or the randomized fast oracle.
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from dataclasses import dataclass, field
 from typing import Any
@@ -121,7 +122,9 @@ def approx_psdp(
     """
     opts = options or SolverOptions()
     if epsilon is not None:
-        opts.epsilon = float(epsilon)
+        # Copy before overriding: the caller's options object must not be
+        # silently mutated across calls.
+        opts = dataclasses.replace(opts, epsilon=float(epsilon))
     eps = opts.epsilon
     if not (0 < eps < 1):
         raise InvalidProblemError(f"epsilon must be in (0, 1), got {eps}")

@@ -61,6 +61,7 @@ from repro.linalg.norms import (
     spectral_norm,
     spectral_norm_power,
     spectral_norm_lanczos,
+    top_eigenvalue,
     trace_product,
     frobenius_inner,
 )
@@ -96,6 +97,7 @@ __all__ = [
     "spectral_norm",
     "spectral_norm_power",
     "spectral_norm_lanczos",
+    "top_eigenvalue",
     "trace_product",
     "frobenius_inner",
 ]

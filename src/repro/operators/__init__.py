@@ -17,9 +17,11 @@ from repro.operators.sparse import SparsePSDOperator
 from repro.operators.diagonal import DiagonalPSDOperator
 from repro.operators.factorized import FactorizedPSDOperator
 from repro.operators.lowrank import LowRankPSDOperator
+from repro.operators.packed import PackedGramFactors
 from repro.operators.collection import ConstraintCollection
 
 __all__ = [
+    "PackedGramFactors",
     "PSDOperator",
     "as_operator",
     "DensePSDOperator",

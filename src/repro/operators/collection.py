@@ -14,6 +14,26 @@ The batched operations optionally run through a
 :class:`repro.parallel.backends.ExecutionBackend` so that per-constraint
 work is expressed as a parallel map (constant depth over ``n`` in the
 work–depth model) and so its work/depth is recorded by the cost tracker.
+
+Packed fast path
+----------------
+:meth:`ConstraintCollection.packed` builds (and caches) a
+:class:`repro.operators.packed.PackedGramFactors` view: all Gram factors
+stacked into one ``(m, sum_i r_i)`` matrix with column offsets.  Once that
+view exists — and every operator's factor is *exact* (``Q Q^T = A`` by
+construction: factorized, low-rank, diagonal representations) —
+``weighted_sum``/``dots``/``traces`` route through it: each becomes a
+single GEMM plus a segment reduction instead of an ``n``-term Python
+loop.  Dense/sparse operators, whose factors come from a truncated
+eigendecomposition, never reroute the reference operations (the fast
+oracle may still use their packed factors, exactly as the seed per-factor
+loop did).  The packed path charges the same ``O(q)`` work (``q`` = total
+factor nonzeros) and polylogarithmic depth in the cost model; only the
+wall-clock constants change.  The view is built lazily because deriving
+Gram factors of dense operators costs one eigendecomposition each —
+callers that never ask for the packed view (e.g. the exact-oracle
+solver) never pay it, and the reference loop remains the bit-exact
+baseline the packed results are tested against.
 """
 
 from __future__ import annotations
@@ -23,6 +43,7 @@ from typing import Iterable, Iterator, Sequence
 import numpy as np
 
 from repro.exceptions import InvalidProblemError
+from repro.operators.packed import PackedGramFactors
 from repro.operators.psd_operator import PSDOperator, as_operator
 
 
@@ -39,6 +60,8 @@ class ConstraintCollection:
         self._operators: list[PSDOperator] = ops
         self.dim = ops[0].dim
         self.size = len(ops)
+        self._packed: PackedGramFactors | None = None
+        self._exact_factors = all(op.gram_factor_is_exact for op in ops)
 
     # ------------------------------------------------------------------ dunder
     def __len__(self) -> int:
@@ -64,8 +87,41 @@ class ConstraintCollection:
         when operators are factorized, and the input-size proxy otherwise)."""
         return int(sum(op.nnz for op in self._operators))
 
+    def packed(self) -> PackedGramFactors:
+        """The cached packed Gram-factor view (built on first access).
+
+        Building the view requires a Gram factor per operator — free for
+        factorized/low-rank/diagonal representations, one eigendecomposition
+        for dense ones — so it is only constructed on demand.  Once built,
+        ``weighted_sum``/``dots``/``traces`` route through it automatically.
+        """
+        if self._packed is None:
+            self._packed = PackedGramFactors.from_collection(self)
+        return self._packed
+
+    @property
+    def packed_view(self) -> PackedGramFactors | None:
+        """The packed view if it has already been built, else ``None``."""
+        return self._packed
+
+    @property
+    def packed_fast_path(self) -> PackedGramFactors | None:
+        """The packed view, but only when it may replace the reference ops.
+
+        Requires the view to exist *and* every operator's Gram factor to be
+        exact (``Q Q^T = A`` by construction), so rerouting
+        ``weighted_sum``/``dots``/``traces`` through it changes floating
+        point rounding order only — never the operator semantics.
+        """
+        if self._packed is None or not self._exact_factors:
+            return None
+        return self._packed
+
     def traces(self) -> np.ndarray:
         """Vector of traces ``Tr[A_i]``."""
+        packed = self.packed_fast_path
+        if packed is not None:
+            return packed.traces()
         return np.array([op.trace() for op in self._operators], dtype=np.float64)
 
     def spectral_norms(self) -> np.ndarray:
@@ -89,6 +145,9 @@ class ConstraintCollection:
             )
         if np.any(weights < 0):
             raise InvalidProblemError("weights must be non-negative")
+        packed = self.packed_fast_path
+        if packed is not None:
+            return packed.weighted_sum(weights)
         acc = np.zeros((self.dim, self.dim), dtype=np.float64)
         for weight, op in zip(weights, self._operators):
             if weight != 0.0:
@@ -108,6 +167,9 @@ class ConstraintCollection:
                 f"weight matrix must have shape {(self.dim, self.dim)}, got {weight_matrix.shape}"
             )
         if backend is None:
+            packed = self.packed_fast_path
+            if packed is not None:
+                return packed.dots(weight_matrix)
             return np.array([op.dot(weight_matrix) for op in self._operators], dtype=np.float64)
         results = backend.map(
             lambda op: op.dot(weight_matrix),

@@ -11,6 +11,7 @@ algorithms in :mod:`repro.lp` on identical instances.
 from __future__ import annotations
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.exceptions import InvalidProblemError
 from repro.operators.psd_operator import PSDOperator
@@ -58,9 +59,19 @@ class DiagonalPSDOperator(PSDOperator):
     def gram_factor(self) -> np.ndarray:
         return np.diag(np.sqrt(self._diag))
 
+    def gram_factor_raw(self) -> sp.csr_matrix:
+        """Sparse factor ``diag(sqrt(d))`` — ``m`` stored entries instead of
+        the dense ``m x m`` of :meth:`gram_factor`, so packing ``n`` diagonal
+        constraints stays at ``O(n m)`` memory rather than ``O(n m^2)``."""
+        return sp.diags(np.sqrt(self._diag), format="csr")
+
     @property
     def nnz(self) -> int:
         return int(np.count_nonzero(self._diag))
+
+    @property
+    def gram_factor_is_exact(self) -> bool:
+        return True
 
     def spectral_norm(self) -> float:
         return float(self._diag.max(initial=0.0))

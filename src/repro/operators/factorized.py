@@ -91,6 +91,10 @@ class FactorizedPSDOperator(PSDOperator):
             return int(self._factor.nnz)
         return int(np.count_nonzero(self._factor))
 
+    @property
+    def gram_factor_is_exact(self) -> bool:
+        return True
+
     def spectral_norm(self) -> float:
         # ||Q Q^T||_2 = sigma_max(Q)^2
         if self._sparse:

@@ -82,6 +82,10 @@ class LowRankPSDOperator(PSDOperator):
     def nnz(self) -> int:
         return int(np.count_nonzero(self._vectors)) + int(np.count_nonzero(self._weights))
 
+    @property
+    def gram_factor_is_exact(self) -> bool:
+        return True
+
     def spectral_norm(self) -> float:
         factor = self.gram_factor()
         if min(factor.shape) == 0:

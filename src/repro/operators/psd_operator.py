@@ -66,6 +66,22 @@ class PSDOperator(abc.ABC):
     def nnz(self) -> int:
         """Number of explicitly stored nonzero entries of this representation."""
 
+    @property
+    def gram_factor_is_exact(self) -> bool:
+        """Whether ``gram_factor()`` reproduces the operator exactly.
+
+        ``True`` for representations that *define* the operator through a
+        factor (factorized, low-rank, diagonal), where ``Q Q^T = A`` up to
+        floating-point rounding.  ``False`` (the default) for dense/sparse
+        matrices whose factor comes from a truncated eigendecomposition —
+        a controlled approximation, fine for the randomized fast oracle but
+        not for exact reference paths.  The packed fast path in
+        :class:`~repro.operators.collection.ConstraintCollection` only
+        reroutes its batched operations when every operator reports
+        ``True``.
+        """
+        return False
+
     # ------------------------------------------------------------- conveniences
     @property
     def shape(self) -> tuple[int, int]:

@@ -1,0 +1,118 @@
+"""Regression tests riding with the packed fast-path PR.
+
+Covers the history-record NaN bug, caller-option mutation, the
+top-eigenvalue certificate routine, and the fixed-seed guarantee that the
+decision solver certifies the same outcome on the packed and seed oracle
+paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.linalg.norms import top_eigenvalue
+from repro.linalg.psd import random_psd
+from repro.operators import ConstraintCollection, FactorizedPSDOperator
+from repro.core.decision import DecisionOptions, decision_psdp
+from repro.core.dotexp import FastDotExpOracle
+from repro.core.solver import SolverOptions, approx_psdp
+from repro.problems.random_instances import random_packing_sdp
+
+
+def _factorized_collection(seed, m=12, n=8, scale=0.35):
+    rng = np.random.default_rng(seed)
+    return ConstraintCollection(
+        [FactorizedPSDOperator(scale * rng.standard_normal((m, 2))) for _ in range(n)]
+    )
+
+
+class TestHistoryNaNRegression:
+    def test_min_max_values_are_finite(self, small_collection):
+        result = decision_psdp(
+            small_collection, epsilon=0.3, collect_history=True, max_iterations=5
+        )
+        assert result.history is not None
+        assert len(result.history) > 0
+        for record in result.history:
+            assert np.isfinite(record.min_value)
+            assert np.isfinite(record.max_value)
+            assert record.min_value <= record.max_value
+
+
+class TestOptionsNotMutated:
+    def test_decision_options_epsilon_preserved(self, small_collection):
+        opts = DecisionOptions(epsilon=0.25, max_iterations=4)
+        decision_psdp(small_collection, epsilon=0.4, options=opts)
+        assert opts.epsilon == 0.25
+
+    def test_solver_options_epsilon_preserved(self, rng):
+        problem = random_packing_sdp(3, 4, rng=rng)
+        opts = SolverOptions(epsilon=0.5)
+        approx_psdp(problem, epsilon=0.3, options=opts)
+        assert opts.epsilon == 0.5
+
+
+class TestTopEigenvalue:
+    def test_matches_eigvalsh_small(self, rng):
+        mat = random_psd(10, rng=rng, scale=3.0)
+        assert top_eigenvalue(mat) == pytest.approx(float(np.linalg.eigvalsh(mat)[-1]))
+
+    def test_matches_eigvalsh_above_cutoff(self, rng):
+        mat = random_psd(90, rng=rng, scale=2.0)
+        exact = float(np.linalg.eigvalsh(mat)[-1])
+        assert top_eigenvalue(mat, rng=rng) == pytest.approx(exact, rel=1e-6)
+
+    def test_matvec_callable(self, rng):
+        mat = random_psd(80, rng=rng, scale=1.5)
+        exact = float(np.linalg.eigvalsh(mat)[-1])
+        est = top_eigenvalue(lambda v: mat @ v, dim=80, rng=rng)
+        assert est == pytest.approx(exact, rel=1e-6)
+
+    def test_requires_dim_for_callable(self):
+        with pytest.raises(ValueError):
+            top_eigenvalue(lambda v: v)
+
+    def test_zero_dimension(self):
+        assert top_eigenvalue(np.zeros((0, 0))) == 0.0
+
+
+class TestPackedDecisionEquivalence:
+    def test_same_certified_outcome_fixed_seed(self):
+        results = {}
+        for packed in (True, False):
+            coll = _factorized_collection(20120522)
+            oracle = FastDotExpOracle(coll, eps=0.05, rng=99, packed=packed)
+            results[packed] = decision_psdp(coll, epsilon=0.2, oracle=oracle, rng=99)
+        assert results[True].outcome == results[False].outcome
+        assert results[True].iterations == results[False].iterations
+        np.testing.assert_allclose(
+            results[True].dual_x, results[False].dual_x, rtol=1e-6, atol=1e-12
+        )
+
+    def test_fast_oracle_string_uses_packed_view(self):
+        coll = _factorized_collection(7)
+        assert coll.packed_view is None
+        result = decision_psdp(coll, epsilon=0.25, oracle="fast", rng=3, max_iterations=8)
+        assert coll.packed_view is not None
+        assert result.outcome is not None
+
+    def test_exact_oracle_leaves_collection_unpacked(self, small_collection):
+        decision_psdp(small_collection, epsilon=0.3, max_iterations=4)
+        assert small_collection.packed_view is None
+
+    def test_history_collection_does_not_perturb_oracle_stream(self):
+        """The eigenvalue estimator spawns its own generator, so turning
+        history on (which estimates lambda_max every iteration) must not
+        change the oracle's sketch draws or the certified outcome."""
+        results = {}
+        for collect in (True, False):
+            coll = _factorized_collection(31)
+            oracle = FastDotExpOracle(coll, eps=0.05, rng=np.random.default_rng(5))
+            results[collect] = decision_psdp(
+                coll, epsilon=0.2, oracle=oracle, rng=np.random.default_rng(5),
+                collect_history=collect,
+            )
+        assert results[True].outcome == results[False].outcome
+        assert results[True].iterations == results[False].iterations
+        np.testing.assert_array_equal(results[True].dual_x, results[False].dual_x)

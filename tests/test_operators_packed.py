@@ -1,0 +1,278 @@
+"""Packed Gram-factor fast path: equivalence against the reference loops.
+
+Every packed primitive must reproduce the per-constraint reference
+implementation to tight tolerance across dense / sparse / diagonal /
+low-rank operator mixes — the packing is a wall-clock optimisation, not an
+approximation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.exceptions import InvalidProblemError
+from repro.linalg.psd import random_psd
+from repro.operators import (
+    ConstraintCollection,
+    DensePSDOperator,
+    DiagonalPSDOperator,
+    FactorizedPSDOperator,
+    LowRankPSDOperator,
+    PackedGramFactors,
+)
+from repro.operators.packed import segment_sums
+from repro.core.dotexp import FastDotExpOracle, big_dot_exp
+
+
+def _mixed_operators(rng, m, kind):
+    """Constraint mixes exercising every operator representation."""
+    if kind == "dense":
+        return [DensePSDOperator(random_psd(m, rng=rng, scale=s)) for s in (0.5, 1.0, 2.0)]
+    if kind == "sparse":
+        ops = []
+        for i in range(4):
+            factor = sp.random(m, 3, density=0.3, random_state=int(rng.integers(1 << 31)))
+            ops.append(FactorizedPSDOperator(sp.csr_matrix(factor)))
+        return ops
+    if kind == "diagonal":
+        return [DiagonalPSDOperator(rng.random(m) + 0.1) for _ in range(3)]
+    if kind == "lowrank":
+        return [
+            LowRankPSDOperator(rng.standard_normal((m, 2)), rng.random(2) + 0.1)
+            for _ in range(4)
+        ]
+    if kind == "mixed":
+        return [
+            DensePSDOperator(random_psd(m, rng=rng)),
+            FactorizedPSDOperator(rng.standard_normal((m, 2))),
+            FactorizedPSDOperator(sp.csr_matrix(sp.random(m, 2, density=0.4, random_state=3))),
+            DiagonalPSDOperator(rng.random(m) + 0.1),
+            LowRankPSDOperator(rng.standard_normal((m, 3))),
+        ]
+    raise AssertionError(kind)
+
+
+MIX_KINDS = ["dense", "sparse", "diagonal", "lowrank", "mixed"]
+
+
+@pytest.fixture(params=MIX_KINDS)
+def mix(request, rng):
+    m = 9
+    ops = _mixed_operators(rng, m, request.param)
+    return ConstraintCollection(ops), ops, m
+
+
+class TestPackedPrimitives:
+    def test_weighted_sum_matches_reference(self, mix, rng):
+        coll, ops, m = mix
+        packed = coll.packed()
+        weights = rng.random(len(ops))
+        reference = np.zeros((m, m))
+        for w, op in zip(weights, ops):
+            op.add_to(reference, float(w))
+        reference = 0.5 * (reference + reference.T)
+        np.testing.assert_allclose(packed.weighted_sum(weights), reference, atol=1e-10)
+
+    def test_weighted_sum_active_columns_only(self, mix, rng):
+        coll, ops, m = mix
+        packed = coll.packed()
+        weights = np.zeros(len(ops))
+        weights[0] = 0.7
+        np.testing.assert_allclose(
+            packed.weighted_sum(weights), 0.7 * ops[0].to_dense(), atol=1e-10
+        )
+        assert np.all(packed.weighted_sum(np.zeros(len(ops))) == 0.0)
+
+    def test_dots_matches_reference(self, mix, rng):
+        coll, ops, m = mix
+        packed = coll.packed()
+        weight_matrix = random_psd(m, rng=rng)
+        reference = np.array([op.dot(weight_matrix) for op in ops])
+        np.testing.assert_allclose(packed.dots(weight_matrix), reference, atol=1e-10)
+
+    def test_traces_matches_reference(self, mix):
+        coll, ops, m = mix
+        packed = coll.packed()
+        reference = np.array([op.trace() for op in ops])
+        np.testing.assert_allclose(packed.traces(), reference, atol=1e-10)
+
+    def test_matvec_matches_reference(self, mix, rng):
+        coll, ops, m = mix
+        packed = coll.packed()
+        weights = rng.random(len(ops))
+        block = rng.standard_normal((m, 3))
+        reference = np.zeros_like(block)
+        for w, op in zip(weights, ops):
+            reference += w * op.matvec(block)
+        np.testing.assert_allclose(packed.matvec(weights, block), reference, atol=1e-10)
+        np.testing.assert_allclose(
+            packed.matvec_fn(weights)(block[:, 0]), reference[:, 0], atol=1e-10
+        )
+
+    def test_big_dot_exp_no_sketch_matches_reference(self, mix):
+        coll, ops, m = mix
+        phi = coll.weighted_sum(np.full(len(ops), 1.0 / len(ops)))
+        reference = big_dot_exp(phi, coll.gram_factors(), kappa=2.0, eps=0.1, use_sketch=False)
+        packed_vals = big_dot_exp(phi, coll.packed(), kappa=2.0, eps=0.1, use_sketch=False)
+        np.testing.assert_allclose(packed_vals, reference, rtol=1e-10, atol=1e-10)
+
+
+class TestPackedStructure:
+    def test_offsets_and_factor_blocks(self, rng):
+        factors = [rng.standard_normal((5, r)) for r in (1, 3, 2)]
+        packed = PackedGramFactors(factors)
+        assert packed.total_rank == 6
+        assert list(packed.offsets) == [0, 1, 4, 6]
+        for i, factor in enumerate(factors):
+            np.testing.assert_array_equal(np.asarray(packed.factor(i)), factor)
+
+    def test_one_dimensional_factor_treated_as_column(self, rng):
+        packed = PackedGramFactors([rng.standard_normal(5)])
+        assert packed.total_rank == 1
+
+    def test_dimension_mismatch_rejected(self, rng):
+        with pytest.raises(InvalidProblemError):
+            PackedGramFactors([rng.standard_normal((4, 2)), rng.standard_normal((5, 2))])
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidProblemError):
+            PackedGramFactors([])
+
+    def test_weight_validation(self, rng):
+        packed = PackedGramFactors([rng.standard_normal((4, 2)) for _ in range(3)])
+        with pytest.raises(InvalidProblemError):
+            packed.expand_weights(np.ones(2))
+        with pytest.raises(InvalidProblemError):
+            packed.expand_weights(np.array([1.0, -0.5, 1.0]))
+
+    def test_rank_zero_blocks_sum_to_zero(self, rng):
+        """Empty column blocks must yield 0, not np.add.reduceat's silent
+        neighbour-value artefact."""
+        factors = [
+            rng.standard_normal((4, 2)),
+            np.zeros((4, 0)),
+            rng.standard_normal((4, 1)),
+        ]
+        packed = PackedGramFactors(factors)
+        traces = packed.traces()
+        assert traces[1] == 0.0
+        assert traces[0] == pytest.approx(float(np.sum(factors[0] ** 2)))
+        assert traces[2] == pytest.approx(float(np.sum(factors[2] ** 2)))
+
+    def test_segment_sums_empty_segments(self):
+        values = np.array([1.0, 2.0, 3.0])
+        offsets = np.array([0, 2, 2, 3])
+        np.testing.assert_allclose(segment_sums(values, offsets), [3.0, 0.0, 3.0])
+
+    def test_diagonal_collections_pack_sparsely(self, rng):
+        """n diagonal constraints must pack to O(n m) stored entries via the
+        sparse diag factor, not n dense (m, m) eye-like blocks."""
+        m, n = 40, 15
+        coll = ConstraintCollection([DiagonalPSDOperator(rng.random(m) + 0.1) for _ in range(n)])
+        packed = coll.packed()
+        assert packed.is_sparse
+        assert packed.nnz <= n * m
+        np.testing.assert_allclose(
+            packed.traces(), np.array([op.trace() for op in coll]), atol=1e-10
+        )
+        weights = rng.random(n)
+        reference = np.zeros((m, m))
+        for w, op in zip(weights, coll):
+            op.add_to(reference, float(w))
+        np.testing.assert_allclose(packed.weighted_sum(weights), reference, atol=1e-10)
+
+    def test_packed_factor_passes_match_reference_semantics(self, rng):
+        """Counter reports must stay comparable across packed=True/False."""
+        from repro.instrumentation.counters import OracleCounters
+
+        factors = [rng.standard_normal((6, 2)) for _ in range(4)]
+        phi = np.eye(6)
+        for use_sketch in (True, False):
+            ref_counters, packed_counters = OracleCounters(), OracleCounters()
+            big_dot_exp(phi, factors, kappa=1.0, eps=0.1, rng=1,
+                        use_sketch=use_sketch, counters=ref_counters, return_trace=True)
+            big_dot_exp(phi, PackedGramFactors(factors), kappa=1.0, eps=0.1, rng=1,
+                        use_sketch=use_sketch, counters=packed_counters, return_trace=True)
+            assert packed_counters.factor_passes == ref_counters.factor_passes == 5
+
+    def test_sparse_packing_keeps_sparse_storage(self, rng):
+        factors = [sp.random(50, 2, density=0.02, random_state=i, format="csr") for i in range(4)]
+        packed = PackedGramFactors(factors)
+        assert packed.is_sparse
+        dense_packed = PackedGramFactors([f.toarray() for f in factors])
+        assert not dense_packed.is_sparse
+        np.testing.assert_allclose(packed.traces(), dense_packed.traces(), atol=1e-12)
+
+    def test_collection_caches_packed_view(self, rng):
+        coll = ConstraintCollection([FactorizedPSDOperator(rng.standard_normal((5, 2)))])
+        assert coll.packed_view is None
+        packed = coll.packed()
+        assert coll.packed_view is packed
+        assert coll.packed() is packed
+
+    def test_exact_factor_collections_reroute(self, rng):
+        coll = ConstraintCollection(
+            [FactorizedPSDOperator(rng.standard_normal((5, 2))) for _ in range(3)]
+        )
+        coll.packed()
+        assert coll.packed_fast_path is not None
+
+    def test_dense_collections_never_reroute_reference_ops(self, rng):
+        """Dense operators' eigh-derived factors are approximate, so the
+        packed view must not silently replace weighted_sum/dots/traces."""
+        mats = [random_psd(5, rng=rng, scale=s) for s in (0.5, 1.5)]
+        coll = ConstraintCollection([DensePSDOperator(m) for m in mats])
+        before = coll.weighted_sum(np.array([0.3, 0.7]))
+        coll.packed()  # the fast oracle may still build/use the view...
+        assert coll.packed_view is not None
+        assert coll.packed_fast_path is None  # ...but reference ops keep the loop
+        after = coll.weighted_sum(np.array([0.3, 0.7]))
+        np.testing.assert_array_equal(before, after)
+
+
+class TestPackedOracle:
+    def _collection(self, rng, m=10, n=6):
+        return ConstraintCollection(
+            [FactorizedPSDOperator(0.4 * rng.standard_normal((m, 2))) for _ in range(n)]
+        )
+
+    def test_packed_oracle_matches_seed_loop(self, rng):
+        coll_packed = self._collection(np.random.default_rng(11))
+        coll_seed = self._collection(np.random.default_rng(11))
+        x = np.abs(rng.random(len(coll_packed))) / len(coll_packed)
+        psi = coll_seed.weighted_sum(x)
+        out_packed = FastDotExpOracle(coll_packed, eps=0.1, rng=5, packed=True)(psi, x)
+        out_seed = FastDotExpOracle(coll_seed, eps=0.1, rng=5, packed=False)(psi, x)
+        np.testing.assert_allclose(out_packed.values, out_seed.values, rtol=1e-6)
+        assert out_packed.trace > 0 and out_seed.trace > 0
+
+    def test_packed_oracle_builds_collection_view(self, rng):
+        coll = self._collection(rng)
+        oracle = FastDotExpOracle(coll, eps=0.1, rng=5, packed=True)
+        assert oracle.packed is coll.packed_view
+
+    def test_big_dot_exp_return_trace_packed_vs_sequence(self, rng):
+        coll = self._collection(rng)
+        phi = coll.weighted_sum(np.full(len(coll), 0.2))
+        vals_p, trace_p = big_dot_exp(
+            phi, coll.packed(), kappa=2.0, eps=0.1, rng=3, return_trace=True
+        )
+        vals_s, trace_s = big_dot_exp(
+            phi, coll.gram_factors(), kappa=2.0, eps=0.1, rng=3, return_trace=True
+        )
+        np.testing.assert_allclose(vals_p, vals_s, rtol=1e-8)
+        assert trace_p == pytest.approx(trace_s, rel=1e-8)
+
+    def test_big_dot_exp_return_trace_no_sketch(self, rng):
+        coll = self._collection(rng)
+        phi = coll.weighted_sum(np.full(len(coll), 0.2))
+        vals, trace = big_dot_exp(
+            phi, coll.packed(), kappa=2.0, eps=0.05, use_sketch=False, return_trace=True
+        )
+        from repro.linalg.expm import expm_eigh
+
+        exact_trace = float(np.trace(expm_eigh(phi)))
+        assert trace == pytest.approx(exact_trace, rel=0.06)
+        assert trace <= exact_trace + 1e-8
