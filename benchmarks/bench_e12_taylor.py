@@ -1,0 +1,263 @@
+"""E12 — blocked/fused Taylor kernel vs the per-term matvec recurrence.
+
+The Theorem 4.1 oracle's dominant cost at moderate dimensions is the
+Lemma 4.2 Taylor apply: for ``m ≲ 1000`` at tight eps the JL sketch
+degenerates to the identity, so the whole ``(m, m)`` block passes through
+the polynomial every call.  This benchmark measures, across an
+``(n, m, factor sparsity)`` grid:
+
+* the latency of that Taylor block apply on the old path
+  (``taylor_expm_apply`` driving the packed ``Psi``-matvec closure, the
+  PR-1 state) against the new
+  :class:`~repro.linalg.taylor_blocked.BlockedTaylorKernel`
+  (fused Horner GEMMs, one-time ``Psi`` densification when ``2R > m``),
+  plus their agreement (same polynomial — must match to ~1e-12);
+* the end-to-end wall clock of ``decision_psdp`` with
+  ``FastDotExpOracle(blocked=...)`` on both paths, checking the certified
+  decisions are identical on fixed seeds.
+
+Results are printed as a table and emitted machine-readably to
+``BENCH_taylor.json`` at the repository root (override with ``--output``).
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_e12_taylor.py [--quick]
+
+The ``--quick`` mode is the CI smoke invocation: a reduced grid and fewer
+repetitions, still exercising every code path.  The non-quick run enforces
+the PR acceptance gate: >= 3x on the Taylor block apply for the dense rows
+with m >= 128.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+import numpy as np
+import scipy.sparse as sp
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
+
+from repro.core.decision import decision_psdp  # noqa: E402
+from repro.core.dotexp import FastDotExpOracle  # noqa: E402
+from repro.linalg.taylor import taylor_degree, taylor_expm_apply  # noqa: E402
+from repro.operators import ConstraintCollection, FactorizedPSDOperator  # noqa: E402
+
+DEFAULT_OUTPUT = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_taylor.json"
+)
+
+# (n, m, factor_kind) grid; "sparse" factors carry ~5% nonzeros.
+FULL_GRID = [
+    (50, 64, "dense"),
+    (200, 128, "dense"),
+    (400, 128, "dense"),
+    (200, 256, "dense"),
+    (400, 256, "dense"),
+    (400, 128, "sparse"),
+]
+QUICK_GRID = [
+    (40, 32, "dense"),
+    (60, 48, "sparse"),
+]
+
+RANK = 2
+SPARSE_DENSITY = 0.05
+ORACLE_EPS = 0.1
+#: mid-run spectral-norm bound used for the microbenchmark degree — the
+#: decision solver's Psi reaches well past this before terminating.
+TAYLOR_KAPPA = 8.0
+DECISION_CAP = 40
+
+
+def make_operators(n: int, m: int, kind: str, seed: int) -> list[FactorizedPSDOperator]:
+    """Random factorized constraints (same family as E11)."""
+    rng = np.random.default_rng(seed)
+    scale = 1.0 / np.sqrt(m)
+    ops = []
+    for _ in range(n):
+        if kind == "sparse":
+            factor = sp.random(
+                m, RANK, density=SPARSE_DENSITY, random_state=rng, format="csr"
+            )
+            factor = factor * (scale * np.sqrt(1.0 / SPARSE_DENSITY))
+            if factor.nnz == 0:  # keep every constraint's trace positive
+                factor = sp.csr_matrix(
+                    (np.full(RANK, scale), (rng.integers(0, m, RANK), np.arange(RANK))),
+                    shape=(m, RANK),
+                )
+            ops.append(FactorizedPSDOperator(factor))
+        else:
+            ops.append(FactorizedPSDOperator(scale * rng.standard_normal((m, RANK))))
+    return ops
+
+
+def fresh_collection(ops) -> ConstraintCollection:
+    """A new collection over the same factors (no packed cache leaks)."""
+    return ConstraintCollection(
+        [FactorizedPSDOperator(op.gram_factor_raw()) for op in ops], validate=False
+    )
+
+
+def time_call(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_taylor_block(ops, n: int, m: int, repeats: int, seed: int) -> dict:
+    """Old-vs-new latency of the degenerate-sketch Taylor block apply."""
+    x = np.abs(np.random.default_rng(seed).random(n)) / n
+    coll = fresh_collection(ops)
+    packed = coll.packed()
+    degree = taylor_degree(TAYLOR_KAPPA / 2.0, ORACLE_EPS / 2.0)
+    block = np.eye(m)
+
+    matvec = packed.matvec_fn(x)
+
+    def old_apply():
+        return taylor_expm_apply(lambda b: 0.5 * matvec(b), block, degree)
+
+    def new_apply():
+        # Kernel construction is part of the measured cost: the oracle
+        # rebuilds it every call from the current weights.
+        return packed.taylor_kernel(x).apply(block, degree, scale=0.5)
+
+    old_result = old_apply()  # warm up + reference values
+    new_result = new_apply()
+    max_abs_err = float(np.max(np.abs(old_result - new_result)))
+    t_old = time_call(old_apply, repeats)
+    t_new = time_call(new_apply, repeats)
+    kernel = packed.taylor_kernel(x)
+
+    return {
+        "degree": degree,
+        "kernel_mode": "dense-psi" if kernel.uses_dense_psi else "factors",
+        "old_seconds": t_old,
+        "new_seconds": t_new,
+        "speedup": t_old / max(t_new, 1e-12),
+        "max_abs_err": max_abs_err,
+    }
+
+
+def bench_decision(ops, n: int, m: int, seed: int, cap: int) -> dict:
+    """End-to-end decision latency with the blocked kernel on/off."""
+    results = {}
+    for label, blocked in (("old", False), ("new", True)):
+        coll = fresh_collection(ops)
+        oracle = FastDotExpOracle(coll, eps=ORACLE_EPS, rng=seed, blocked=blocked)
+        start = time.perf_counter()
+        result = decision_psdp(
+            coll, epsilon=0.2, oracle=oracle, max_iterations=cap, rng=seed
+        )
+        results[label] = {
+            "seconds": time.perf_counter() - start,
+            "outcome": result.outcome.name,
+            "iterations": result.iterations,
+        }
+    return {
+        "old_seconds": results["old"]["seconds"],
+        "new_seconds": results["new"]["seconds"],
+        "speedup": results["old"]["seconds"] / max(results["new"]["seconds"], 1e-12),
+        "outcome_old": results["old"]["outcome"],
+        "outcome_new": results["new"]["outcome"],
+        "iterations_old": results["old"]["iterations"],
+        "iterations_new": results["new"]["iterations"],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI smoke grid")
+    parser.add_argument("--output", default=DEFAULT_OUTPUT, help="JSON output path")
+    parser.add_argument("--seed", type=int, default=7, help="instance seed")
+    args = parser.parse_args(argv)
+
+    grid = QUICK_GRID if args.quick else FULL_GRID
+    repeats = 2 if args.quick else 5
+    cap = 10 if args.quick else DECISION_CAP
+
+    taylor_rows = []
+    decision_rows = []
+    for n, m, kind in grid:
+        ops = make_operators(n, m, kind, args.seed)
+        q = sum(op.nnz for op in ops)
+        base = {"n": n, "m": m, "factor_kind": kind, "rank": RANK, "total_nnz": q}
+
+        row = {**base, **bench_taylor_block(ops, n, m, repeats, args.seed)}
+        taylor_rows.append(row)
+        print(
+            f"[taylor]   n={n:4d} m={m:4d} {kind:6s} k={row['degree']:3d} "
+            f"{row['kernel_mode']:9s} old={row['old_seconds']*1e3:9.2f}ms "
+            f"new={row['new_seconds']*1e3:8.2f}ms speedup={row['speedup']:6.1f}x "
+            f"err={row['max_abs_err']:.2e}"
+        )
+
+        row = {**base, **bench_decision(ops, n, m, args.seed, cap)}
+        decision_rows.append(row)
+        print(
+            f"[decision] n={n:4d} m={m:4d} {kind:6s} "
+            f"old={row['old_seconds']:8.3f}s  new={row['new_seconds']:7.3f}s  "
+            f"speedup={row['speedup']:6.1f}x outcomes={row['outcome_old']}/{row['outcome_new']}"
+        )
+
+    payload = {
+        "experiment": "E12-taylor",
+        "description": "blocked/fused Taylor kernel vs per-term matvec recurrence",
+        "quick": args.quick,
+        "config": {
+            "rank": RANK,
+            "sparse_density": SPARSE_DENSITY,
+            "oracle_eps": ORACLE_EPS,
+            "taylor_kappa": TAYLOR_KAPPA,
+            "decision_iteration_cap": cap,
+            "repeats": repeats,
+            "seed": args.seed,
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "taylor_block": taylor_rows,
+        "decision": decision_rows,
+    }
+    output = os.path.abspath(args.output)
+    with open(output, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"[json] {output}")
+
+    failures = []
+    for row in taylor_rows:
+        if row["max_abs_err"] > 1e-8:
+            failures.append(f"taylor-apply mismatch {row['max_abs_err']:.2e} at {row}")
+        if (
+            not args.quick
+            and row["factor_kind"] == "dense"
+            and row["m"] >= 128
+            and row["speedup"] < 3.0
+        ):
+            failures.append(
+                f"taylor speedup {row['speedup']:.1f}x < 3x at n={row['n']}, m={row['m']}"
+            )
+    for row in decision_rows:
+        if row["outcome_old"] != row["outcome_new"]:
+            failures.append(
+                f"decision outcome diverged ({row['outcome_old']} vs "
+                f"{row['outcome_new']}) at n={row['n']}, m={row['m']}"
+            )
+    for line in failures:
+        print(f"[FAIL] {line}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -160,13 +160,30 @@ def decision_psdp(
         Accuracy parameter; overrides the one in ``options``.
     options:
         A :class:`DecisionOptions` bundle; individual fields can also be
-        overridden with keyword arguments.
+        overridden with keyword arguments (e.g. ``oracle="fast"``,
+        ``strict=True``, ``collect_history=True``).
 
     Returns
     -------
     DecisionResult
         The certified outcome together with both candidate solutions,
         iteration statistics, oracle counters and a work–depth report.
+
+    Notes
+    -----
+    String oracles (``"exact"``/``"fast"``) are built with the batched fast
+    paths enabled: the packed single-GEMM estimate pass (``packed=True``),
+    the fused blocked Taylor kernel (``blocked=True``), and the exact
+    oracle's packed trace products (``batched=True``).  To run a reference
+    path instead — e.g. for regression comparisons — construct the oracle
+    explicitly and pass it as ``options.oracle``::
+
+        oracle = FastDotExpOracle(constraints, eps=0.05, rng=0,
+                                  packed=False)   # seed per-factor loop
+        decision_psdp(constraints, epsilon=0.2, oracle=oracle)
+
+    All fast-path/reference pairs certify identical decisions on fixed
+    seeds (see ``tests/test_decision_packed_regressions.py``).
     """
     opts = options or DecisionOptions()
     if overrides:

@@ -29,9 +29,11 @@ from typing import Any
 
 import numpy as np
 
+from repro.config import get_config
 from repro.exceptions import InvalidProblemError
 from repro.instrumentation.history import ConvergenceHistory, IterationRecord
 from repro.linalg.expm import expm_normalized
+from repro.linalg.norms import top_eigenvalue
 from repro.operators.collection import ConstraintCollection
 from repro.parallel.backends import SerialBackend
 from repro.parallel.workdepth import WorkDepthTracker
@@ -39,6 +41,7 @@ from repro.core.decision import DecisionOptions, DecisionParameters, _resolve_co
 from repro.core.dotexp import make_oracle
 from repro.core.problem import NormalizedPackingSDP
 from repro.core.result import DecisionOutcome, DecisionResult
+from repro.utils.random_utils import spawn_generators
 
 
 def decision_psdp_phased(
@@ -101,6 +104,18 @@ def decision_psdp_phased(
     log_depth = math.log2(max(n, 2)) + math.log2(max(m, 2))
     max_iterations = opts.max_iterations if opts.max_iterations is not None else params.R
 
+    # Same cheap top-eigenvalue strategy as the phase-less solver: Lanczos
+    # above the dense cutoff, spawned (not shared) generator so eigenvalue
+    # draws never perturb the oracle's sketch stream.
+    cfg = get_config()
+    eig_rng = spawn_generators(opts.rng, 1)[0]
+    eig_cost = float(m * m * min(m, cfg.power_iteration_maxiter))
+
+    def psi_lambda_max(matrix: np.ndarray) -> float:
+        if m == 0:
+            return 0.0
+        return top_eigenvalue(matrix, rng=eig_rng)
+
     x = 1.0 / (n * traces)
     psi = constraints.weighted_sum(x)
     primal_sum = np.zeros((m, m), dtype=np.float64)
@@ -113,7 +128,8 @@ def decision_psdp_phased(
 
     def build_result(outcome: DecisionOutcome, iterations: int, phases: int, early: bool) -> DecisionResult:
         psi_now = constraints.weighted_sum(x)
-        lam = float(np.linalg.eigvalsh(psi_now)[-1]) if m else 0.0
+        lam = psi_lambda_max(psi_now)
+        tracker.charge(eig_cost, log_depth, label="dual-rescale")
         scale = lam if lam > 0 else 1.0
         dual_x = x / scale
         primal_y = current_primal()
@@ -174,8 +190,20 @@ def decision_psdp_phased(
             t += 1
             delta = np.where(mask, params.alpha * x, 0.0)
             x = x + delta
+            # weighted_sum routes through the packed Gram-factor view when
+            # the fast oracle built one (and the factors are exact); charge
+            # only the touched share of the factor nonzeros, as the
+            # phase-less solver does.
             psi = psi + constraints.weighted_sum(delta)
-            tracker.charge(constraints.total_nnz + n, log_depth, label="update")
+            packed_view = constraints.packed_fast_path
+            if packed_view is not None and packed_view.total_rank > 0:
+                active_cols = int(packed_view.ranks[mask].sum())
+                update_work = (
+                    constraints.total_nnz * active_cols / packed_view.total_rank + n
+                )
+            else:
+                update_work = constraints.total_nnz + n
+            tracker.charge(update_work, log_depth, label="update")
             if history is not None:
                 history.append(
                     IterationRecord(
@@ -191,8 +219,8 @@ def decision_psdp_phased(
         # Optional early dual certificate at phase boundaries (mirrors the
         # phase-less solver's non-strict behaviour).
         if not opts.strict:
-            lam = float(np.linalg.eigvalsh(psi)[-1]) if m else 0.0
-            tracker.charge(float(m**3), log_depth, label="certificate-check")
+            lam = psi_lambda_max(psi)
+            tracker.charge(eig_cost, log_depth, label="certificate-check")
             if lam > 0 and float(x.sum()) / lam >= 1.0 - eps:
                 return build_result(DecisionOutcome.DUAL, t, phases, early=True)
 

@@ -14,7 +14,10 @@ interchangeable oracle implementations are provided:
   with a Johnson–Lindenstrauss Gaussian matrix so that only
   ``O(eps^{-2} log m)`` rows ever pass through the polynomial.  Work is
   nearly linear in ``nnz(Phi) + q`` per call; the trace ``Tr[exp(Phi)]`` is
-  obtained from the same sketch (it is the estimate for the identity factor).
+  obtained from the same transformed sketch block at no extra cost (on the
+  packed default path it is ``|| Pi exp(Phi/2) ||_F^2`` read directly off
+  the block; only the legacy sequence-of-factors path still appends an
+  identity pseudo-factor to get it).
 
 The standalone function :func:`big_dot_exp` exposes the Theorem 4.1
 primitive directly (given ``Phi``, a norm bound ``kappa``, and the factors),
@@ -39,6 +42,32 @@ factor matrix instead of an ``n``-term loop — and its estimates use the
 packed pass above.  In the work–depth model both paths charge identical
 ``O(q)``-work / polylog-depth costs; ``benchmarks/bench_e11_packed.py``
 measures the wall-clock difference.
+
+Blocked Taylor kernel
+---------------------
+The Taylor apply itself — pushing the sketch block through the Lemma 4.2
+polynomial — dominates the oracle once the packed estimates are single
+GEMMs, especially in the degenerate-sketch regime (``m ≲ 1000`` at tight
+eps, where the JL dimension reaches ``m`` and the whole identity passes
+through the polynomial).  With ``blocked=True`` (default) the packed oracle
+evaluates the polynomial with a
+:class:`~repro.linalg.taylor_blocked.BlockedTaylorKernel`: the weights and
+step scale fold into the factor stack once, the forward recurrence runs in
+preallocated ping-pong buffers, and when the stacked rank ``R`` exceeds
+``m/2`` the kernel materialises ``Psi`` once and runs a fused dense GEMM
+per term (``m^2 s`` instead of ``2 m R s`` madds — the ``~2R/m``-fold
+speedup measured by ``benchmarks/bench_e12_taylor.py``).  The kernel
+evaluates the identical polynomial, so ``blocked=False`` (the per-term
+matvec recurrence) differs only in floating-point rounding; both are kept
+so the regression tests can certify identical decisions.  Work–depth
+charges are unchanged: the model bills the factored Corollary 1.2 costs,
+which upper-bound the densified recurrence because densification only
+triggers when ``2 q > m^2``.
+
+``big_dot_exp`` accepts a kernel directly as ``phi``; matrix-valued ``phi``
+with a packed factor view is routed through a kernel automatically, while
+matvec-callable ``phi`` and plain factor sequences keep the reference
+per-term recurrence bit-for-bit.
 """
 
 from __future__ import annotations
@@ -55,6 +84,7 @@ from repro.linalg.expm import expm_normalized
 from repro.linalg.norms import spectral_norm_power
 from repro.linalg.sketching import gaussian_sketch, jl_dimension
 from repro.linalg.taylor import taylor_degree, taylor_expm_apply
+from repro.linalg.taylor_blocked import BlockedTaylorKernel
 from repro.operators.collection import ConstraintCollection
 from repro.operators.packed import PackedGramFactors, segment_sums
 from repro.parallel.backends import ExecutionBackend
@@ -116,10 +146,15 @@ def big_dot_exp(
     Parameters
     ----------
     phi:
-        Symmetric PSD matrix to exponentiate (dense or sparse), or a matvec
+        Symmetric PSD matrix to exponentiate (dense or sparse), a matvec
         callable ``v -> phi @ v`` (in which case ``dim`` is required and the
         matrix is never materialised — the setting of Corollary 1.2 where
-        ``Psi = sum_i x_i Q_i Q_i^T`` is applied through the factors).
+        ``Psi = sum_i x_i Q_i Q_i^T`` is applied through the factors), or a
+        :class:`~repro.linalg.taylor_blocked.BlockedTaylorKernel` over
+        ``phi`` (the fused blocked Taylor path the fast oracle uses).
+        Matrix inputs combined with packed ``factors`` are routed through a
+        blocked kernel automatically; callables keep the per-term reference
+        recurrence.
     factors:
         The Gram factors ``Q_i`` of the constraint matrices, each of shape
         ``(m, r_i)`` — either a plain sequence (reference per-factor loop)
@@ -159,17 +194,35 @@ def big_dot_exp(
     packed = factors if isinstance(factors, PackedGramFactors) else None
     if packed is None and not factors:
         raise InvalidProblemError("factors must be a non-empty sequence")
-    phi_is_callable = callable(phi) and not isinstance(phi, np.ndarray) and not sp.issparse(phi)
-    if phi_is_callable:
+    kernel = phi if isinstance(phi, BlockedTaylorKernel) else None
+    phi_is_callable = (
+        kernel is None
+        and callable(phi)
+        and not isinstance(phi, np.ndarray)
+        and not sp.issparse(phi)
+    )
+    if kernel is not None:
+        dim = kernel.dim
+    elif phi_is_callable:
         if dim is None:
             raise InvalidProblemError("dim is required when phi is a matvec callable")
     else:
         dim = phi.shape[0]
         if phi.shape != (dim, dim):
             raise InvalidProblemError(f"phi must be square, got shape {phi.shape}")
+        if packed is not None:
+            # Matrix input on the packed path: run the fused blocked
+            # recurrence (same polynomial, fewer per-term passes).
+            kernel = BlockedTaylorKernel.from_matrix(phi)
 
     if kappa is None:
-        kappa = max(1.0, spectral_norm_power(phi, dim=dim, rng=rng) * 1.05)
+        kappa = max(
+            1.0,
+            spectral_norm_power(
+                kernel.matvec if kernel is not None else phi, dim=dim, rng=rng
+            )
+            * 1.05,
+        )
     kappa = max(1.0, float(kappa))
 
     eps_taylor = eps / 2.0
@@ -190,9 +243,12 @@ def big_dot_exp(
         else:
             sketch = gaussian_sketch(sketch_dim, dim, rng=as_generator(rng))
         # Rows of (Pi exp(phi/2)) = (exp(phi/2) Pi^T)^T because phi is symmetric.
-        transformed = taylor_expm_apply(
-            _half_matvec(phi), sketch.T.copy(), degree
-        ).T
+        if kernel is not None:
+            transformed = kernel.apply(sketch.T, degree, scale=0.5).T
+        else:
+            transformed = taylor_expm_apply(
+                _half_matvec(phi), sketch.T.copy(), degree
+            ).T
         if counters is not None:
             counters.matvecs += sketch_dim * (degree - 1)
         if packed is not None:
@@ -225,7 +281,10 @@ def big_dot_exp(
 
     if packed is not None:
         stacked = packed.dense_columns()
-        transformed = taylor_expm_apply(_half_matvec(phi), stacked, degree)
+        if kernel is not None:
+            transformed = kernel.apply(stacked, degree, scale=0.5)
+        else:
+            transformed = taylor_expm_apply(_half_matvec(phi), stacked, degree)
         col_vals = np.einsum("ij,ij->j", transformed, transformed)
         results = segment_sums(col_vals, packed.offsets)
         if counters is not None:
@@ -233,7 +292,10 @@ def big_dot_exp(
             counters.factor_passes += len(packed)
             counters.add("packed_estimate_gemms")
         if return_trace:
-            eye_transformed = taylor_expm_apply(_half_matvec(phi), np.eye(dim), degree)
+            if kernel is not None:
+                eye_transformed = kernel.apply(np.eye(dim), degree, scale=0.5)
+            else:
+                eye_transformed = taylor_expm_apply(_half_matvec(phi), np.eye(dim), degree)
             if counters is not None:
                 counters.matvecs += dim * (degree - 1)
                 counters.factor_passes += 1
@@ -244,7 +306,10 @@ def big_dot_exp(
     results = np.empty(len(seq), dtype=np.float64)
     for idx, factor in enumerate(seq):
         dense_factor = factor.toarray() if sp.issparse(factor) else np.asarray(factor, dtype=np.float64)
-        transformed = taylor_expm_apply(_half_matvec(phi), dense_factor, degree)
+        if kernel is not None:
+            transformed = kernel.apply(dense_factor, degree, scale=0.5)
+        else:
+            transformed = taylor_expm_apply(_half_matvec(phi), dense_factor, degree)
         results[idx] = float(np.sum(transformed * transformed))
         if counters is not None:
             counters.matvecs += dense_factor.shape[1] * (degree - 1)
@@ -268,6 +333,23 @@ def _half_matvec(phi):
 class ExactDotExpOracle:
     """Reference oracle: exact density matrix via eigendecomposition.
 
+    With ``batched=True`` (default) and a collection whose Gram factors are
+    exact (``Q_i Q_i^T = A_i`` by construction — see
+    :attr:`~repro.operators.psd_operator.PSDOperator.gram_factor_is_exact`),
+    the oracle builds the packed factor view up front so the per-iteration
+    trace products ``A_i . W`` run as one GEMM plus a segment reduction
+    instead of a per-constraint loop through the backend map.  The
+    work–depth accounting is unchanged: the batched pass charges the same
+    per-constraint ``nnz(A_i)`` work and max-depth as the mapped loop
+    (see :meth:`~repro.parallel.backends.ExecutionBackend.charge_batched`),
+    and collections with inexact (eigendecomposition-derived) factors keep
+    the reference loop.  ``batched=False`` forces the oracle's own trace
+    products through the seed per-constraint loop even when another
+    consumer has already packed the collection (other collection-level
+    operations such as ``weighted_sum`` still follow the collection's own
+    packed gating); the regression tests certify both settings return
+    identical decisions.
+
     Parameters
     ----------
     constraints:
@@ -275,23 +357,50 @@ class ExactDotExpOracle:
     backend:
         Optional execution backend used for the batched trace products (and
         their work–depth accounting).
+    batched:
+        Use the packed single-GEMM pass for the trace products when the
+        collection's factors are exact.
     """
 
     def __init__(
         self,
         constraints: ConstraintCollection,
         backend: ExecutionBackend | None = None,
+        batched: bool = True,
     ) -> None:
         self.constraints = constraints
         self.backend = backend
+        self.batched = bool(batched)
         self.counters = OracleCounters()
+        if self.batched and constraints.has_exact_factors:
+            # Build (and cache) the packed view so dots()/weighted_sum()
+            # reroute to the batched kernels; free for factorized inputs.
+            constraints.packed()
 
     def __call__(self, psi: np.ndarray, x: np.ndarray) -> OracleOutput:
         self.counters.record_call()
         self.counters.eigendecompositions += 1
         m = self.constraints.dim
         density = expm_normalized(psi)
-        values = self.constraints.dots(density, backend=self.backend)
+        if self.batched:
+            values = self.constraints.dots(density, backend=self.backend)
+        elif self.backend is not None:
+            # Honour batched=False even if another consumer already built
+            # the collection's packed view: run the seed per-constraint
+            # loop, not the packed reroute inside dots().
+            values = np.asarray(
+                self.backend.map(
+                    lambda op: op.dot(density),
+                    self.constraints.operators,
+                    work_per_item=self.constraints.operator_work,
+                    label="constraint-dots",
+                ),
+                dtype=np.float64,
+            )
+        else:
+            values = np.array(
+                [op.dot(density) for op in self.constraints], dtype=np.float64
+            )
         work = float(m**3 + self.constraints.total_nnz)
         self.counters.flops_estimate += work
         return OracleOutput(values=values, trace=1.0, work=work)
@@ -301,8 +410,11 @@ class FastDotExpOracle:
     """Theorem 4.1 oracle: truncated Taylor + JL sketch on factorized constraints.
 
     The oracle obtains the normalization ``Tr[exp(Psi)]`` from the same
-    sketch by treating the identity as an extra factor (``exp(Psi) . I``),
-    so the returned values are directly comparable to the exact oracle's.
+    transformed sketch block at no extra cost: on the packed default path it
+    is read off as ``|| Pi exp(Psi/2) ||_F^2``; the legacy per-factor path
+    instead treats the identity as an extra factor (``exp(Psi) . I``).
+    Either way the returned values are directly comparable to the exact
+    oracle's.
 
     Parameters
     ----------
@@ -328,6 +440,17 @@ class FastDotExpOracle:
         transformed sketch block instead of a dense identity pseudo-factor.
         ``False`` keeps the seed per-factor loop (the reference the packed
         path is benchmarked and tested against).
+    blocked:
+        When ``True`` (default, packed path only) the Lemma 4.2 Taylor
+        apply runs through the fused
+        :class:`~repro.linalg.taylor_blocked.BlockedTaylorKernel` built per
+        call from the packed factors and the current weights.  ``False``
+        keeps the per-term matvec recurrence (same polynomial — the paths
+        differ only in floating-point rounding and wall clock; see
+        ``benchmarks/bench_e12_taylor.py``).
+    taylor_chunk_columns:
+        Optional column-chunk size forwarded to the blocked kernel to bound
+        its peak memory on wide sketch blocks (``None`` = unchunked).
     """
 
     def __init__(
@@ -339,6 +462,8 @@ class FastDotExpOracle:
         rng: RandomState = None,
         backend: ExecutionBackend | None = None,
         packed: bool = True,
+        blocked: bool = True,
+        taylor_chunk_columns: int | None = None,
     ) -> None:
         if eps <= 0 or eps >= 1:
             raise InvalidProblemError(f"eps must be in (0, 1), got {eps}")
@@ -348,6 +473,8 @@ class FastDotExpOracle:
         self.sketch_constant = float(sketch_constant)
         self.rng = as_generator(rng)
         self.backend = backend
+        self.blocked = bool(blocked)
+        self.taylor_chunk_columns = taylor_chunk_columns
         self.counters = OracleCounters()
         if packed:
             self._packed: PackedGramFactors | None = constraints.packed()
@@ -382,14 +509,30 @@ class FastDotExpOracle:
 
     def __call__(self, psi: np.ndarray, x: np.ndarray) -> OracleOutput:
         m = self.constraints.dim
-        matvec = self._factored_matvec(np.asarray(x, dtype=np.float64))
+        weights = np.asarray(x, dtype=np.float64)
+        if self._packed is not None and self.blocked:
+            # Fused blocked Taylor path: the kernel folds the weights into
+            # the factor stack (densifying Psi once when that is cheaper)
+            # and also serves as the matvec for the norm estimate.  The
+            # kernel is rebuilt from x rather than from the caller's psi:
+            # callers may legitimately pass a placeholder psi (the fast
+            # oracle is documented to read x only, and the E11/E12
+            # benchmarks do exactly that), and the rebuild costs at most
+            # one Taylor term's worth of GEMM per call.
+            operator = self._packed.taylor_kernel(
+                weights, chunk_columns=self.taylor_chunk_columns
+            )
+            matvec = operator.matvec
+        else:
+            operator = None
+            matvec = self._factored_matvec(weights)
         kappa = self.kappa_bound
         if kappa is None:
             kappa = max(1.0, spectral_norm_power(matvec, dim=m, rng=self.rng) * 1.05)
             self.counters.add("norm_estimates")
         if self._packed is not None:
             estimates, trace_estimate = big_dot_exp(
-                matvec,
+                operator if operator is not None else matvec,
                 self._packed,
                 kappa=kappa,
                 eps=self.eps,
@@ -435,11 +578,20 @@ def make_oracle(
     rng: RandomState = None,
     backend: ExecutionBackend | None = None,
     packed: bool = True,
+    blocked: bool = True,
+    batched: bool = True,
 ) -> DotExpOracle:
-    """Factory for the decision solver's oracle (``"exact"`` or ``"fast"``)."""
+    """Factory for the decision solver's oracle (``"exact"`` or ``"fast"``).
+
+    ``packed``/``blocked`` configure the fast oracle's single-GEMM estimate
+    pass and fused Taylor kernel; ``batched`` configures the exact oracle's
+    packed trace-product pass.  All three default to the fast paths; the
+    ``False`` settings reproduce the reference loops bit-for-bit and exist
+    for benchmarking and regression testing.
+    """
     kind = kind.lower()
     if kind == "exact":
-        return ExactDotExpOracle(constraints, backend=backend)
+        return ExactDotExpOracle(constraints, backend=backend, batched=batched)
     if kind == "fast":
         return FastDotExpOracle(
             constraints,
@@ -448,5 +600,6 @@ def make_oracle(
             rng=rng,
             backend=backend,
             packed=packed,
+            blocked=blocked,
         )
     raise InvalidProblemError(f"unknown oracle kind {kind!r}; expected 'exact' or 'fast'")

@@ -145,10 +145,12 @@ class NormalizedPackingSDP:
 
     @property
     def dim(self) -> int:
+        """Matrix dimension ``m``."""
         return self.constraints.dim
 
     @property
     def num_constraints(self) -> int:
+        """Number of constraints ``n``."""
         return len(self.constraints)
 
     # ------------------------------------------------------------------ bounds

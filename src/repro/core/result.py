@@ -83,10 +83,12 @@ class DecisionResult:
 
     @property
     def is_dual(self) -> bool:
+        """Whether the certified outcome is the dual (packing) side."""
         return self.outcome is DecisionOutcome.DUAL
 
     @property
     def is_primal(self) -> bool:
+        """Whether the certified outcome is the primal (covering) side."""
         return self.outcome is DecisionOutcome.PRIMAL
 
 

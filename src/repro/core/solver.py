@@ -111,7 +111,12 @@ def approx_psdp(
         Solver options.
     decision_overrides:
         Extra keyword arguments forwarded to every decision call (e.g.
-        ``oracle="fast"``, ``strict=True``, ``collect_history=True``).
+        ``oracle="fast"``, ``strict=True``, ``collect_history=True``) —
+        any field of :class:`~repro.core.decision.DecisionOptions`.  An
+        already-constructed oracle object cannot be reused across calls
+        here because each decision call re-scales the constraints; use
+        string oracle kinds (their packed/blocked fast paths are on by
+        default) and ``oracle_eps`` to tune accuracy.
 
     Returns
     -------

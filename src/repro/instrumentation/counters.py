@@ -41,6 +41,7 @@ class OracleCounters:
     extra: dict[str, float] = field(default_factory=dict)
 
     def record_call(self) -> None:
+        """Count one oracle invocation."""
         self.calls += 1
 
     def add(self, key: str, amount: float = 1.0) -> None:
@@ -48,6 +49,7 @@ class OracleCounters:
         self.extra[key] = self.extra.get(key, 0.0) + amount
 
     def merge(self, other: "OracleCounters") -> None:
+        """Accumulate another counter set into this one (field-wise sum)."""
         self.calls += other.calls
         self.matvecs += other.matvecs
         self.factor_passes += other.factor_passes
@@ -57,6 +59,7 @@ class OracleCounters:
             self.extra[key] = self.extra.get(key, 0.0) + amount
 
     def as_dict(self) -> dict[str, float]:
+        """All counters (including free-form ones) as a flat float dict."""
         out = {
             "calls": float(self.calls),
             "matvecs": float(self.matvecs),

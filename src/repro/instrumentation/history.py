@@ -44,6 +44,7 @@ class IterationRecord:
     oracle_work: float = 0.0
 
     def as_dict(self) -> dict[str, float]:
+        """The record's fields as a flat dict (for tables/serialization)."""
         return {
             "iteration": self.iteration,
             "x_norm": self.x_norm,
@@ -62,6 +63,7 @@ class ConvergenceHistory:
     records: list[IterationRecord] = field(default_factory=list)
 
     def append(self, record: IterationRecord) -> None:
+        """Append one iteration's record."""
         self.records.append(record)
 
     def __len__(self) -> int:
@@ -79,12 +81,15 @@ class ConvergenceHistory:
         return len(self.records)
 
     def final_x_norm(self) -> float:
+        """``||x||_1`` at the last recorded iteration (0.0 when empty)."""
         return self.records[-1].x_norm if self.records else 0.0
 
     def x_norms(self) -> list[float]:
+        """The ``||x||_1`` trajectory across iterations."""
         return [r.x_norm for r in self.records]
 
     def update_counts(self) -> list[int]:
+        """Per-iteration sizes of the multiplicative-update set ``B(t)``."""
         return [r.updated for r in self.records]
 
     def as_rows(self) -> list[Mapping[str, float]]:

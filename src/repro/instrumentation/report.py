@@ -32,9 +32,11 @@ class ExperimentReport:
         return row
 
     def add_note(self, note: str) -> None:
+        """Attach a free-form annotation to the report."""
         self.notes.append(note)
 
     def headers(self) -> list[str]:
+        """Column names in first-seen order across all rows."""
         seen: list[str] = []
         for row in self.rows:
             for key in row:

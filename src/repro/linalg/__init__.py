@@ -14,6 +14,10 @@ built on:
 * :mod:`repro.linalg.taylor` — the truncated-Taylor approximation of
   ``exp(B)`` from Lemma 4.2 (Arora–Kale Lemma 6), with the paper's degree
   rule ``k = max(e^2 * kappa, ln(2/eps))``.
+* :mod:`repro.linalg.taylor_blocked` — the blocked/fused evaluation of the
+  same polynomial on an entire ``(m, s)`` block at once: Horner-style fused
+  GEMMs against the packed Gram factors, with an optional column-chunked
+  variant that bounds peak memory.
 * :mod:`repro.linalg.sketching` — Johnson–Lindenstrauss Gaussian sketching
   used by the nearly-linear-work oracle of Theorem 4.1.
 * :mod:`repro.linalg.norms` — spectral-norm estimation (power iteration and
@@ -50,6 +54,10 @@ from repro.linalg.taylor import (
     taylor_expm_apply,
     taylor_expm_matrix,
     TaylorExpmOperator,
+)
+from repro.linalg.taylor_blocked import (
+    BlockedTaylorKernel,
+    blocked_taylor_apply,
 )
 from repro.linalg.sketching import (
     jl_dimension,
@@ -90,6 +98,8 @@ __all__ = [
     "taylor_expm_apply",
     "taylor_expm_matrix",
     "TaylorExpmOperator",
+    "BlockedTaylorKernel",
+    "blocked_taylor_apply",
     "jl_dimension",
     "gaussian_sketch",
     "sketch_columns",

@@ -111,11 +111,35 @@ def top_eigenvalue(
     ``O(m^2)`` per iteration instead of the ``O(m^3)`` eigendecomposition,
     falling back to power iteration only if ARPACK fails to converge.
     Matvec-callable inputs use power iteration directly.  The decision
-    solver uses this for its periodic certificate checks, its history
+    solvers use this for their periodic certificate checks, history
     records, and the final dual rescaling, charging the cheaper cost to the
     work–depth tracker; the certificate uses demand an accurate value (an
     underestimate would overstate dual feasibility), which is why Lanczos
     is preferred over the margin-free power iteration above the cutoff.
+
+    Parameters
+    ----------
+    matrix:
+        Symmetric PSD matrix (dense or scipy sparse) or a matvec callable
+        ``v -> A @ v`` (requires ``dim``).
+    dim:
+        Ambient dimension, required only for callable input.
+    tol:
+        Convergence tolerance of the iterative estimators.
+    rng:
+        Randomness source for the power-iteration start vector.  Callers
+        that also consume randomness elsewhere should pass a *spawned*
+        generator so eigenvalue estimation cannot perturb other streams
+        (see the decision solver's usage).
+    dense_cutoff:
+        Dimension at or below which the exact dense ``eigvalsh`` is used.
+    maxiter:
+        Iteration cap forwarded to the power-iteration fallback.
+
+    Returns
+    -------
+    float
+        The largest eigenvalue (clamped at 0 for the iterative paths).
     """
     if callable(matrix) and not isinstance(matrix, np.ndarray) and not sp.issparse(matrix):
         if dim is None:

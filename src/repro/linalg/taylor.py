@@ -116,10 +116,18 @@ class TaylorExpmOperator:
     matrix–vector products it has performed in :attr:`matvec_count`, which
     the work–depth accounting of experiment E2 consumes.
 
+    Matrix inputs (dense/sparse) and
+    :class:`~repro.linalg.taylor_blocked.BlockedTaylorKernel` instances are
+    evaluated through the fused blocked recurrence of
+    :mod:`repro.linalg.taylor_blocked` (same polynomial, fewer per-term
+    passes); matvec callables keep the per-term reference recurrence of
+    :func:`taylor_expm_apply`.
+
     Parameters
     ----------
     phi:
-        Symmetric PSD matrix (dense or sparse) or a matvec callable.
+        Symmetric PSD matrix (dense or sparse), a matvec callable, or an
+        already-built blocked kernel over ``phi``.
     kappa:
         Upper bound on ``||phi||_2`` (not ``phi/2``); the degree rule of
         Lemma 4.2 is applied to ``kappa/2``.
@@ -129,14 +137,29 @@ class TaylorExpmOperator:
 
     def __init__(
         self,
-        phi: np.ndarray | sp.spmatrix | MatVec,
+        phi: np.ndarray | sp.spmatrix | MatVec | "BlockedTaylorKernel",
         kappa: float,
         eps: float,
         dim: int | None = None,
     ) -> None:
+        from repro.linalg.taylor_blocked import BlockedTaylorKernel
+
         if kappa < 0:
             raise ValueError(f"kappa must be >= 0, got {kappa}")
-        self._matvec, inferred_dim = _as_matvec(phi)
+        self._kernel: BlockedTaylorKernel | None
+        if isinstance(phi, BlockedTaylorKernel):
+            self._kernel = phi
+            self._matvec = phi.matvec
+            inferred_dim = phi.dim
+        elif callable(phi) and not isinstance(phi, np.ndarray) and not sp.issparse(phi):
+            self._kernel = None
+            self._matvec, inferred_dim = _as_matvec(phi)
+        else:
+            if not sp.issparse(phi):
+                phi = check_symmetric(np.asarray(phi, dtype=np.float64), "phi")
+            self._kernel = BlockedTaylorKernel.from_matrix(phi)
+            self._matvec = self._kernel.matvec
+            inferred_dim = self._kernel.dim
         self.dim = dim if dim is not None else inferred_dim
         if self.dim is None:
             raise ValueError("dim must be provided when phi is a callable")
@@ -152,6 +175,11 @@ class TaylorExpmOperator:
 
     def apply(self, vectors: np.ndarray) -> np.ndarray:
         """Apply the polynomial approximation of ``exp(phi/2)`` to ``vectors``."""
+        if self._kernel is not None:
+            before = self._kernel.matvec_count
+            out = self._kernel.apply(vectors, self.degree, scale=0.5)
+            self.matvec_count += self._kernel.matvec_count - before
+            return out
         return taylor_expm_apply(self._counted_matvec, vectors, self.degree)
 
     def quadratic_form(self, q: np.ndarray) -> float:

@@ -43,6 +43,7 @@ class LubyNisanResult:
 
     @property
     def relative_gap(self) -> float:
+        """Relative gap ``upper/value - 1`` between the certified bounds."""
         return self.upper_bound / self.value - 1.0 if self.value > 0 else float("inf")
 
 

@@ -58,10 +58,12 @@ class PackingLP:
     # ------------------------------------------------------------------ shape
     @property
     def num_constraints(self) -> int:
+        """Number of packing constraints (matrix rows)."""
         return self.matrix.shape[0]
 
     @property
     def num_variables(self) -> int:
+        """Number of variables (matrix columns)."""
         return self.matrix.shape[1]
 
     @property

@@ -31,9 +31,19 @@ loop did).  The packed path charges the same ``O(q)`` work (``q`` = total
 factor nonzeros) and polylogarithmic depth in the cost model; only the
 wall-clock constants change.  The view is built lazily because deriving
 Gram factors of dense operators costs one eigendecomposition each —
-callers that never ask for the packed view (e.g. the exact-oracle
-solver) never pay it, and the reference loop remains the bit-exact
-baseline the packed results are tested against.
+callers that never ask for the packed view never pay it, and the
+reference loop remains the bit-exact baseline the packed results are
+tested against.  Both oracles now request the view when the factors are
+exact (the fast oracle always packs; the exact oracle packs for its
+batched trace-product pass unless constructed with ``batched=False``).
+
+Dense-collection fallback
+-------------------------
+All-dense collections can never take the packed reroute, so
+``weighted_sum`` batches them differently: the dense matrices are stacked
+once into a cached ``(n, m, m)`` array (within a memory cap) and the sum
+becomes a single ``tensordot`` contraction over the weights instead of an
+``n``-term accumulation loop.
 """
 
 from __future__ import annotations
@@ -43,8 +53,13 @@ from typing import Iterable, Iterator, Sequence
 import numpy as np
 
 from repro.exceptions import InvalidProblemError
+from repro.operators.dense import DensePSDOperator
 from repro.operators.packed import PackedGramFactors
 from repro.operators.psd_operator import PSDOperator, as_operator
+
+#: memory cap (bytes) on the cached dense ``(n, m, m)`` stack used to batch
+#: ``weighted_sum`` for all-dense collections without an exact packed view.
+DENSE_STACK_MAX_BYTES = 1 << 27
 
 
 class ConstraintCollection:
@@ -62,6 +77,9 @@ class ConstraintCollection:
         self.size = len(ops)
         self._packed: PackedGramFactors | None = None
         self._exact_factors = all(op.gram_factor_is_exact for op in ops)
+        self._dense_stack: np.ndarray | None = None
+        self._dense_stack_checked = False
+        self._op_work: list[float] | None = None
 
     # ------------------------------------------------------------------ dunder
     def __len__(self) -> int:
@@ -79,6 +97,7 @@ class ConstraintCollection:
     # ------------------------------------------------------------------ batched ops
     @property
     def operators(self) -> Sequence[PSDOperator]:
+        """The wrapped operators, in constraint order (immutable view)."""
         return tuple(self._operators)
 
     @property
@@ -86,6 +105,18 @@ class ConstraintCollection:
         """Total stored nonzeros across the collection (the ``q`` of Cor. 1.2
         when operators are factorized, and the input-size proxy otherwise)."""
         return int(sum(op.nnz for op in self._operators))
+
+    @property
+    def operator_work(self) -> list[float]:
+        """Per-operator work charges ``max(nnz(A_i), 1)``, computed once.
+
+        Counting nonzeros scans each operator's storage, so the list is
+        cached — the collection is immutable and ``dots`` needs it every
+        solver iteration for its work–depth charges.
+        """
+        if self._op_work is None:
+            self._op_work = [float(max(op.nnz, 1)) for op in self._operators]
+        return self._op_work
 
     def packed(self) -> PackedGramFactors:
         """The cached packed Gram-factor view (built on first access).
@@ -103,6 +134,14 @@ class ConstraintCollection:
     def packed_view(self) -> PackedGramFactors | None:
         """The packed view if it has already been built, else ``None``."""
         return self._packed
+
+    @property
+    def has_exact_factors(self) -> bool:
+        """Whether every operator's Gram factor is exact (``Q Q^T = A`` by
+        construction), i.e. whether the packed view may replace the
+        reference batched operations (see
+        :attr:`~repro.operators.psd_operator.PSDOperator.gram_factor_is_exact`)."""
+        return self._exact_factors
 
     @property
     def packed_fast_path(self) -> PackedGramFactors | None:
@@ -132,11 +171,36 @@ class ConstraintCollection:
         """The width parameter ``rho = max_i ||A_i||_2`` of the instance."""
         return float(self.spectral_norms().max())
 
+    def _dense_stacked(self) -> np.ndarray | None:
+        """Cached ``(n, m, m)`` stack of dense constraint matrices, or ``None``.
+
+        Built lazily, and only for all-dense collections (whose eigh-derived
+        factors are inexact, so the packed reroute never applies) within the
+        :data:`DENSE_STACK_MAX_BYTES` memory cap.  The stack turns the
+        ``weighted_sum`` fallback loop into one ``tensordot`` contraction
+        without changing operator semantics — each slice *is* the operator's
+        dense matrix.
+        """
+        if not self._dense_stack_checked:
+            self._dense_stack_checked = True
+            fits = self.size * self.dim * self.dim * 8 <= DENSE_STACK_MAX_BYTES
+            if fits and all(
+                isinstance(op, DensePSDOperator) for op in self._operators
+            ):
+                self._dense_stack = np.stack(
+                    [op.to_dense() for op in self._operators]
+                )
+        return self._dense_stack
+
     def weighted_sum(self, weights: np.ndarray) -> np.ndarray:
         """Dense matrix ``sum_i weights[i] * A_i``.
 
         Weights must be non-negative (the sum must stay PSD); zero weights
         are skipped so the cost is proportional to the support of ``weights``.
+        Exact-factor collections with a built packed view route through a
+        single rank-``R`` GEMM; all-dense collections batch the sum as one
+        ``tensordot`` over a cached ``(n, m, m)`` stack; everything else
+        keeps the per-operator accumulation loop.
         """
         weights = np.asarray(weights, dtype=np.float64).ravel()
         if weights.shape[0] != self.size:
@@ -148,6 +212,18 @@ class ConstraintCollection:
         packed = self.packed_fast_path
         if packed is not None:
             return packed.weighted_sum(weights)
+        stack = self._dense_stacked()
+        if stack is not None:
+            active = np.flatnonzero(weights)
+            if active.shape[0] == 0:
+                return np.zeros((self.dim, self.dim), dtype=np.float64)
+            if 4 * active.shape[0] >= self.size:
+                acc = np.tensordot(weights, stack, axes=1)
+            else:
+                # Sparse support (incremental solver deltas): contract only
+                # the active slices.
+                acc = np.tensordot(weights[active], stack[active], axes=1)
+            return 0.5 * (acc + acc.T)
         acc = np.zeros((self.dim, self.dim), dtype=np.float64)
         for weight, op in zip(weights, self._operators):
             if weight != 0.0:
@@ -157,24 +233,35 @@ class ConstraintCollection:
     def dots(self, weight_matrix: np.ndarray, backend=None) -> np.ndarray:
         """All trace products ``A_i . W`` as a vector of length ``n``.
 
-        When ``backend`` is given, the products are computed through the
-        backend's parallel ``map`` (and therefore included in its work–depth
-        accounting with per-item work ``nnz(A_i)`` and unit depth).
+        When ``backend`` is given, the products are included in its
+        work–depth accounting with per-item work ``nnz(A_i)`` and unit
+        depth.  If the packed fast path is available the products are
+        computed as one GEMM plus a segment reduction and the backend is
+        charged the identical per-item costs through
+        :meth:`~repro.parallel.backends.ExecutionBackend.charge_batched`;
+        otherwise they run through the backend's parallel ``map``.
         """
         weight_matrix = np.asarray(weight_matrix, dtype=np.float64)
         if weight_matrix.shape != (self.dim, self.dim):
             raise InvalidProblemError(
                 f"weight matrix must have shape {(self.dim, self.dim)}, got {weight_matrix.shape}"
             )
+        packed = self.packed_fast_path
         if backend is None:
-            packed = self.packed_fast_path
             if packed is not None:
                 return packed.dots(weight_matrix)
             return np.array([op.dot(weight_matrix) for op in self._operators], dtype=np.float64)
+        if packed is not None:
+            backend.charge_batched(
+                self.size,
+                work_per_item=self.operator_work,
+                label="constraint-dots",
+            )
+            return packed.dots(weight_matrix)
         results = backend.map(
             lambda op: op.dot(weight_matrix),
             self._operators,
-            work_per_item=[max(op.nnz, 1) for op in self._operators],
+            work_per_item=self.operator_work,
             label="constraint-dots",
         )
         return np.asarray(list(results), dtype=np.float64)

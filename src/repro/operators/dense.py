@@ -56,6 +56,7 @@ class DensePSDOperator(PSDOperator):
 
     @property
     def nnz(self) -> int:
+        """Nonzero entries of the dense matrix."""
         return int(np.count_nonzero(self._matrix))
 
     def spectral_norm(self) -> float:

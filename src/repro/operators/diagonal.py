@@ -67,10 +67,12 @@ class DiagonalPSDOperator(PSDOperator):
 
     @property
     def nnz(self) -> int:
+        """Nonzero diagonal entries."""
         return int(np.count_nonzero(self._diag))
 
     @property
     def gram_factor_is_exact(self) -> bool:
+        """``diag(sqrt(d)) diag(sqrt(d))^T = diag(d)`` by construction."""
         return True
 
     def spectral_norm(self) -> float:

@@ -87,12 +87,14 @@ class FactorizedPSDOperator(PSDOperator):
 
     @property
     def nnz(self) -> int:
+        """Stored nonzeros of the factor (the Corollary 1.2 work unit)."""
         if self._sparse:
             return int(self._factor.nnz)
         return int(np.count_nonzero(self._factor))
 
     @property
     def gram_factor_is_exact(self) -> bool:
+        """The stored factor *is* the operator: ``Q Q^T = A`` exactly."""
         return True
 
     def spectral_norm(self) -> float:

@@ -80,10 +80,12 @@ class LowRankPSDOperator(PSDOperator):
 
     @property
     def nnz(self) -> int:
+        """Stored nonzeros across the rank-one vectors and their weights."""
         return int(np.count_nonzero(self._vectors)) + int(np.count_nonzero(self._weights))
 
     @property
     def gram_factor_is_exact(self) -> bool:
+        """``sum_j w_j v_j v_j^T`` factors exactly as ``(V sqrt(w)) (V sqrt(w))^T``."""
         return True
 
     def spectral_norm(self) -> float:

@@ -156,6 +156,7 @@ class PackedGramFactors:
 
     @property
     def is_sparse(self) -> bool:
+        """Whether the stacked factor matrix is stored sparse (CSR/CSC)."""
         return self._sparse
 
     @property
@@ -231,6 +232,22 @@ class PackedGramFactors:
             return q @ (col_w[:, None] * inner)
 
         return apply
+
+    def taylor_kernel(self, weights: np.ndarray, chunk_columns: int | None = None):
+        """A :class:`~repro.linalg.taylor_blocked.BlockedTaylorKernel` for
+        ``Psi = sum_i weights[i] Q_i Q_i^T``.
+
+        The kernel evaluates the Lemma 4.2 truncated exponential of
+        ``scale * Psi`` on whole ``(m, s)`` blocks via fused GEMMs,
+        densifying ``Psi`` once when the stacked rank makes the dense
+        recurrence cheaper (see the kernel's module docstring).  Built per
+        weight vector — the fast oracle constructs one per call.
+        """
+        from repro.linalg.taylor_blocked import BlockedTaylorKernel
+
+        return BlockedTaylorKernel(
+            self._q, self.expand_weights(weights), chunk_columns=chunk_columns
+        )
 
     def weighted_sum(self, weights: np.ndarray) -> np.ndarray:
         """Dense ``sum_i weights[i] Q_i Q_i^T`` via one rank-``R`` GEMM.

@@ -70,21 +70,36 @@ class PSDOperator(abc.ABC):
     def gram_factor_is_exact(self) -> bool:
         """Whether ``gram_factor()`` reproduces the operator exactly.
 
-        ``True`` for representations that *define* the operator through a
-        factor (factorized, low-rank, diagonal), where ``Q Q^T = A`` up to
-        floating-point rounding.  ``False`` (the default) for dense/sparse
-        matrices whose factor comes from a truncated eigendecomposition —
-        a controlled approximation, fine for the randomized fast oracle but
-        not for exact reference paths.  The packed fast path in
-        :class:`~repro.operators.collection.ConstraintCollection` only
-        reroutes its batched operations when every operator reports
-        ``True``.
+        This is the gating contract of every packed fast path.  A subclass
+        may return ``True`` only when ``Q Q^T = A`` holds *by construction*
+        — i.e. the factor is the representation (factorized, low-rank,
+        diagonal), not a derived approximation — so that computing any
+        batched quantity through ``Q`` instead of ``A`` changes
+        floating-point rounding order only, never operator semantics.
+        ``False`` (the default) is mandatory for dense/sparse matrices whose
+        factor comes from a truncated eigendecomposition: that factor is a
+        controlled approximation, acceptable inside the randomized fast
+        oracle (whose output is approximate anyway) but not in exact
+        reference paths.
+
+        Consumers of the contract:
+
+        * :attr:`ConstraintCollection.packed_fast_path
+          <repro.operators.collection.ConstraintCollection.packed_fast_path>`
+          reroutes ``weighted_sum``/``dots``/``traces`` through the packed
+          view only when *every* operator reports ``True``;
+        * :class:`~repro.core.dotexp.ExactDotExpOracle` builds the packed
+          view for its batched trace-product pass under the same condition
+          (``batched=True``), keeping the per-constraint loop otherwise;
+        * the fast oracle's sketched estimates use packed factors
+          regardless, exactly as the seed per-factor loop did.
         """
         return False
 
     # ------------------------------------------------------------- conveniences
     @property
     def shape(self) -> tuple[int, int]:
+        """The (square) matrix shape ``(m, m)``."""
         return (self.dim, self.dim)
 
     def spectral_norm(self) -> float:

@@ -57,6 +57,7 @@ class SparsePSDOperator(PSDOperator):
 
     @property
     def nnz(self) -> int:
+        """Stored nonzeros of the sparse matrix."""
         return int(self._matrix.nnz)
 
     @property

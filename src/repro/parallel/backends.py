@@ -81,6 +81,23 @@ class ExecutionBackend(abc.ABC):
             return []
         return self._execute(func, items)
 
+    def charge_batched(
+        self,
+        count: int,
+        work_per_item: Sequence[float] | float | None = None,
+        label: str = "",
+    ) -> None:
+        """Charge ``count`` logically parallel items computed by one batched call.
+
+        Some per-constraint maps collapse into a single BLAS kernel (e.g. the
+        packed trace-product pass of
+        :meth:`~repro.operators.collection.ConstraintCollection.dots`).  The
+        work–depth model must not notice the difference: this charges exactly
+        what :meth:`map` would — work = sum of the per-item costs, depth =
+        their maximum — while the caller performs the computation itself.
+        """
+        self._charge_map(count, work_per_item, label)
+
     def close(self) -> None:
         """Release any pooled resources (no-op for stateless backends)."""
 

@@ -44,14 +44,17 @@ class BrentSchedule:
 
     @property
     def speedup_upper(self) -> float:
+        """Best-case speedup ``work / time_lower`` on this processor count."""
         return self.work / self.time_lower if self.time_lower > 0 else float("inf")
 
     @property
     def speedup_lower(self) -> float:
+        """Guaranteed speedup ``work / time_upper`` (Brent's upper bound on time)."""
         return self.work / self.time_upper if self.time_upper > 0 else float("inf")
 
     @property
     def efficiency(self) -> float:
+        """Guaranteed parallel efficiency ``speedup_lower / processors``."""
         return self.speedup_lower / self.processors if self.processors else 0.0
 
 

@@ -123,6 +123,7 @@ class WorkDepthTracker:
         )
 
     def reset(self) -> None:
+        """Zero all accumulated work, depth, events, and labels."""
         self.work = 0.0
         self.depth = 0.0
         self.events = 0

@@ -31,12 +31,14 @@ class Timer:
     _start: float | None = None
 
     def start(self) -> "Timer":
+        """Start a lap; returns ``self`` so it can open a ``with`` block."""
         if self._start is not None:
             raise RuntimeError("Timer is already running")
         self._start = time.perf_counter()
         return self
 
     def stop(self) -> float:
+        """Stop the running lap, record it, and return its duration."""
         if self._start is None:
             raise RuntimeError("Timer is not running")
         lap = time.perf_counter() - self._start
@@ -46,12 +48,14 @@ class Timer:
         return lap
 
     def reset(self) -> None:
+        """Discard all laps and accumulated elapsed time."""
         self.elapsed = 0.0
         self.laps.clear()
         self._start = None
 
     @property
     def running(self) -> bool:
+        """Whether a lap is currently open."""
         return self._start is not None
 
     def __enter__(self) -> "Timer":

@@ -1,9 +1,9 @@
-"""Regression tests riding with the packed fast-path PR.
+"""Regression tests riding with the packed fast-path and blocked-Taylor PRs.
 
 Covers the history-record NaN bug, caller-option mutation, the
-top-eigenvalue certificate routine, and the fixed-seed guarantee that the
-decision solver certifies the same outcome on the packed and seed oracle
-paths.
+top-eigenvalue certificate routine, and the fixed-seed guarantees that the
+decision solver certifies the same outcome on the packed/seed oracle paths,
+the blocked/per-term Taylor paths, and the batched/loop exact-oracle paths.
 """
 
 from __future__ import annotations
@@ -13,9 +13,10 @@ import pytest
 
 from repro.linalg.norms import top_eigenvalue
 from repro.linalg.psd import random_psd
-from repro.operators import ConstraintCollection, FactorizedPSDOperator
+from repro.operators import ConstraintCollection, DensePSDOperator, FactorizedPSDOperator
 from repro.core.decision import DecisionOptions, decision_psdp
-from repro.core.dotexp import FastDotExpOracle
+from repro.core.decision_phased import decision_psdp_phased
+from repro.core.dotexp import ExactDotExpOracle, FastDotExpOracle
 from repro.core.solver import SolverOptions, approx_psdp
 from repro.problems.random_instances import random_packing_sdp
 
@@ -97,9 +98,31 @@ class TestPackedDecisionEquivalence:
         assert coll.packed_view is not None
         assert result.outcome is not None
 
-    def test_exact_oracle_leaves_collection_unpacked(self, small_collection):
+    def test_exact_oracle_leaves_dense_collection_unpacked(self, small_collection):
+        # Dense collections have eigh-derived (inexact) factors, so the
+        # exact oracle's batched pass must not pack them.
         decision_psdp(small_collection, epsilon=0.3, max_iterations=4)
         assert small_collection.packed_view is None
+
+    def test_exact_oracle_packs_exact_factor_collection(self):
+        coll = _factorized_collection(41)
+        assert coll.packed_view is None
+        decision_psdp(coll, epsilon=0.3, max_iterations=4)
+        assert coll.packed_view is not None
+
+    def test_blocked_taylor_same_certified_outcome_fixed_seed(self):
+        """Blocked kernel vs per-term recurrence: same polynomial, same
+        sketch draws, so the certified decision must be identical."""
+        results = {}
+        for blocked in (True, False):
+            coll = _factorized_collection(20120522)
+            oracle = FastDotExpOracle(coll, eps=0.05, rng=99, blocked=blocked)
+            results[blocked] = decision_psdp(coll, epsilon=0.2, oracle=oracle, rng=99)
+        assert results[True].outcome == results[False].outcome
+        assert results[True].iterations == results[False].iterations
+        np.testing.assert_allclose(
+            results[True].dual_x, results[False].dual_x, rtol=1e-6, atol=1e-12
+        )
 
     def test_history_collection_does_not_perturb_oracle_stream(self):
         """The eigenvalue estimator spawns its own generator, so turning
@@ -116,3 +139,122 @@ class TestPackedDecisionEquivalence:
         assert results[True].outcome == results[False].outcome
         assert results[True].iterations == results[False].iterations
         np.testing.assert_array_equal(results[True].dual_x, results[False].dual_x)
+
+
+class TestExactOracleBatchedEquivalence:
+    """The packed batched trace-product pass vs the seed per-constraint loop."""
+
+    @pytest.mark.parametrize("seed", [20120522, 7, 1201])
+    def test_same_certified_outcome_fixed_seed(self, seed):
+        results = {}
+        for batched in (True, False):
+            coll = _factorized_collection(seed)
+            oracle = ExactDotExpOracle(coll, batched=batched)
+            results[batched] = decision_psdp(coll, epsilon=0.2, oracle=oracle)
+        assert results[True].outcome == results[False].outcome
+        assert results[True].iterations == results[False].iterations
+        np.testing.assert_allclose(
+            results[True].dual_x, results[False].dual_x, rtol=1e-9, atol=1e-13
+        )
+
+    def test_work_depth_accounting_preserved(self):
+        """One batched GEMM must charge the tracker exactly what the mapped
+        per-constraint loop charged: same work, same depth."""
+        reports = {}
+        for batched in (True, False):
+            coll = _factorized_collection(12)
+            oracle = ExactDotExpOracle(coll, batched=batched)
+            reports[batched] = decision_psdp(
+                coll, epsilon=0.25, oracle=oracle, max_iterations=6
+            ).work_depth
+        assert reports[True].by_label.get("constraint-dots") == pytest.approx(
+            reports[False].by_label.get("constraint-dots")
+        )
+
+    def test_batched_false_bypasses_existing_packed_view(self, monkeypatch):
+        """batched=False must run the per-constraint loop even when another
+        consumer already built the collection's packed view."""
+        coll = _factorized_collection(6)
+        coll.packed()  # e.g. a fast oracle packed it earlier
+
+        def _fail(self, weight_matrix):  # pragma: no cover - must not run
+            raise AssertionError("packed dots used despite batched=False")
+
+        from repro.operators.packed import PackedGramFactors
+
+        monkeypatch.setattr(PackedGramFactors, "dots", _fail)
+        oracle = ExactDotExpOracle(coll, batched=False)
+        x = np.ones(8) / 8
+        psi = sum(w * op.to_dense() for w, op in zip(x, coll.operators))
+        output = oracle(psi, x)
+        assert np.all(np.isfinite(output.values))
+
+    def test_batched_dots_match_loop(self):
+        coll_a = _factorized_collection(5)
+        coll_b = _factorized_collection(5)
+        x = np.ones(8) / 8
+        out_loop = ExactDotExpOracle(coll_a, batched=False)(coll_a.weighted_sum(x), x)
+        out_fast = ExactDotExpOracle(coll_b, batched=True)(coll_b.weighted_sum(x), x)
+        np.testing.assert_allclose(out_fast.values, out_loop.values, rtol=1e-10, atol=1e-14)
+
+
+class TestPhasedSolverThreading:
+    def test_phased_fast_oracle_runs_blocked_path(self):
+        coll = _factorized_collection(9)
+        result = decision_psdp_phased(
+            coll, epsilon=0.25, oracle="fast", rng=4, max_iterations=10
+        )
+        assert coll.packed_view is not None
+        assert result.outcome is not None
+
+    def test_phased_history_does_not_perturb_outcome(self):
+        results = {}
+        for collect in (True, False):
+            coll = _factorized_collection(13)
+            results[collect] = decision_psdp_phased(
+                coll, epsilon=0.25, rng=8, collect_history=collect, max_iterations=12
+            )
+        assert results[True].outcome == results[False].outcome
+        assert results[True].iterations == results[False].iterations
+
+
+class TestDenseStackWeightedSum:
+    def _dense_collection(self, seed, n=7, m=10):
+        rng = np.random.default_rng(seed)
+        mats = []
+        for _ in range(n):
+            q = rng.standard_normal((m, 3))
+            mats.append(DensePSDOperator(q @ q.T))
+        return ConstraintCollection(mats, validate=False)
+
+    def test_matches_loop_full_support(self):
+        coll = self._dense_collection(1)
+        weights = np.random.default_rng(2).random(len(coll))
+        expected = np.zeros((coll.dim, coll.dim))
+        for w, op in zip(weights, coll.operators):
+            expected += w * op.to_dense()
+        np.testing.assert_allclose(coll.weighted_sum(weights), expected, atol=1e-12)
+
+    def test_matches_loop_sparse_support(self):
+        coll = self._dense_collection(3)
+        weights = np.zeros(len(coll))
+        weights[2] = 0.7
+        expected = 0.7 * coll.operators[2].to_dense()
+        np.testing.assert_allclose(coll.weighted_sum(weights), expected, atol=1e-13)
+
+    def test_zero_weights(self):
+        coll = self._dense_collection(4)
+        np.testing.assert_array_equal(
+            coll.weighted_sum(np.zeros(len(coll))),
+            np.zeros((coll.dim, coll.dim)),
+        )
+
+    def test_stack_is_cached_and_gated(self):
+        coll = self._dense_collection(5)
+        coll.weighted_sum(np.ones(len(coll)))
+        assert coll._dense_stack is not None
+        mixed = ConstraintCollection(
+            [coll.operators[0], np.ones(10)], validate=False
+        )  # diagonal operator present -> no dense stack
+        mixed.weighted_sum(np.ones(2))
+        assert mixed._dense_stack is None

@@ -1,0 +1,136 @@
+#!/usr/bin/env python
+"""Lightweight documentation gate for CI.
+
+Three checks, any failure exits non-zero:
+
+1. **README snippets run.**  Every fenced ``python`` code block in
+   ``README.md`` is executed (in order, each in a fresh namespace), so the
+   quickstart can never rot.
+2. **Doctests pass.**  ``doctest`` runs over every module in the ``repro``
+   package (docstring examples like the package-root quickstart).
+3. **Public API is documented.**  Every importable ``repro`` module must
+   have a module docstring, and every public function/class/method defined
+   in it must have a non-empty docstring (a pydocstyle-style D1xx subset,
+   without the external dependency).
+
+Run from the repository root::
+
+    PYTHONPATH=src python tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import doctest
+import importlib
+import inspect
+import io
+import os
+import pkgutil
+import re
+import sys
+import traceback
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+
+def iter_repro_modules():
+    import repro
+
+    yield "repro", repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield info.name, importlib.import_module(info.name)
+
+
+def check_readme_snippets() -> list[str]:
+    failures = []
+    readme = os.path.join(REPO_ROOT, "README.md")
+    with open(readme, encoding="utf-8") as handle:
+        text = handle.read()
+    blocks = re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+    if not blocks:
+        return ["README.md contains no ```python blocks to check"]
+    for idx, block in enumerate(blocks, 1):
+        namespace: dict = {"__name__": f"readme_block_{idx}"}
+        stdout, sys.stdout = sys.stdout, io.StringIO()
+        try:
+            exec(compile(block, f"README.md[block {idx}]", "exec"), namespace)
+        except Exception:
+            failures.append(
+                f"README.md python block {idx} failed:\n{traceback.format_exc()}"
+            )
+        finally:
+            sys.stdout = stdout
+    return failures
+
+
+def check_doctests() -> list[str]:
+    failures = []
+    for name, module in iter_repro_modules():
+        try:
+            result = doctest.testmod(module, verbose=False)
+        except Exception:
+            failures.append(f"doctest collection failed in {name}:\n{traceback.format_exc()}")
+            continue
+        if result.failed:
+            failures.append(f"{result.failed} doctest failure(s) in {name}")
+    return failures
+
+
+def _missing_docstrings(name: str, module) -> list[str]:
+    missing = []
+    if not (module.__doc__ or "").strip():
+        missing.append(f"{name}: missing module docstring")
+    for attr_name, attr in vars(module).items():
+        if attr_name.startswith("_"):
+            continue
+        if not (inspect.isfunction(attr) or inspect.isclass(attr)):
+            continue
+        if getattr(attr, "__module__", None) != name:
+            continue  # re-export; checked where it is defined
+        if not (inspect.getdoc(attr) or "").strip():
+            missing.append(f"{name}.{attr_name}: missing docstring")
+        if inspect.isclass(attr):
+            for meth_name, meth in vars(attr).items():
+                if meth_name.startswith("_"):
+                    continue
+                func = meth.fget if isinstance(meth, property) else meth
+                if not inspect.isfunction(func) and not isinstance(
+                    meth, (classmethod, staticmethod)
+                ):
+                    continue
+                if isinstance(meth, (classmethod, staticmethod)):
+                    func = meth.__func__
+                if not (inspect.getdoc(func) or "").strip():
+                    missing.append(
+                        f"{name}.{attr_name}.{meth_name}: missing docstring"
+                    )
+    return missing
+
+
+def check_docstrings() -> list[str]:
+    failures = []
+    for name, module in iter_repro_modules():
+        failures.extend(_missing_docstrings(name, module))
+    return failures
+
+
+def main() -> int:
+    sections = (
+        ("README snippets", check_readme_snippets),
+        ("doctests", check_doctests),
+        ("docstring coverage", check_docstrings),
+    )
+    any_failed = False
+    for title, check in sections:
+        failures = check()
+        status = "FAIL" if failures else "ok"
+        print(f"[{status}] {title}")
+        for line in failures:
+            print(f"    {line}")
+        any_failed = any_failed or bool(failures)
+    return 1 if any_failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
