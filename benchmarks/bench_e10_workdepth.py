@@ -33,6 +33,7 @@ SIZES = [(4, 4), (8, 8), (16, 12)]
 
 
 def test_e10_parallelism_grows_with_size(benchmark, results_dir):
+    """E10: available parallelism (work/depth) must grow with instance size."""
     _register(benchmark)
     report = ExperimentReport("E10-parallelism", "work, depth and available parallelism vs instance size")
     parallelism = []
@@ -55,6 +56,7 @@ def test_e10_parallelism_grows_with_size(benchmark, results_dir):
 
 
 def test_e10_brent_speedup_curve(benchmark, results_dir):
+    """E10: Brent-bound speedup curve of one solve across processor counts."""
     _register(benchmark)
     problem = random_packing_sdp(8, 8, rng=82)
     result = decision_psdp(problem, epsilon=0.3, max_iterations=40, certificate_check_every=0)

@@ -22,21 +22,27 @@ repetitions, still exercising every code path.
 
 from __future__ import annotations
 
-import argparse
-import json
 import os
-import platform
 import sys
 import time
 
 import numpy as np
-import scipy.sparse as sp
 
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
 
+from common import (  # noqa: E402
+    emit_payload,
+    environment_info,
+    fresh_collection,
+    make_argparser,
+    make_operators,
+    report_failures,
+    time_call,
+    DEFAULT_RANK,
+    DEFAULT_SPARSE_DENSITY,
+)
 from repro.core.decision import decision_psdp  # noqa: E402
 from repro.core.dotexp import FastDotExpOracle, big_dot_exp  # noqa: E402
-from repro.operators import ConstraintCollection, FactorizedPSDOperator  # noqa: E402
 
 DEFAULT_OUTPUT = os.path.join(
     os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_packed.json"
@@ -56,53 +62,13 @@ QUICK_GRID = [
     (60, 48, "sparse"),
 ]
 
-RANK = 2
-SPARSE_DENSITY = 0.05
 ORACLE_EPS = 0.1
 DECISION_CAP = 40
 
 
-def make_operators(n: int, m: int, kind: str, seed: int) -> list[FactorizedPSDOperator]:
-    """Random factorized constraints, scaled so the threshold-1 decision
-    problem is non-trivial but bounded."""
-    rng = np.random.default_rng(seed)
-    scale = 1.0 / np.sqrt(m)
-    ops = []
-    for i in range(n):
-        if kind == "sparse":
-            factor = sp.random(
-                m, RANK, density=SPARSE_DENSITY, random_state=rng, format="csr"
-            )
-            factor = factor * (scale * np.sqrt(1.0 / SPARSE_DENSITY))
-            if factor.nnz == 0:  # keep every constraint's trace positive
-                factor = sp.csr_matrix(
-                    (np.full(RANK, scale), (rng.integers(0, m, RANK), np.arange(RANK))),
-                    shape=(m, RANK),
-                )
-            ops.append(FactorizedPSDOperator(factor))
-        else:
-            ops.append(FactorizedPSDOperator(scale * rng.standard_normal((m, RANK))))
-    return ops
-
-
-def fresh_collection(ops) -> ConstraintCollection:
-    """A new collection over the same factors (so no packed cache leaks
-    between the seed-path and packed-path measurements)."""
-    return ConstraintCollection(
-        [FactorizedPSDOperator(op.gram_factor_raw()) for op in ops], validate=False
-    )
-
-
-def time_call(fn, repeats: int) -> float:
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - start)
-    return best
-
-
 def bench_oracle(ops, n: int, m: int, repeats: int, seed: int) -> dict:
+    """Per-call oracle latency, packed vs seed loop, plus the deterministic
+    no-sketch agreement of the two paths."""
     x = np.abs(np.random.default_rng(seed).random(n)) / n
     psi_placeholder = np.zeros((m, m))  # the fast oracle reads x, not psi
 
@@ -129,6 +95,7 @@ def bench_oracle(ops, n: int, m: int, repeats: int, seed: int) -> dict:
 
 
 def bench_decision(ops, n: int, m: int, seed: int, cap: int) -> dict:
+    """End-to-end decision latency with the packed path on/off."""
     results = {}
     for label, packed in (("seed", False), ("packed", True)):
         coll = fresh_collection(ops)
@@ -154,11 +121,8 @@ def bench_decision(ops, n: int, m: int, seed: int, cap: int) -> dict:
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--quick", action="store_true", help="CI smoke grid")
-    parser.add_argument("--output", default=DEFAULT_OUTPUT, help="JSON output path")
-    parser.add_argument("--seed", type=int, default=7, help="instance seed")
-    args = parser.parse_args(argv)
+    """Run the E11 grid and return the process exit code."""
+    args = make_argparser(__doc__.splitlines()[0], DEFAULT_OUTPUT).parse_args(argv)
 
     grid = QUICK_GRID if args.quick else FULL_GRID
     repeats = 2 if args.quick else 3
@@ -169,7 +133,7 @@ def main(argv=None) -> int:
     for n, m, kind in grid:
         ops = make_operators(n, m, kind, args.seed)
         q = sum(op.nnz for op in ops)
-        base = {"n": n, "m": m, "factor_kind": kind, "rank": RANK, "total_nnz": q}
+        base = {"n": n, "m": m, "factor_kind": kind, "rank": DEFAULT_RANK, "total_nnz": q}
 
         row = {**base, **bench_oracle(ops, n, m, repeats, args.seed)}
         oracle_rows.append(row)
@@ -192,26 +156,18 @@ def main(argv=None) -> int:
         "description": "packed Gram-factor fast path vs seed per-factor loop",
         "quick": args.quick,
         "config": {
-            "rank": RANK,
-            "sparse_density": SPARSE_DENSITY,
+            "rank": DEFAULT_RANK,
+            "sparse_density": DEFAULT_SPARSE_DENSITY,
             "oracle_eps": ORACLE_EPS,
             "decision_iteration_cap": cap,
             "repeats": repeats,
             "seed": args.seed,
         },
-        "environment": {
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-            "machine": platform.machine(),
-        },
+        "environment": environment_info(),
         "oracle": oracle_rows,
         "decision": decision_rows,
     }
-    output = os.path.abspath(args.output)
-    with open(output, "w") as handle:
-        json.dump(payload, handle, indent=2)
-        handle.write("\n")
-    print(f"[json] {output}")
+    emit_payload(payload, args.output)
 
     failures = []
     for row in oracle_rows:
@@ -221,9 +177,7 @@ def main(argv=None) -> int:
             failures.append(
                 f"speedup {row['speedup']:.1f}x < 5x at n={row['n']}, m={row['m']}"
             )
-    for line in failures:
-        print(f"[FAIL] {line}")
-    return 1 if failures else 0
+    return report_failures(failures)
 
 
 if __name__ == "__main__":

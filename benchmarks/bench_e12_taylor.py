@@ -8,10 +8,10 @@ the polynomial every call.  This benchmark measures, across an
 
 * the latency of that Taylor block apply on the old path
   (``taylor_expm_apply`` driving the packed ``Psi``-matvec closure, the
-  PR-1 state) against the new
-  :class:`~repro.linalg.taylor_blocked.BlockedTaylorKernel`
-  (fused Horner GEMMs, one-time ``Psi`` densification when ``2R > m``),
-  plus their agreement (same polynomial — must match to ~1e-12);
+  PR-1 state) against the fused block kernel the packed view now selects
+  (``PackedGramFactors.taylor_kernel`` — Gram-space, densified, sparse, or
+  factor recurrence, whichever the measured-cost policy picks), plus their
+  agreement (same polynomial — must match to ~1e-12);
 * the end-to-end wall clock of ``decision_psdp`` with
   ``FastDotExpOracle(blocked=...)`` on both paths, checking the certified
   decisions are identical on fixed seeds.
@@ -30,22 +30,28 @@ with m >= 128.
 
 from __future__ import annotations
 
-import argparse
-import json
 import os
-import platform
 import sys
 import time
 
 import numpy as np
-import scipy.sparse as sp
 
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
 
+from common import (  # noqa: E402
+    emit_payload,
+    environment_info,
+    fresh_collection,
+    make_argparser,
+    make_operators,
+    report_failures,
+    time_call,
+    DEFAULT_RANK,
+    DEFAULT_SPARSE_DENSITY,
+)
 from repro.core.decision import decision_psdp  # noqa: E402
 from repro.core.dotexp import FastDotExpOracle  # noqa: E402
 from repro.linalg.taylor import taylor_degree, taylor_expm_apply  # noqa: E402
-from repro.operators import ConstraintCollection, FactorizedPSDOperator  # noqa: E402
 
 DEFAULT_OUTPUT = os.path.join(
     os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_taylor.json"
@@ -65,51 +71,11 @@ QUICK_GRID = [
     (60, 48, "sparse"),
 ]
 
-RANK = 2
-SPARSE_DENSITY = 0.05
 ORACLE_EPS = 0.1
 #: mid-run spectral-norm bound used for the microbenchmark degree — the
 #: decision solver's Psi reaches well past this before terminating.
 TAYLOR_KAPPA = 8.0
 DECISION_CAP = 40
-
-
-def make_operators(n: int, m: int, kind: str, seed: int) -> list[FactorizedPSDOperator]:
-    """Random factorized constraints (same family as E11)."""
-    rng = np.random.default_rng(seed)
-    scale = 1.0 / np.sqrt(m)
-    ops = []
-    for _ in range(n):
-        if kind == "sparse":
-            factor = sp.random(
-                m, RANK, density=SPARSE_DENSITY, random_state=rng, format="csr"
-            )
-            factor = factor * (scale * np.sqrt(1.0 / SPARSE_DENSITY))
-            if factor.nnz == 0:  # keep every constraint's trace positive
-                factor = sp.csr_matrix(
-                    (np.full(RANK, scale), (rng.integers(0, m, RANK), np.arange(RANK))),
-                    shape=(m, RANK),
-                )
-            ops.append(FactorizedPSDOperator(factor))
-        else:
-            ops.append(FactorizedPSDOperator(scale * rng.standard_normal((m, RANK))))
-    return ops
-
-
-def fresh_collection(ops) -> ConstraintCollection:
-    """A new collection over the same factors (no packed cache leaks)."""
-    return ConstraintCollection(
-        [FactorizedPSDOperator(op.gram_factor_raw()) for op in ops], validate=False
-    )
-
-
-def time_call(fn, repeats: int) -> float:
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - start)
-    return best
 
 
 def bench_taylor_block(ops, n: int, m: int, repeats: int, seed: int) -> dict:
@@ -126,8 +92,9 @@ def bench_taylor_block(ops, n: int, m: int, repeats: int, seed: int) -> dict:
         return taylor_expm_apply(lambda b: 0.5 * matvec(b), block, degree)
 
     def new_apply():
-        # Kernel construction is part of the measured cost: the oracle
-        # rebuilds it every call from the current weights.
+        # Kernel construction is part of the measured cost: without the
+        # incremental engine the oracle rebuilds it every call from the
+        # current weights.
         return packed.taylor_kernel(x).apply(block, degree, scale=0.5)
 
     old_result = old_apply()  # warm up + reference values
@@ -139,7 +106,8 @@ def bench_taylor_block(ops, n: int, m: int, repeats: int, seed: int) -> dict:
 
     return {
         "degree": degree,
-        "kernel_mode": "dense-psi" if kernel.uses_dense_psi else "factors",
+        "kernel_mode": packed.auto_taylor_mode(),
+        "kernel_type": type(kernel).__name__,
         "old_seconds": t_old,
         "new_seconds": t_new,
         "speedup": t_old / max(t_new, 1e-12),
@@ -174,11 +142,8 @@ def bench_decision(ops, n: int, m: int, seed: int, cap: int) -> dict:
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--quick", action="store_true", help="CI smoke grid")
-    parser.add_argument("--output", default=DEFAULT_OUTPUT, help="JSON output path")
-    parser.add_argument("--seed", type=int, default=7, help="instance seed")
-    args = parser.parse_args(argv)
+    """Run the E12 grid and return the process exit code."""
+    args = make_argparser(__doc__.splitlines()[0], DEFAULT_OUTPUT).parse_args(argv)
 
     grid = QUICK_GRID if args.quick else FULL_GRID
     repeats = 2 if args.quick else 5
@@ -189,7 +154,7 @@ def main(argv=None) -> int:
     for n, m, kind in grid:
         ops = make_operators(n, m, kind, args.seed)
         q = sum(op.nnz for op in ops)
-        base = {"n": n, "m": m, "factor_kind": kind, "rank": RANK, "total_nnz": q}
+        base = {"n": n, "m": m, "factor_kind": kind, "rank": DEFAULT_RANK, "total_nnz": q}
 
         row = {**base, **bench_taylor_block(ops, n, m, repeats, args.seed)}
         taylor_rows.append(row)
@@ -213,27 +178,19 @@ def main(argv=None) -> int:
         "description": "blocked/fused Taylor kernel vs per-term matvec recurrence",
         "quick": args.quick,
         "config": {
-            "rank": RANK,
-            "sparse_density": SPARSE_DENSITY,
+            "rank": DEFAULT_RANK,
+            "sparse_density": DEFAULT_SPARSE_DENSITY,
             "oracle_eps": ORACLE_EPS,
             "taylor_kappa": TAYLOR_KAPPA,
             "decision_iteration_cap": cap,
             "repeats": repeats,
             "seed": args.seed,
         },
-        "environment": {
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-            "machine": platform.machine(),
-        },
+        "environment": environment_info(),
         "taylor_block": taylor_rows,
         "decision": decision_rows,
     }
-    output = os.path.abspath(args.output)
-    with open(output, "w") as handle:
-        json.dump(payload, handle, indent=2)
-        handle.write("\n")
-    print(f"[json] {output}")
+    emit_payload(payload, args.output)
 
     failures = []
     for row in taylor_rows:
@@ -254,9 +211,7 @@ def main(argv=None) -> int:
                 f"decision outcome diverged ({row['outcome_old']} vs "
                 f"{row['outcome_new']}) at n={row['n']}, m={row['m']}"
             )
-    for line in failures:
-        print(f"[FAIL] {line}")
-    return 1 if failures else 0
+    return report_failures(failures)
 
 
 if __name__ == "__main__":

@@ -38,6 +38,7 @@ def _run(problem, oracle):
 
 @pytest.mark.parametrize("n,m", SIZES)
 def test_e2_fast_oracle_work_scaling(benchmark, n, m, results_dir):
+    """E2: fast-oracle work must scale nearly linearly in the input nonzeros."""
     problem = random_factorized_packing_sdp(n, m, rank=2, density=0.4, rng=7)
     q = problem.constraints.total_nnz
     result = benchmark.pedantic(_run, args=(problem, "fast"), rounds=1, iterations=1)

@@ -34,6 +34,7 @@ def _instance(kappa, m=24, n=8, seed=5):
 
 @pytest.mark.parametrize("kappa", KAPPAS)
 def test_e3_accuracy_vs_kappa(benchmark, kappa, results_dir):
+    """E3: bigDotExp accuracy versus the spectral-norm bound kappa."""
     phi, factors, exact = _instance(kappa)
     eps = 0.1
     approx = benchmark.pedantic(

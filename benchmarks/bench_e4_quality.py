@@ -31,6 +31,7 @@ EPSILONS = [0.4, 0.25, 0.15]
 
 @pytest.mark.parametrize("eps", EPSILONS)
 def test_e4_quality_vs_epsilon(benchmark, eps, results_dir):
+    """E4: certified objective quality versus the accuracy parameter eps."""
     problem = random_packing_sdp(5, 6, rng=17)
     exact = exact_packing_value(problem).value
     result = benchmark.pedantic(approx_psdp, args=(problem,), kwargs={"epsilon": eps}, rounds=1, iterations=1)

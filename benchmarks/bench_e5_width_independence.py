@@ -46,6 +46,7 @@ def _normalized_instance(width, seed=21):
 
 @pytest.mark.parametrize("width", WIDTHS)
 def test_e5_ours_iterations_flat(benchmark, width, results_dir):
+    """E5: iteration counts must stay flat as the instance width grows."""
     problem, scaled, exact = _normalized_instance(width)
     result = benchmark.pedantic(
         decision_psdp, args=(scaled,), kwargs={"epsilon": 0.25}, rounds=1, iterations=1

@@ -32,6 +32,7 @@ FAMILIES = [("cycle", {}), ("complete", {}), ("regular", {"degree": 3}), ("erdos
 
 @pytest.mark.parametrize("kind,kwargs", FAMILIES, ids=[f[0] for f in FAMILIES])
 def test_e6_graph_families(benchmark, kind, kwargs, results_dir):
+    """E6: MaxCut SDP decisions across random graph families."""
     graph = random_graph(kind, 10, rng=31, **kwargs)
     problem = maxcut_sdp(graph)
     exact = exact_packing_value(problem).value

@@ -34,6 +34,7 @@ def _register(benchmark):
 
 
 def test_e7_same_instance_three_solvers(benchmark, results_dir):
+    """E7: the SDP solver against Young and Luby-Nisan on one positive LP."""
     _register(benchmark)
     sdp, lp = diagonal_packing_sdp(6, 8, density=0.6, rng=41)
     exact = exact_packing_value(sdp).value
@@ -83,6 +84,7 @@ def test_e7_young_benchmark(benchmark, variables, results_dir):
 
 
 def test_e7_sdp_matches_lp_on_setcover(benchmark, results_dir):
+    """E7: diagonal-SDP and LP solvers must agree on a set-cover instance."""
     _register(benchmark)
     lp = set_cover_lp(6, 9, coverage=3, rng=44)
     sdp = diagonal_sdp_from_packing_lp(lp)

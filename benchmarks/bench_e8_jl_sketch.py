@@ -46,6 +46,7 @@ def _sketch_errors(phi, factors, exact, rows, seed):
 
 
 def test_e8_error_vs_sketch_rows(benchmark, results_dir):
+    """E8: oracle estimate error versus the JL sketch row count."""
     _register(benchmark)
     phi, factors, exact = _setup()
     report = ExperimentReport("E8-rows", "JL sketch rows vs relative estimation error")

@@ -32,6 +32,7 @@ def _register(benchmark):
 
 
 def test_e9_phaseless_vs_phased(benchmark, results_dir):
+    """E9: phase-less versus phased solver oracle-call/iteration counts."""
     _register(benchmark)
     report = ExperimentReport("E9-phases", "phase-less vs phase-based decision solver (eps=0.25)")
     for seed in (61, 62, 63):
@@ -55,6 +56,7 @@ def test_e9_phaseless_vs_phased(benchmark, results_dir):
 
 
 def test_e9_strict_vs_practical(benchmark, results_dir):
+    """E9: strict pseudocode versus practical early-exit iteration counts."""
     _register(benchmark)
     report = ExperimentReport("E9-strict", "strict paper constants vs certificate early exit (eps=0.3)")
     for seed in (71, 72):

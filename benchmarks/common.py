@@ -1,0 +1,141 @@
+"""Shared harness for the E11-E13 fast-path benchmarks.
+
+The three packed-kernel benchmarks (``bench_e11_packed.py``,
+``bench_e12_taylor.py``, ``bench_e13_gram.py``) share the same skeleton:
+an ``(n, m, factor kind)`` grid with a reduced ``--quick`` variant for the
+CI smoke job, a best-of-``repeats`` timing loop, the random factorized
+instance family, a JSON payload written next to the repository root, and a
+failure list that drives the exit code.  This module holds those pieces so
+each benchmark contains only its measurements.
+
+Nothing here imports the ``repro`` package at module level — callers are
+expected to have put ``src`` on ``sys.path`` (the benchmarks do it
+themselves so they run straight from a checkout).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+
+import numpy as np
+import scipy.sparse as sp
+
+#: Default rank of the random factorized constraints (matches E11/E12).
+DEFAULT_RANK = 2
+#: Default density of the "sparse" factor family.
+DEFAULT_SPARSE_DENSITY = 0.05
+
+
+def make_argparser(description: str, default_output: str) -> argparse.ArgumentParser:
+    """The shared CLI: ``--quick`` smoke flag, ``--output`` path, ``--seed``."""
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument("--quick", action="store_true", help="CI smoke grid")
+    parser.add_argument("--output", default=default_output, help="JSON output path")
+    parser.add_argument("--seed", type=int, default=7, help="instance seed")
+    return parser
+
+
+def time_call(fn, repeats: int) -> float:
+    """Best-of-``repeats`` wall-clock latency of ``fn()`` in seconds."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def make_operators(
+    n: int,
+    m: int,
+    kind: str,
+    seed: int,
+    rank: int = DEFAULT_RANK,
+    sparse_density: float = DEFAULT_SPARSE_DENSITY,
+    support: int | None = None,
+):
+    """Random factorized constraints, scaled so the threshold-1 decision
+    problem is non-trivial but bounded.
+
+    Kinds:
+
+    * ``"dense"`` — Gaussian ``(m, rank)`` factors (the E11/E12 family);
+    * ``"sparse"`` — ~``sparse_density`` CSR factors, rescaled to keep the
+      same expected trace;
+    * ``"concentrated"`` — sparse factors whose nonzeros all land inside a
+      shared ``support``-row subset (defaults to ``m // 8``), the
+      overlapping-support family where the exact ``Psi`` pattern stays far
+      smaller than its per-column bound.
+    """
+    from repro.operators import FactorizedPSDOperator
+
+    rng = np.random.default_rng(seed)
+    scale = 1.0 / np.sqrt(m)
+    ops = []
+    for _ in range(n):
+        if kind == "sparse":
+            factor = sp.random(
+                m, rank, density=sparse_density, random_state=rng, format="csr"
+            )
+            factor = factor * (scale * np.sqrt(1.0 / sparse_density))
+            if factor.nnz == 0:  # keep every constraint's trace positive
+                factor = sp.csr_matrix(
+                    (np.full(rank, scale), (rng.integers(0, m, rank), np.arange(rank))),
+                    shape=(m, rank),
+                )
+            ops.append(FactorizedPSDOperator(factor))
+        elif kind == "concentrated":
+            rows_avail = support if support is not None else max(m // 8, 4)
+            col_nnz = min(8, rows_avail)
+            dense = np.zeros((m, rank))
+            for c in range(rank):
+                rows = rng.choice(rows_avail, size=col_nnz, replace=False)
+                dense[rows, c] = (
+                    scale * np.sqrt(m / (col_nnz * rank)) * rng.standard_normal(col_nnz)
+                )
+            ops.append(FactorizedPSDOperator(sp.csr_matrix(dense)))
+        elif kind in ("dense", "lowrank"):
+            ops.append(FactorizedPSDOperator(scale * rng.standard_normal((m, rank))))
+        else:
+            raise ValueError(f"unknown factor kind {kind!r}")
+    return ops
+
+
+def fresh_collection(ops):
+    """A new collection over the same factors — no packed/engine cache leaks
+    between the reference-path and fast-path measurements."""
+    from repro.operators import ConstraintCollection, FactorizedPSDOperator
+
+    return ConstraintCollection(
+        [FactorizedPSDOperator(op.gram_factor_raw()) for op in ops], validate=False
+    )
+
+
+def environment_info() -> dict:
+    """The interpreter/numpy/machine fingerprint recorded in every payload."""
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+    }
+
+
+def emit_payload(payload: dict, output: str) -> str:
+    """Write the JSON payload (trailing newline, 2-space indent) and report it."""
+    output = os.path.abspath(output)
+    with open(output, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"[json] {output}")
+    return output
+
+
+def report_failures(failures: list[str]) -> int:
+    """Print ``[FAIL]`` lines and return the process exit code."""
+    for line in failures:
+        print(f"[FAIL] {line}")
+    return 1 if failures else 0

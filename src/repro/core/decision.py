@@ -52,7 +52,7 @@ from repro.operators.collection import ConstraintCollection
 from repro.utils.random_utils import spawn_generators
 from repro.parallel.backends import ExecutionBackend, SerialBackend
 from repro.parallel.workdepth import WorkDepthTracker
-from repro.core.dotexp import DotExpOracle, make_oracle
+from repro.core.dotexp import DotExpOracle, make_oracle, oracle_engine_metadata
 from repro.core.problem import NormalizedPackingSDP
 from repro.core.result import DecisionOutcome, DecisionResult
 from repro.utils.random_utils import RandomState
@@ -320,6 +320,8 @@ def decision_psdp(
                 "R": params.R,
                 "oracle": oracle_kind,
                 "strict": opts.strict,
+                # Rank-adaptive Taylor-engine counters (fast oracle only).
+                **oracle_engine_metadata(oracle),
                 **opts.metadata,
             },
         )

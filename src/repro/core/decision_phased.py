@@ -38,7 +38,7 @@ from repro.operators.collection import ConstraintCollection
 from repro.parallel.backends import SerialBackend
 from repro.parallel.workdepth import WorkDepthTracker
 from repro.core.decision import DecisionOptions, DecisionParameters, _resolve_constraints
-from repro.core.dotexp import make_oracle
+from repro.core.dotexp import make_oracle, oracle_engine_metadata
 from repro.core.problem import NormalizedPackingSDP
 from repro.core.result import DecisionOutcome, DecisionResult
 from repro.utils.random_utils import spawn_generators
@@ -157,6 +157,8 @@ def decision_psdp_phased(
                 "phases": phases,
                 "phase_growth": growth,
                 "variant": "phased",
+                # Rank-adaptive Taylor-engine counters (fast oracle only).
+                **oracle_engine_metadata(oracle),
                 **opts.metadata,
             },
         )

@@ -43,26 +43,40 @@ packed pass above.  In the work–depth model both paths charge identical
 ``O(q)``-work / polylog-depth costs; ``benchmarks/bench_e11_packed.py``
 measures the wall-clock difference.
 
-Blocked Taylor kernel
----------------------
+Rank-adaptive Taylor engine
+---------------------------
 The Taylor apply itself — pushing the sketch block through the Lemma 4.2
 polynomial — dominates the oracle once the packed estimates are single
 GEMMs, especially in the degenerate-sketch regime (``m ≲ 1000`` at tight
 eps, where the JL dimension reaches ``m`` and the whole identity passes
-through the polynomial).  With ``blocked=True`` (default) the packed oracle
-evaluates the polynomial with a
-:class:`~repro.linalg.taylor_blocked.BlockedTaylorKernel`: the weights and
-step scale fold into the factor stack once, the forward recurrence runs in
-preallocated ping-pong buffers, and when the stacked rank ``R`` exceeds
-``m/2`` the kernel materialises ``Psi`` once and runs a fused dense GEMM
-per term (``m^2 s`` instead of ``2 m R s`` madds — the ``~2R/m``-fold
-speedup measured by ``benchmarks/bench_e12_taylor.py``).  The kernel
-evaluates the identical polynomial, so ``blocked=False`` (the per-term
-matvec recurrence) differs only in floating-point rounding; both are kept
-so the regression tests can certify identical decisions.  Work–depth
-charges are unchanged: the model bills the factored Corollary 1.2 costs,
-which upper-bound the densified recurrence because densification only
-triggers when ``2 q > m^2``.
+through the polynomial).  With ``blocked=True`` (default) the packed
+oracle evaluates the polynomial through a fused block kernel whose
+representation is picked per factor stack by
+:func:`~repro.linalg.taylor_gram.select_taylor_mode`: the ``R x R``
+Gram-space recurrence when ``2R <= m`` (per-term cost ``R^2 s``), a
+one-time densification of ``Psi`` (``m^2 s``), a sparse-CSR ``Psi``
+accumulated with a reusable symbolic pattern (``nnz(Psi) s``), or the
+factor recurrence (``2 nnz(Q) s``) — replacing PR 2's single ``2R > m``
+densification rule.  With ``engine=True`` (default) the kernels come from
+a cached :class:`~repro.linalg.taylor_gram.TaylorEngine` that maintains
+the weight-dependent state (the Gram matrix ``G``, the CSR values, the
+densified ``Psi``, the scaled stack) across oracle calls by updating only
+the weight coordinates the solver actually changed, charging the backend
+work proportional to the active columns.  Every representation evaluates
+the identical polynomial, so ``blocked=False`` (the per-term matvec
+recurrence) and ``engine=False`` (the PR-2 per-call blocked kernel)
+differ only in floating-point rounding; all are kept so the regression
+tests can certify identical decisions.  Work–depth charges are
+*representation-invariant*: the model bills the factored Corollary 1.2
+costs (the paper algorithm's work) no matter which kernel representation
+executes, so reported work and depth stay comparable across every fast
+path and the reference loops.  The Gram mode performs strictly less
+arithmetic than the billed factor recurrence; the sparse-``Psi`` and
+throughput-driven densified modes may perform *more* hardware madds than
+the model bills — by at most the policy's
+:data:`~repro.linalg.taylor_gram.SPARSE_GEMM_DISCOUNT` factor — whenever
+that is measurably faster in wall clock, the same madds-for-throughput
+trade dense BLAS kernels already make internally.
 
 ``big_dot_exp`` accepts a kernel directly as ``phi``; matrix-valued ``phi``
 with a packed factor view is routed through a kernel automatically, while
@@ -85,10 +99,23 @@ from repro.linalg.norms import spectral_norm_power
 from repro.linalg.sketching import gaussian_sketch, jl_dimension
 from repro.linalg.taylor import taylor_degree, taylor_expm_apply
 from repro.linalg.taylor_blocked import BlockedTaylorKernel
+from repro.linalg.taylor_gram import GramTaylorKernel, TaylorEngine
 from repro.operators.collection import ConstraintCollection
 from repro.operators.packed import PackedGramFactors, segment_sums
 from repro.parallel.backends import ExecutionBackend
 from repro.utils.random_utils import RandomState, as_generator
+
+
+#: Mass of the fresh random direction blended into the warm-started power
+#: iteration vector each call.  A pure warm start can lock onto a stale
+#: eigendirection — if the solver's weight updates rotate ``Psi``'s dominant
+#: eigenvector away from the previous one, the Rayleigh-quotient stopping
+#: rule fires while the new dominant component (overlap ~machine noise) is
+#: still growing, underestimating ``||Psi||`` and hence the Lemma 4.2
+#: degree.  Mixing in a fresh Gaussian restores the random start's
+#: ``Omega(1/sqrt(m))`` overlap with *every* eigendirection at the price of
+#: a few extra iterations when the direction is unchanged.
+NORM_RESTART_MIX = 0.05
 
 
 @dataclass
@@ -150,8 +177,10 @@ def big_dot_exp(
         callable ``v -> phi @ v`` (in which case ``dim`` is required and the
         matrix is never materialised — the setting of Corollary 1.2 where
         ``Psi = sum_i x_i Q_i Q_i^T`` is applied through the factors), or a
-        :class:`~repro.linalg.taylor_blocked.BlockedTaylorKernel` over
-        ``phi`` (the fused blocked Taylor path the fast oracle uses).
+        Taylor kernel over ``phi`` — a
+        :class:`~repro.linalg.taylor_blocked.BlockedTaylorKernel` or a
+        :class:`~repro.linalg.taylor_gram.GramTaylorKernel`, whichever the
+        rank-adaptive engine selected.
         Matrix inputs combined with packed ``factors`` are routed through a
         blocked kernel automatically; callables keep the per-term reference
         recurrence.
@@ -194,7 +223,7 @@ def big_dot_exp(
     packed = factors if isinstance(factors, PackedGramFactors) else None
     if packed is None and not factors:
         raise InvalidProblemError("factors must be a non-empty sequence")
-    kernel = phi if isinstance(phi, BlockedTaylorKernel) else None
+    kernel = phi if isinstance(phi, (BlockedTaylorKernel, GramTaylorKernel)) else None
     phi_is_callable = (
         kernel is None
         and callable(phi)
@@ -442,15 +471,27 @@ class FastDotExpOracle:
         path is benchmarked and tested against).
     blocked:
         When ``True`` (default, packed path only) the Lemma 4.2 Taylor
-        apply runs through the fused
-        :class:`~repro.linalg.taylor_blocked.BlockedTaylorKernel` built per
-        call from the packed factors and the current weights.  ``False``
-        keeps the per-term matvec recurrence (same polynomial — the paths
-        differ only in floating-point rounding and wall clock; see
+        apply runs through a fused block kernel built from the packed
+        factors and the current weights instead of the per-term matvec
+        recurrence (``False``; same polynomial — the paths differ only in
+        floating-point rounding and wall clock; see
         ``benchmarks/bench_e12_taylor.py``).
+    engine:
+        When ``True`` (default, with ``packed`` and ``blocked``) kernels
+        come from the collection's cached rank-adaptive
+        :class:`~repro.linalg.taylor_gram.TaylorEngine`: the representation
+        (Gram-space / densified ``Psi`` / sparse-CSR ``Psi`` / factor
+        recurrence) is selected once per stack by measured ``nnz`` and
+        stacked rank, and the weight-dependent state is maintained across
+        oracle calls by updating only the active columns (work charged to
+        ``backend`` under ``taylor-engine-update``).  ``False`` rebuilds a
+        PR-2 style :class:`~repro.linalg.taylor_blocked.BlockedTaylorKernel`
+        (single ``2R > m`` densification rule, no cross-call reuse) every
+        call — the reference the engine is benchmarked against in
+        ``benchmarks/bench_e13_gram.py``.
     taylor_chunk_columns:
-        Optional column-chunk size forwarded to the blocked kernel to bound
-        its peak memory on wide sketch blocks (``None`` = unchunked).
+        Optional column-chunk size forwarded to the kernels to bound
+        their peak memory on wide sketch blocks (``None`` = unchunked).
     """
 
     def __init__(
@@ -463,6 +504,7 @@ class FastDotExpOracle:
         backend: ExecutionBackend | None = None,
         packed: bool = True,
         blocked: bool = True,
+        engine: bool = True,
         taylor_chunk_columns: int | None = None,
     ) -> None:
         if eps <= 0 or eps >= 1:
@@ -474,8 +516,15 @@ class FastDotExpOracle:
         self.rng = as_generator(rng)
         self.backend = backend
         self.blocked = bool(blocked)
+        self.engine = bool(engine)
         self.taylor_chunk_columns = taylor_chunk_columns
         self.counters = OracleCounters()
+        self._engine: TaylorEngine | None = None
+        # Converged power-iteration vector of the previous call: the
+        # solver's Psi changes mildly per iteration, so warm-starting the
+        # per-call norm estimate cuts it from hundreds of cold iterations
+        # to a handful.
+        self._norm_vector: np.ndarray | None = None
         if packed:
             self._packed: PackedGramFactors | None = constraints.packed()
             self._factors: list | None = None
@@ -489,6 +538,16 @@ class FastDotExpOracle:
     def packed(self) -> PackedGramFactors | None:
         """The packed factor view when the fast path is enabled."""
         return self._packed
+
+    @property
+    def taylor_engine(self) -> TaylorEngine | None:
+        """The incremental Taylor engine, once the first call has built it.
+
+        The decision solvers read its :meth:`~repro.linalg.taylor_gram.TaylorEngine.stats`
+        into the result metadata so regressions can assert the
+        active-column update discipline.
+        """
+        return self._engine
 
     def _factored_matvec(self, x: np.ndarray):
         """Matvec ``v -> Psi v = sum_i x_i Q_i (Q_i^T v)`` applied through the
@@ -511,24 +570,50 @@ class FastDotExpOracle:
         m = self.constraints.dim
         weights = np.asarray(x, dtype=np.float64)
         if self._packed is not None and self.blocked:
-            # Fused blocked Taylor path: the kernel folds the weights into
-            # the factor stack (densifying Psi once when that is cheaper)
-            # and also serves as the matvec for the norm estimate.  The
-            # kernel is rebuilt from x rather than from the caller's psi:
-            # callers may legitimately pass a placeholder psi (the fast
-            # oracle is documented to read x only, and the E11/E12
-            # benchmarks do exactly that), and the rebuild costs at most
-            # one Taylor term's worth of GEMM per call.
-            operator = self._packed.taylor_kernel(
-                weights, chunk_columns=self.taylor_chunk_columns
-            )
+            # Fused block-kernel path: the kernel is built from x rather
+            # than from the caller's psi — callers may legitimately pass a
+            # placeholder psi (the fast oracle is documented to read x
+            # only, and the E11-E13 benchmarks do exactly that) — and also
+            # serves as the matvec for the norm estimate.  With the engine
+            # (default) the representation is rank-adaptive and the
+            # weight-dependent state carries over from the previous call,
+            # so only the changed weight coordinates are touched; without
+            # it a PR-2 blocked kernel is rebuilt per call.
+            if self.engine:
+                if self._engine is None:
+                    self._engine = self._packed.taylor_engine(
+                        chunk_columns=self.taylor_chunk_columns
+                    )
+                operator = self._engine.kernel_for(weights, backend=self.backend)
+            else:
+                operator = self._packed.taylor_kernel(
+                    weights,
+                    chunk_columns=self.taylor_chunk_columns,
+                    mode="legacy",
+                )
             matvec = operator.matvec
         else:
             operator = None
             matvec = self._factored_matvec(weights)
         kappa = self.kappa_bound
         if kappa is None:
-            kappa = max(1.0, spectral_norm_power(matvec, dim=m, rng=self.rng) * 1.05)
+            # One fresh draw per call (the cold start's exact rng
+            # consumption, so fast-path variants stay stream-identical),
+            # blended into the previous call's converged vector: warm where
+            # Psi's dominant direction persists, never blind where it moved.
+            fresh = self.rng.standard_normal(m)
+            if self._norm_vector is not None and m > 0:
+                fresh_norm = float(np.linalg.norm(fresh))
+                if fresh_norm > 0:
+                    fresh = self._norm_vector + NORM_RESTART_MIX * (fresh / fresh_norm)
+            estimate, self._norm_vector = spectral_norm_power(
+                matvec,
+                dim=m,
+                v0=fresh if m > 0 else None,
+                rng=self.rng,
+                return_vector=True,
+            )
+            kappa = max(1.0, estimate * 1.05)
             self.counters.add("norm_estimates")
         if self._packed is not None:
             estimates, trace_estimate = big_dot_exp(
@@ -570,6 +655,18 @@ class FastDotExpOracle:
         return OracleOutput(values=values, trace=trace_estimate, work=work)
 
 
+def oracle_engine_metadata(oracle) -> dict:
+    """Result-metadata fragment with the oracle's Taylor-engine counters.
+
+    Returns ``{"taylor_engine": stats}`` when ``oracle`` is a fast oracle
+    whose rank-adaptive engine has been built, ``{}`` otherwise — the one
+    helper both decision solvers merge into their result metadata so
+    regressions can assert the incremental update discipline.
+    """
+    engine = getattr(oracle, "taylor_engine", None)
+    return {"taylor_engine": engine.stats()} if engine is not None else {}
+
+
 def make_oracle(
     constraints: ConstraintCollection,
     kind: str = "exact",
@@ -579,15 +676,17 @@ def make_oracle(
     backend: ExecutionBackend | None = None,
     packed: bool = True,
     blocked: bool = True,
+    engine: bool = True,
     batched: bool = True,
 ) -> DotExpOracle:
     """Factory for the decision solver's oracle (``"exact"`` or ``"fast"``).
 
-    ``packed``/``blocked`` configure the fast oracle's single-GEMM estimate
-    pass and fused Taylor kernel; ``batched`` configures the exact oracle's
-    packed trace-product pass.  All three default to the fast paths; the
-    ``False`` settings reproduce the reference loops bit-for-bit and exist
-    for benchmarking and regression testing.
+    ``packed``/``blocked``/``engine`` configure the fast oracle's
+    single-GEMM estimate pass, fused Taylor kernels, and the rank-adaptive
+    incremental engine; ``batched`` configures the exact oracle's packed
+    trace-product pass.  All default to the fast paths; the ``False``
+    settings reproduce the reference loops bit-for-bit and exist for
+    benchmarking and regression testing.
     """
     kind = kind.lower()
     if kind == "exact":
@@ -601,5 +700,6 @@ def make_oracle(
             backend=backend,
             packed=packed,
             blocked=blocked,
+            engine=engine,
         )
     raise InvalidProblemError(f"unknown oracle kind {kind!r}; expected 'exact' or 'fast'")

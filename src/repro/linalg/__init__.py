@@ -18,6 +18,11 @@ built on:
   same polynomial on an entire ``(m, s)`` block at once: Horner-style fused
   GEMMs against the packed Gram factors, with an optional column-chunked
   variant that bounds peak memory.
+* :mod:`repro.linalg.taylor_gram` — the rank-adaptive exponential engine:
+  the ``R x R`` Gram-space recurrence (``2R <= m``), the sparse-``Psi``
+  CSR accumulation with symbolic-pattern reuse, the measured-cost kernel
+  selection policy, and the incremental cross-iteration
+  :class:`~repro.linalg.taylor_gram.TaylorEngine`.
 * :mod:`repro.linalg.sketching` — Johnson–Lindenstrauss Gaussian sketching
   used by the nearly-linear-work oracle of Theorem 4.1.
 * :mod:`repro.linalg.norms` — spectral-norm estimation (power iteration and
@@ -58,6 +63,13 @@ from repro.linalg.taylor import (
 from repro.linalg.taylor_blocked import (
     BlockedTaylorKernel,
     blocked_taylor_apply,
+)
+from repro.linalg.taylor_gram import (
+    GramTaylorKernel,
+    SparsePsiAccumulator,
+    TaylorEngine,
+    gram_taylor_apply,
+    select_taylor_mode,
 )
 from repro.linalg.sketching import (
     jl_dimension,
@@ -100,6 +112,11 @@ __all__ = [
     "TaylorExpmOperator",
     "BlockedTaylorKernel",
     "blocked_taylor_apply",
+    "GramTaylorKernel",
+    "SparsePsiAccumulator",
+    "TaylorEngine",
+    "gram_taylor_apply",
+    "select_taylor_mode",
     "jl_dimension",
     "gaussian_sketch",
     "sketch_columns",

@@ -52,12 +52,32 @@ def spectral_norm_power(
     tol: float | None = None,
     maxiter: int | None = None,
     rng: RandomState = None,
-) -> float:
+    v0: np.ndarray | None = None,
+    return_vector: bool = False,
+) -> float | tuple[float, np.ndarray]:
     """Estimate the spectral norm of a symmetric PSD operator by power iteration.
 
     Accepts a dense matrix, a sparse matrix, or a matvec callable (in which
     case ``dim`` is required).  Convergence is declared when the Rayleigh
     quotient changes by less than ``tol`` relatively between iterations.
+
+    Parameters
+    ----------
+    v0:
+        Optional warm-start vector (normalised internally; ``rng`` is not
+        consumed when given).  The decision solvers' iterates change mildly
+        per step, so re-estimating ``||Psi||_2`` from the previous call's
+        converged vector takes a handful of iterations instead of a cold
+        start's hundreds — the fast oracle threads this through
+        ``return_vector``.  Caution: a pure warm start forfeits the random
+        start's overlap guarantee — if the operator's dominant
+        eigendirection has rotated away from ``v0``, the stopping rule can
+        fire on the stale direction and under-estimate the norm.  Callers
+        re-estimating a *changing* operator should blend fresh randomness
+        into ``v0`` (see ``repro.core.dotexp.NORM_RESTART_MIX``).
+    return_vector:
+        When ``True`` return ``(estimate, vector)`` where ``vector`` is the
+        last normalised iterate (the warm start for the next call).
     """
     cfg = get_config()
     tol = cfg.power_iteration_tol if tol is None else tol
@@ -77,22 +97,36 @@ def spectral_norm_power(
         dim = dense.shape[0]
 
     if dim == 0:
-        return 0.0
-    gen = as_generator(rng)
-    vec = gen.standard_normal(dim)
-    vec /= np.linalg.norm(vec)
+        return (0.0, np.zeros(0)) if return_vector else 0.0
+    if v0 is not None:
+        vec = np.asarray(v0, dtype=np.float64).ravel()
+        if vec.shape[0] != dim:
+            raise ValueError(f"v0 must have length {dim}, got {vec.shape[0]}")
+        norm0 = float(np.linalg.norm(vec))
+        if norm0 <= 1e-300:
+            v0 = None
+        else:
+            vec = vec / norm0
+    if v0 is None:
+        gen = as_generator(rng)
+        vec = gen.standard_normal(dim)
+        vec /= np.linalg.norm(vec)
     estimate = 0.0
+
+    def result(value: float):
+        return (value, vec) if return_vector else value
+
     for _ in range(maxiter):
         new_vec = apply_op(vec)
         norm = float(np.linalg.norm(new_vec))
         if norm <= 1e-300:
-            return 0.0
+            return result(0.0)
         new_estimate = float(vec @ new_vec)
         vec = new_vec / norm
         if abs(new_estimate - estimate) <= tol * max(abs(new_estimate), 1e-300):
-            return max(new_estimate, 0.0)
+            return result(max(new_estimate, 0.0))
         estimate = new_estimate
-    return max(estimate, 0.0)
+    return result(max(estimate, 0.0))
 
 
 def top_eigenvalue(

@@ -116,10 +116,10 @@ class TaylorExpmOperator:
     matrix–vector products it has performed in :attr:`matvec_count`, which
     the work–depth accounting of experiment E2 consumes.
 
-    Matrix inputs (dense/sparse) and
-    :class:`~repro.linalg.taylor_blocked.BlockedTaylorKernel` instances are
-    evaluated through the fused blocked recurrence of
-    :mod:`repro.linalg.taylor_blocked` (same polynomial, fewer per-term
+    Matrix inputs (dense/sparse) and Taylor kernels
+    (:class:`~repro.linalg.taylor_blocked.BlockedTaylorKernel` or
+    :class:`~repro.linalg.taylor_gram.GramTaylorKernel`) are evaluated
+    through their fused block recurrences (same polynomial, fewer per-term
     passes); matvec callables keep the per-term reference recurrence of
     :func:`taylor_expm_apply`.
 
@@ -127,7 +127,7 @@ class TaylorExpmOperator:
     ----------
     phi:
         Symmetric PSD matrix (dense or sparse), a matvec callable, or an
-        already-built blocked kernel over ``phi``.
+        already-built Taylor kernel over ``phi``.
     kappa:
         Upper bound on ``||phi||_2`` (not ``phi/2``); the degree rule of
         Lemma 4.2 is applied to ``kappa/2``.
@@ -143,11 +143,12 @@ class TaylorExpmOperator:
         dim: int | None = None,
     ) -> None:
         from repro.linalg.taylor_blocked import BlockedTaylorKernel
+        from repro.linalg.taylor_gram import GramTaylorKernel
 
         if kappa < 0:
             raise ValueError(f"kappa must be >= 0, got {kappa}")
-        self._kernel: BlockedTaylorKernel | None
-        if isinstance(phi, BlockedTaylorKernel):
+        self._kernel: BlockedTaylorKernel | GramTaylorKernel | None
+        if isinstance(phi, (BlockedTaylorKernel, GramTaylorKernel)):
             self._kernel = phi
             self._matvec = phi.matvec
             inferred_dim = phi.dim

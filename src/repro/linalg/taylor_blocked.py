@@ -24,11 +24,16 @@ the callable hides structure the kernel can exploit:
   is the dominant-cost path and the densified recurrence is the ``~2R/m``-
   fold speedup measured by ``benchmarks/bench_e12_taylor.py``.
 
-The densification rule never leaves the Theorem 4.1 work regime: it only
-triggers when the stored factor nonzeros ``q`` already satisfy
-``2 q > m^2``, so ``m^2 < 2 q`` and the dense recurrence still performs
-``O(q)`` work per column per term — the work–depth charges recorded by the
-oracle (which bill the model's factored costs) remain valid upper bounds.
+The *default* densification rule never leaves the Theorem 4.1 work
+regime: it only triggers when the stored factor nonzeros ``q`` already
+satisfy ``2 q > m^2``, so ``m^2 < 2 q`` and the dense recurrence still
+performs ``O(q)`` work per column per term.  The rank-adaptive selection
+policy (:mod:`repro.linalg.taylor_gram`) may force densification earlier
+— when the dense GEMM's throughput beats the sparse products despite more
+madds — in which case the oracle's charges (which always bill the model's
+factored costs, keeping them representation-invariant) undercount the
+hardware madds by at most the policy's discount factor; see the
+work–depth notes in :mod:`repro.core.dotexp`.
 
 Both modes evaluate *exactly the same polynomial* as
 :func:`~repro.linalg.taylor.taylor_expm_apply`; results agree to floating-
@@ -51,14 +56,105 @@ import scipy.sparse as sp
 
 from repro.exceptions import InvalidProblemError, NumericalError
 
-__all__ = ["BlockedTaylorKernel", "blocked_taylor_apply"]
+__all__ = ["BlockedTaylorKernel", "blocked_taylor_apply", "densified_psi"]
+
+
+def densified_psi(
+    q: np.ndarray | sp.spmatrix, col_weights: np.ndarray
+) -> np.ndarray:
+    """Materialise ``Psi = Q diag(w) Q^T`` dense, symmetrised.
+
+    The one densification implementation shared by the blocked kernel's
+    construction and the rank-adaptive engine's ``dense-psi`` state build
+    (:class:`~repro.linalg.taylor_gram.TaylorEngine`), so the weight fold
+    and the ``0.5 (Psi + Psi^T)`` symmetrisation can never drift apart.
+    """
+    if sp.issparse(q):
+        qw = q.multiply(np.asarray(col_weights)[None, :]).tocsr()
+        psi = np.asarray((qw @ q.T).todense(), dtype=np.float64)
+    else:
+        psi = (q * col_weights) @ q.T
+    return 0.5 * (psi + psi.T)
 
 #: densify ``Psi`` when twice the stored factor nonzeros exceed ``m^2``
 #: (the break-even point between two factor GEMMs and one dense GEMM).
 DENSIFY_FLOP_RATIO = 2.0
 
 
-class BlockedTaylorKernel:
+class _FusedTaylorApplyBase:
+    """Shared chunked block-apply driver of the fused Taylor kernels.
+
+    Subclasses (:class:`BlockedTaylorKernel`,
+    :class:`~repro.linalg.taylor_gram.GramTaylorKernel`) provide
+    ``_apply_chunk(block, degree, scale)`` plus ``dim``/``chunk_columns``/
+    ``matvec_count`` attributes; this base owns the one implementation of
+    input validation, the column-chunk loop, the model-level matvec
+    bookkeeping, and the final finiteness check, so the kernels cannot
+    drift apart on those behaviours.
+    """
+
+    dim: int
+    chunk_columns: int | None
+    matvec_count: int
+
+    def apply(
+        self,
+        block: np.ndarray,
+        degree: int,
+        scale: float = 1.0,
+        chunk_columns: int | None = None,
+    ) -> np.ndarray:
+        """Apply ``sum_{i<degree} (scale * Psi)^i / i!`` to every column of ``block``.
+
+        Parameters
+        ----------
+        block:
+            ``(m, s)`` block (or a single ``(m,)`` vector) to transform.
+        degree:
+            Number of Taylor terms ``k`` (Lemma 4.2's
+            :func:`~repro.linalg.taylor.taylor_degree`).
+        scale:
+            Scalar multiplier on ``Psi`` inside the exponential — the
+            Theorem 4.1 oracle passes ``0.5`` so the result approximates
+            ``exp(Psi/2) block``.
+        chunk_columns:
+            Process the block in column slices of this width, bounding peak
+            memory; ``None`` uses the kernel default, ``0`` forces
+            unchunked.  Columns are independent, so chunking changes the
+            result only by last-ulp BLAS reordering effects.
+        """
+        if degree < 1:
+            raise ValueError(f"degree must be >= 1, got {degree}")
+        block = np.asarray(block, dtype=np.float64)
+        single = block.ndim == 1
+        if single:
+            block = block[:, None]
+        if block.shape[0] != self.dim:
+            raise InvalidProblemError(
+                f"block must have {self.dim} rows, got {block.shape[0]}"
+            )
+        chunk = self.chunk_columns if chunk_columns is None else chunk_columns
+        s = block.shape[1]
+        if chunk and 0 < chunk < s:
+            out = np.empty((self.dim, s), dtype=np.float64)
+            for lo in range(0, s, chunk):
+                hi = min(lo + chunk, s)
+                out[:, lo:hi] = self._apply_chunk(block[:, lo:hi], degree, scale)
+        else:
+            out = self._apply_chunk(block, degree, scale)
+        self.matvec_count += s * (degree - 1)
+        if not np.all(np.isfinite(out)):
+            raise NumericalError(
+                "fused Taylor expm evaluation overflowed; reduce the spectral "
+                "norm of psi (e.g. by splitting exp(psi) = exp(psi/2)^2) or the degree"
+            )
+        return out[:, 0] if single else out
+
+    def _apply_chunk(self, block: np.ndarray, degree: int, scale: float) -> np.ndarray:
+        raise NotImplementedError  # pragma: no cover - subclasses implement
+
+
+class BlockedTaylorKernel(_FusedTaylorApplyBase):
     """Fused block apply of the truncated Taylor series of ``exp(scale * Psi)``.
 
     The kernel represents a symmetric PSD operator
@@ -86,6 +182,12 @@ class BlockedTaylorKernel:
         :meth:`PackedGramFactors.expand_weights`).
     chunk_columns:
         Default column-chunk size for :meth:`apply` (``None`` = unchunked).
+    densify:
+        Force (``True``) or forbid (``False``) the one-time materialisation
+        of ``Psi``; ``None`` (default) keeps the legacy flop-ratio rule
+        ``2 nnz(Q) > m^2``.  The rank-adaptive engine
+        (:class:`~repro.linalg.taylor_gram.TaylorEngine`) passes an explicit
+        choice from its measured-cost policy.
 
     Attributes
     ----------
@@ -105,6 +207,7 @@ class BlockedTaylorKernel:
         q: np.ndarray | sp.spmatrix,
         col_weights: np.ndarray,
         chunk_columns: int | None = None,
+        densify: bool | None = None,
     ) -> None:
         col_weights = np.asarray(col_weights, dtype=np.float64).ravel()
         if sp.issparse(q):
@@ -133,15 +236,12 @@ class BlockedTaylorKernel:
         self._q: np.ndarray | sp.csr_matrix | None = None
         self._qw: np.ndarray | sp.csr_matrix | None = None
 
-        if DENSIFY_FLOP_RATIO * nnz > m * m:
+        if densify is None:
+            densify = DENSIFY_FLOP_RATIO * nnz > m * m
+        if densify:
             # One (m, R) x (R, m) GEMM now — the cost of a single Taylor
             # term — buys an m^2-per-term recurrence instead of 2 m R.
-            if sp.issparse(q):
-                qw = q.multiply(col_weights[None, :]).tocsr()
-                psi = np.asarray((qw @ q.T).todense(), dtype=np.float64)
-            else:
-                psi = (q * col_weights) @ q.T
-            self._psi = 0.5 * (psi + psi.T)
+            self._psi = densified_psi(q, col_weights)
         elif sp.issparse(q):
             self._q = q
             self._qw = q.multiply(col_weights[None, :]).tocsr()
@@ -176,6 +276,42 @@ class BlockedTaylorKernel:
             raise InvalidProblemError(f"psi must be square, got shape {psi.shape}")
         return kernel
 
+    @classmethod
+    def from_scaled_factors(
+        cls,
+        q: np.ndarray | sp.spmatrix,
+        qw: np.ndarray | sp.spmatrix,
+        chunk_columns: int | None = None,
+    ) -> "BlockedTaylorKernel":
+        """Kernel over a stack whose weight fold ``Q diag(w)`` already exists.
+
+        The :class:`~repro.linalg.taylor_gram.TaylorEngine` maintains the
+        scaled stack across solver iterations by rescaling only the active
+        columns; this constructor reuses it instead of re-folding the
+        weights (an ``O(nnz)`` pass) on every call.  The factor recurrence
+        is forced — no densification check — because the engine's selection
+        policy already decided against the dense representation.
+        """
+        kernel = cls.__new__(cls)
+        kernel.matvec_count = 0
+        kernel.chunk_columns = chunk_columns
+        kernel._psi = None
+        kernel._psi_sparse = None
+        if sp.issparse(q) != sp.issparse(qw) or q.shape != qw.shape:
+            raise InvalidProblemError(
+                "q and qw must share storage kind and shape, got "
+                f"{q.shape} and {qw.shape}"
+            )
+        if sp.issparse(q):
+            kernel._q = q.tocsr()
+            kernel._qw = qw
+        else:
+            kernel._q = np.asarray(q, dtype=np.float64)
+            kernel._qw = np.asarray(qw, dtype=np.float64)
+        kernel.dim = int(q.shape[0])
+        kernel.total_rank = int(q.shape[1])
+        return kernel
+
     @property
     def uses_dense_psi(self) -> bool:
         """Whether the kernel runs the recurrence on a materialised ``Psi``."""
@@ -195,60 +331,8 @@ class BlockedTaylorKernel:
         return self._qw @ (self._q.T @ block)
 
     # ------------------------------------------------------------------ apply
-    def apply(
-        self,
-        block: np.ndarray,
-        degree: int,
-        scale: float = 1.0,
-        chunk_columns: int | None = None,
-    ) -> np.ndarray:
-        """Apply ``sum_{i<degree} (scale * Psi)^i / i!`` to every column of ``block``.
-
-        Parameters
-        ----------
-        block:
-            ``(m, s)`` block (or a single ``(m,)`` vector) to transform.
-        degree:
-            Number of Taylor terms ``k`` (Lemma 4.2's
-            :func:`~repro.linalg.taylor.taylor_degree`).
-        scale:
-            Scalar multiplier on ``Psi`` inside the exponential — the
-            Theorem 4.1 oracle passes ``0.5`` so the result approximates
-            ``exp(Psi/2) block``.
-        chunk_columns:
-            Process the block in column slices of this width, bounding peak
-            memory at ``O((m + R) * chunk_columns)``; ``None`` uses the
-            kernel default, ``0`` forces unchunked.  Columns are
-            independent, so chunking changes the result only by last-ulp
-            BLAS reordering effects.
-        """
-        if degree < 1:
-            raise ValueError(f"degree must be >= 1, got {degree}")
-        block = np.asarray(block, dtype=np.float64)
-        single = block.ndim == 1
-        if single:
-            block = block[:, None]
-        if block.shape[0] != self.dim:
-            raise InvalidProblemError(
-                f"block must have {self.dim} rows, got {block.shape[0]}"
-            )
-        chunk = self.chunk_columns if chunk_columns is None else chunk_columns
-        s = block.shape[1]
-        if chunk and 0 < chunk < s:
-            out = np.empty((self.dim, s), dtype=np.float64)
-            for lo in range(0, s, chunk):
-                hi = min(lo + chunk, s)
-                out[:, lo:hi] = self._apply_chunk(block[:, lo:hi], degree, scale)
-        else:
-            out = self._apply_chunk(block, degree, scale)
-        self.matvec_count += s * (degree - 1)
-        if not np.all(np.isfinite(out)):
-            raise NumericalError(
-                "blocked Taylor expm evaluation overflowed; reduce the spectral "
-                "norm of psi (e.g. by splitting exp(psi) = exp(psi/2)^2) or the degree"
-            )
-        return out[:, 0] if single else out
-
+    # apply() is inherited from _FusedTaylorApplyBase; this kernel supplies
+    # the per-chunk recurrence for whichever representation it holds.
     def _apply_chunk(self, block: np.ndarray, degree: int, scale: float) -> np.ndarray:
         if self._psi is not None:
             return self._apply_dense_psi(block, degree, scale)

@@ -37,6 +37,13 @@ tested against.  Both oracles now request the view when the factors are
 exact (the fast oracle always packs; the exact oracle packs for its
 batched trace-product pass unless constructed with ``batched=False``).
 
+The packed view also carries the rank-adaptive Taylor machinery: its
+weight-independent artifacts (the ``R x R`` Gram matrix ``Q^T Q``, the
+sparse-``Psi`` symbolic pattern, the auto-selected representation) and the
+incremental :class:`~repro.linalg.taylor_gram.TaylorEngine` are cached on
+the view, so every oracle built over the same collection shares them and
+the engine's cross-iteration state survives oracle reconstruction.
+
 Dense-collection fallback
 -------------------------
 All-dense collections can never take the packed reroute, so

@@ -54,9 +54,16 @@ def segment_sums(values: np.ndarray, offsets: np.ndarray) -> np.ndarray:
 
     Uses ``np.add.reduceat`` when every segment is non-empty; falls back to
     a cumulative-sum difference otherwise (``reduceat`` silently returns
-    ``values[offsets[i]]`` for empty segments instead of 0).
+    ``values[offsets[i]]`` for empty segments instead of 0).  ``offsets``
+    may be any integer array-like (lists included); zero-width segments —
+    rank-zero factor blocks — always sum to 0.
     """
     values = np.asarray(values, dtype=np.float64)
+    offsets = np.asarray(offsets, dtype=np.int64)
+    if offsets.ndim != 1:
+        raise InvalidProblemError(
+            f"offsets must be 1-dimensional, got ndim={offsets.ndim}"
+        )
     if offsets.shape[0] < 2:
         return np.zeros(max(offsets.shape[0] - 1, 0), dtype=np.float64)
     widths = np.diff(offsets)
@@ -142,6 +149,15 @@ class PackedGramFactors:
             self._qc = None
             self._sparse = False
         self._dense_cache: np.ndarray | None = None
+        # Weight-independent Taylor-engine artifacts, built lazily and
+        # shared by every kernel/engine over this stack (the stack is
+        # immutable): the dense Gram matrix Q^T Q, the sparse-Psi
+        # accumulator, the auto-selected representation, and the engines.
+        self._gram_cache: np.ndarray | None = None
+        self._psi_accumulator = None
+        self._auto_mode: str | None = None
+        self._engine_cache: dict = {}
+        self._column_nnz: np.ndarray | None = None
 
     # ------------------------------------------------------------------ basics
     @classmethod
@@ -233,21 +249,181 @@ class PackedGramFactors:
 
         return apply
 
-    def taylor_kernel(self, weights: np.ndarray, chunk_columns: int | None = None):
-        """A :class:`~repro.linalg.taylor_blocked.BlockedTaylorKernel` for
-        ``Psi = sum_i weights[i] Q_i Q_i^T``.
+    def column_nnz(self) -> np.ndarray:
+        """Stored nonzeros per stacked column (cached; drives the selection
+        policy's ``nnz(Psi)`` bound and the engine's per-column charges)."""
+        if self._column_nnz is None:
+            if self.total_rank == 0:
+                self._column_nnz = np.zeros(0, dtype=np.int64)
+            elif self._sparse:
+                qc = self._qc
+                self._column_nnz = np.diff(qc.indptr).astype(np.int64)
+            else:
+                self._column_nnz = np.count_nonzero(self._q, axis=0).astype(np.int64)
+        return self._column_nnz
+
+    def psi_nnz_bound(self) -> int:
+        """Upper bound on ``nnz(Psi)`` for ``Psi = (Q w) Q^T``: the sum of
+        squared column nonzeros (every column contributes its support's
+        outer product; overlaps only merge), capped at ``m^2``."""
+        col_nnz = self.column_nnz()
+        return int(min(np.sum(col_nnz.astype(np.float64) ** 2), self.dim * self.dim))
+
+    def gram_matrix(self) -> np.ndarray:
+        """Dense ``(R, R)`` Gram matrix ``Q^T Q`` of the stack (cached).
+
+        Weight-independent: the Gram-space kernel's ``G = (Q^T Q) diag(w)``
+        is a column rescale of this matrix, which is how
+        :class:`~repro.linalg.taylor_gram.TaylorEngine` maintains ``G``
+        across solver iterations by touching only the active columns.
+        """
+        if self._gram_cache is None:
+            if self.total_rank == 0:
+                self._gram_cache = np.zeros((0, 0), dtype=np.float64)
+            elif self._sparse:
+                self._gram_cache = np.asarray(
+                    (self._q.T @ self._q).todense(), dtype=np.float64
+                )
+            else:
+                self._gram_cache = self._q.T @ self._q
+        return self._gram_cache
+
+    def psi_accumulator(self):
+        """The cached :class:`~repro.linalg.taylor_gram.SparsePsiAccumulator`
+        over the stack (sparse stacks only; the symbolic pattern and the
+        weight-to-values map are weight-independent, so one accumulator
+        serves every kernel and engine built from this view)."""
+        if not self._sparse:
+            raise InvalidProblemError(
+                "the sparse-Psi accumulator requires a sparse factor stack"
+            )
+        if self._psi_accumulator is None:
+            from repro.linalg.taylor_gram import SparsePsiAccumulator
+
+            self._psi_accumulator = SparsePsiAccumulator(self._q)
+        return self._psi_accumulator
+
+    def auto_taylor_mode(self) -> str:
+        """The representation :func:`~repro.linalg.taylor_gram.select_taylor_mode`
+        picks for this stack (cached — it depends only on the immutable
+        shape quantities ``m``, ``R``, ``nnz`` and ``nnz(Psi)``).
+
+        Sparse stacks use a two-stage decision: the cheap
+        :meth:`psi_nnz_bound` first (it never under-counts, so a
+        sparse-``Psi`` verdict from it is final), and when the bound rejects
+        sparse-``Psi`` but a lower bound on ``nnz(Psi)`` — the largest
+        single-column outer product — says the exact pattern could still
+        win (heavily overlapping supports make the upper bound arbitrarily
+        loose), the weight-independent accumulator is built once and the
+        decision repeated with the exact count.
+        """
+        if self._auto_mode is None:
+            from repro.linalg.taylor_gram import (
+                SPARSE_GEMM_DISCOUNT,
+                select_taylor_mode,
+                taylor_mode_cost,
+            )
+
+            if not self._sparse:
+                self._auto_mode = select_taylor_mode(
+                    self.dim, self.total_rank, self.nnz, False
+                )
+                return self._auto_mode
+            mode = select_taylor_mode(
+                self.dim,
+                self.total_rank,
+                self.nnz,
+                True,
+                psi_nnz=self.psi_nnz_bound(),
+            )
+            if mode != "sparse-psi":
+                winner_cost = taylor_mode_cost(
+                    mode, self.dim, self.total_rank, self.nnz
+                )
+                col_nnz = self.column_nnz()
+                psi_lower = float(col_nnz.max()) ** 2 if col_nnz.size else 0.0
+                build_cost = float(np.sum(col_nnz.astype(np.float64) ** 2))
+                if (
+                    SPARSE_GEMM_DISCOUNT * psi_lower < winner_cost
+                    and build_cost <= 16.0 * self.dim * self.dim
+                ):
+                    mode = select_taylor_mode(
+                        self.dim,
+                        self.total_rank,
+                        self.nnz,
+                        True,
+                        psi_nnz=self.psi_accumulator().psi_nnz,
+                    )
+            self._auto_mode = mode
+        return self._auto_mode
+
+    def taylor_engine(self, chunk_columns: int | None = None, mode: str = "auto"):
+        """The (cached) incremental :class:`~repro.linalg.taylor_gram.TaylorEngine`
+        for this stack.
+
+        One engine per ``(mode, chunk_columns)`` pair is kept so repeated
+        oracle constructions over the same collection share the
+        weight-dependent state — the cross-iteration reuse the decision
+        solvers rely on.
+        """
+        from repro.linalg.taylor_gram import TaylorEngine
+
+        key = (mode, chunk_columns)
+        engine = self._engine_cache.get(key)
+        if engine is None:
+            engine = TaylorEngine(self, chunk_columns=chunk_columns, mode=mode)
+            self._engine_cache[key] = engine
+        return engine
+
+    def taylor_kernel(
+        self,
+        weights: np.ndarray,
+        chunk_columns: int | None = None,
+        mode: str = "auto",
+    ):
+        """A one-shot Taylor kernel for ``Psi = sum_i weights[i] Q_i Q_i^T``.
 
         The kernel evaluates the Lemma 4.2 truncated exponential of
-        ``scale * Psi`` on whole ``(m, s)`` blocks via fused GEMMs,
-        densifying ``Psi`` once when the stacked rank makes the dense
-        recurrence cheaper (see the kernel's module docstring).  Built per
-        weight vector — the fast oracle constructs one per call.
+        ``scale * Psi`` on whole ``(m, s)`` blocks; the representation —
+        Gram-space, densified ``Psi``, sparse-CSR ``Psi``, or the factor
+        recurrence — is picked per stack by
+        :func:`~repro.linalg.taylor_gram.select_taylor_mode` (``mode=``
+        forces one, ``"legacy"`` keeps the PR-2 blocked kernel with its
+        ``2R > m`` densification rule).  Weight-independent artifacts (the
+        Gram matrix, the sparse-``Psi`` pattern) are cached on the stack,
+        but no weight-dependent state is carried across calls — use
+        :meth:`taylor_engine` for the incremental cross-iteration path.
         """
         from repro.linalg.taylor_blocked import BlockedTaylorKernel
 
-        return BlockedTaylorKernel(
-            self._q, self.expand_weights(weights), chunk_columns=chunk_columns
-        )
+        col_w = self.expand_weights(weights)
+        if mode == "legacy":
+            return BlockedTaylorKernel(self._q, col_w, chunk_columns=chunk_columns)
+        if mode == "auto":
+            mode = self.auto_taylor_mode()
+        if mode == "gram":
+            from repro.linalg.taylor_gram import GramTaylorKernel
+
+            return GramTaylorKernel(
+                self._q,
+                col_w,
+                gram=self.gram_matrix() * col_w[None, :],
+                chunk_columns=chunk_columns,
+            )
+        if mode == "sparse-psi":
+            acc = self.psi_accumulator()
+            kernel = BlockedTaylorKernel.from_matrix(acc.psi(acc.values(col_w)))
+            kernel.chunk_columns = chunk_columns
+            return kernel
+        if mode == "dense-psi":
+            return BlockedTaylorKernel(
+                self._q, col_w, chunk_columns=chunk_columns, densify=True
+            )
+        if mode in ("dense-factors", "sparse-factors"):
+            return BlockedTaylorKernel(
+                self._q, col_w, chunk_columns=chunk_columns, densify=False
+            )
+        raise InvalidProblemError(f"unknown taylor kernel mode {mode!r}")
 
     def weighted_sum(self, weights: np.ndarray) -> np.ndarray:
         """Dense ``sum_i weights[i] Q_i Q_i^T`` via one rank-``R`` GEMM.

@@ -81,6 +81,24 @@ class ExecutionBackend(abc.ABC):
             return []
         return self._execute(func, items)
 
+    def charge(
+        self,
+        work: float,
+        depth: float | None = None,
+        label: str = "",
+    ) -> None:
+        """Charge one already-executed computation to the tracker (if any).
+
+        Thin passthrough to :meth:`WorkDepthTracker.charge` so components
+        that are handed a backend (rather than a tracker) can record model
+        costs — e.g. the rank-adaptive Taylor engine charges its
+        active-column state updates under the ``taylor-engine-update``
+        label, work proportional to the touched columns.  A backend without
+        a tracker ignores the charge.
+        """
+        if self.tracker is not None:
+            self.tracker.charge(work, depth, label=label)
+
     def charge_batched(
         self,
         count: int,

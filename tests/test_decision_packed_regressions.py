@@ -258,3 +258,115 @@ class TestDenseStackWeightedSum:
         )  # diagonal operator present -> no dense stack
         mixed.weighted_sum(np.ones(2))
         assert mixed._dense_stack is None
+
+
+def _concentrated_sparse_collection(seed=31, m=60, n=40, support=10, col_nnz=8):
+    """Sparse factorized constraints whose supports share `support` rows, the
+    regime where the exact Psi pattern beats every other representation."""
+    import scipy.sparse as sp
+
+    rng = np.random.default_rng(seed)
+    ops = []
+    for _ in range(n):
+        dense = np.zeros((m, 2))
+        for c in range(2):
+            rows = rng.choice(support, size=col_nnz, replace=False)
+            dense[rows, c] = 0.3 * rng.standard_normal(col_nnz)
+        if not np.any(dense):
+            dense[0, 0] = 0.3
+        ops.append(FactorizedPSDOperator(sp.csr_matrix(dense)))
+    return ConstraintCollection(ops)
+
+
+class TestTaylorEngineRegressions:
+    """The rank-adaptive engine must update incrementally — one full build,
+    then work proportional to the active columns — and certify the same
+    decisions as the PR-2 per-call kernel on fixed seeds."""
+
+    def test_gram_engine_charges_proportional_work(self):
+        coll = _factorized_collection(seed=41, m=40, n=10)  # R = 20 <= m/2
+        result = decision_psdp(
+            coll,
+            epsilon=0.25,
+            oracle="fast",
+            rng=3,
+            max_iterations=25,
+            collect_history=True,
+        )
+        stats = result.metadata["taylor_engine"]
+        assert stats["mode"] == "gram"
+        assert stats["full_builds"] == 1
+        assert stats["incremental_updates"] == result.iterations - 1
+        # Every oracle call after the first sees exactly the coordinates the
+        # previous iteration multiplied (rank 2 each): the engine's touched
+        # columns must equal the solver's per-iteration update counts — a
+        # full rebuild would touch all R columns every time.
+        history_updates = [rec.updated for rec in result.history]
+        assert stats["columns_updated"] == 2 * sum(history_updates[:-1])
+        # The tracker's label records the same charges: full Gram build plus
+        # the exact per-column update rate (R per touched column).
+        charged = result.work_depth.by_label["taylor-engine-update"]
+        assert charged == pytest.approx(stats["charged_work"])
+        total_rank = stats["total_rank"]
+        full_build = 40 * total_rank**2 + total_rank**2
+        assert charged == pytest.approx(
+            full_build + total_rank * stats["columns_updated"]
+        )
+
+    def test_sparse_psi_engine_charges_proportional_work(self):
+        coll = _concentrated_sparse_collection()
+        result = decision_psdp(
+            coll,
+            epsilon=0.25,
+            oracle="fast",
+            rng=5,
+            max_iterations=20,
+            collect_history=True,
+        )
+        stats = result.metadata["taylor_engine"]
+        assert stats["mode"] == "sparse-psi"
+        assert stats["full_builds"] == 1
+        assert stats["incremental_updates"] == result.iterations - 1
+        history_updates = [rec.updated for rec in result.history]
+        assert stats["columns_updated"] == 2 * sum(history_updates[:-1])
+        acc = coll.packed().psi_accumulator()
+        charged = result.work_depth.by_label["taylor-engine-update"]
+        assert charged == pytest.approx(stats["charged_work"])
+        # Every incremental update costs at most one pass over the
+        # weight-to-values map; proportionality caps the total at the
+        # per-column map density times the touched columns.
+        incremental = charged - acc.map_nnz  # full build = one map pass
+        per_column_cap = acc.map_nnz / stats["total_rank"]
+        assert incremental <= per_column_cap * stats["columns_updated"] * 1.0001
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_engine_and_legacy_kernel_certify_identical_decisions(self, seed):
+        outcomes = {}
+        for engine in (True, False):
+            coll = _factorized_collection(seed=seed, m=16, n=10)
+            oracle = FastDotExpOracle(coll, eps=0.08, rng=seed + 100, engine=engine)
+            result = decision_psdp(
+                coll, epsilon=0.3, oracle=oracle, rng=seed + 100, max_iterations=40
+            )
+            outcomes[engine] = result
+        assert outcomes[True].outcome == outcomes[False].outcome
+        assert outcomes[True].iterations == outcomes[False].iterations
+        np.testing.assert_allclose(
+            outcomes[True].dual_x, outcomes[False].dual_x, rtol=1e-6
+        )
+
+    def test_phased_solver_surfaces_engine_stats(self):
+        coll = _factorized_collection(seed=43, m=40, n=10)
+        result = decision_psdp_phased(
+            coll, epsilon=0.3, oracle="fast", rng=7, max_iterations=15
+        )
+        stats = result.metadata["taylor_engine"]
+        assert stats["full_builds"] == 1
+        assert stats["mode"] == "gram"
+        assert result.work_depth.by_label["taylor-engine-update"] == pytest.approx(
+            stats["charged_work"]
+        )
+
+    def test_exact_oracle_has_no_engine_metadata(self, small_collection):
+        result = decision_psdp(small_collection, epsilon=0.3, max_iterations=4)
+        assert "taylor_engine" not in result.metadata

@@ -1,0 +1,507 @@
+"""Tests for repro.linalg.taylor_gram (the rank-adaptive exponential engine).
+
+Every representation the engine can select — Gram-space, densified ``Psi``,
+sparse-CSR ``Psi``, scaled factor recurrence — must evaluate exactly the
+same Lemma 4.2 polynomial as the per-term reference
+:func:`repro.linalg.taylor.taylor_expm_apply`, and the incremental engine
+must reach the same state as a from-scratch build while touching only the
+active columns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.exceptions import InvalidProblemError, NumericalError
+from repro.linalg.taylor import taylor_expm_apply
+from repro.linalg.taylor_blocked import BlockedTaylorKernel
+from repro.linalg.taylor_gram import (
+    SPARSE_GEMM_DISCOUNT,
+    GramTaylorKernel,
+    SparsePsiAccumulator,
+    TaylorEngine,
+    gram_taylor_apply,
+    select_taylor_mode,
+)
+from repro.operators import ConstraintCollection, FactorizedPSDOperator, PackedGramFactors
+from repro.core.dotexp import FastDotExpOracle, big_dot_exp
+from repro.parallel.backends import SerialBackend
+from repro.parallel.workdepth import WorkDepthTracker
+
+
+def _stack(m, r, seed, sparse=False, density=0.2):
+    rng = np.random.default_rng(seed)
+    if sparse:
+        mat = sp.random(m, r, density=density, random_state=rng, format="csr")
+        return mat if mat.nnz else sp.csr_matrix(np.eye(m)[:, :r])
+    return rng.standard_normal((m, r)) / np.sqrt(m)
+
+
+def _psi_of(q, w):
+    if sp.issparse(q):
+        return np.asarray((q.multiply(w[None, :]) @ q.T).todense())
+    return (q * w) @ q.T
+
+
+class TestGramKernelEquivalence:
+    def test_matches_reference_per_column(self):
+        m, r, s, degree = 26, 8, 9, 18
+        q = _stack(m, r, seed=1)
+        w = np.random.default_rng(2).random(r)
+        block = np.random.default_rng(3).standard_normal((m, s))
+        out = GramTaylorKernel(q, w).apply(block, degree)
+        psi = _psi_of(q, w)
+        for j in range(s):
+            ref = taylor_expm_apply(psi, block[:, j], degree)
+            np.testing.assert_allclose(out[:, j], ref, atol=1e-10, rtol=0)
+
+    def test_scale_half_matches_reference(self):
+        m, r, degree = 16, 5, 14
+        q = _stack(m, r, seed=4)
+        w = np.random.default_rng(5).random(r)
+        vec = np.random.default_rng(6).standard_normal(m)
+        out = GramTaylorKernel(q, w).apply(vec, degree, scale=0.5)
+        ref = taylor_expm_apply(0.5 * _psi_of(q, w), vec, degree)
+        np.testing.assert_allclose(out, ref, atol=1e-12)
+        assert out.shape == (m,)
+
+    def test_sparse_stack_matches_reference(self):
+        m, r, degree = 30, 9, 16
+        q = _stack(m, r, seed=7, sparse=True)
+        w = np.random.default_rng(8).random(r)
+        block = np.random.default_rng(9).standard_normal((m, 4))
+        out = GramTaylorKernel(q, w).apply(block, degree)
+        np.testing.assert_allclose(
+            out, taylor_expm_apply(_psi_of(q, w), block, degree), atol=1e-10
+        )
+
+    def test_matches_blocked_kernel(self):
+        m, r, degree = 22, 6, 15
+        q = _stack(m, r, seed=10)
+        w = np.random.default_rng(11).random(r)
+        block = np.random.default_rng(12).standard_normal((m, 5))
+        np.testing.assert_allclose(
+            GramTaylorKernel(q, w).apply(block, degree, scale=0.5),
+            BlockedTaylorKernel(q, w).apply(block, degree, scale=0.5),
+            atol=1e-11,
+        )
+
+    def test_precomputed_gram_matches_internal(self):
+        m, r = 18, 5
+        q = _stack(m, r, seed=13)
+        w = np.random.default_rng(14).random(r)
+        gram = (q.T @ q) * w
+        block = np.random.default_rng(15).standard_normal((m, 3))
+        np.testing.assert_array_equal(
+            GramTaylorKernel(q, w, gram=gram).apply(block, 12),
+            GramTaylorKernel(q, w).apply(block, 12),
+        )
+
+    def test_degree_one_is_identity(self):
+        q = _stack(10, 3, seed=16)
+        block = np.random.default_rng(17).standard_normal((10, 4))
+        np.testing.assert_array_equal(
+            GramTaylorKernel(q, np.ones(3)).apply(block, 1), block
+        )
+
+    def test_degree_two_is_affine(self):
+        q = _stack(10, 3, seed=18)
+        w = np.random.default_rng(19).random(3)
+        block = np.random.default_rng(20).standard_normal((10, 2))
+        out = GramTaylorKernel(q, w).apply(block, 2, scale=0.5)
+        np.testing.assert_allclose(out, block + 0.5 * _psi_of(q, w) @ block, atol=1e-12)
+
+    def test_zero_rank_stack_is_identity_polynomial(self):
+        block = np.random.default_rng(21).standard_normal((7, 3))
+        kernel = GramTaylorKernel(np.zeros((7, 0)), np.zeros(0))
+        np.testing.assert_array_equal(kernel.apply(block, 9), block)
+
+    def test_chunked_identical_to_unchunked(self):
+        m, r, s = 20, 6, 13
+        q = _stack(m, r, seed=22)
+        w = np.random.default_rng(23).random(r)
+        block = np.random.default_rng(24).standard_normal((m, s))
+        kernel = GramTaylorKernel(q, w)
+        for chunk in (1, 4, 7, 100):
+            np.testing.assert_allclose(
+                kernel.apply(block, 12),
+                kernel.apply(block, 12, chunk_columns=chunk),
+                rtol=1e-12,
+                atol=1e-12,
+            )
+
+    def test_matvec_and_count(self):
+        m, r = 14, 4
+        q = _stack(m, r, seed=25)
+        w = np.random.default_rng(26).random(r)
+        kernel = GramTaylorKernel(q, w)
+        vec = np.random.default_rng(27).standard_normal(m)
+        np.testing.assert_allclose(kernel.matvec(vec), _psi_of(q, w) @ vec, atol=1e-12)
+        kernel.apply(np.ones((m, 5)), 7)
+        assert kernel.matvec_count == 5 * 6
+        kernel.apply(np.ones(m), 4)
+        assert kernel.matvec_count == 5 * 6 + 3
+
+    def test_convenience_wrapper(self):
+        q = _stack(12, 3, seed=28)
+        block = np.random.default_rng(29).standard_normal((12, 2))
+        np.testing.assert_array_equal(
+            gram_taylor_apply(q, np.ones(3), block, 9),
+            GramTaylorKernel(q, np.ones(3)).apply(block, 9),
+        )
+
+    def test_validation(self):
+        q = _stack(8, 2, seed=30)
+        with pytest.raises(InvalidProblemError):
+            GramTaylorKernel(q, np.ones(3))
+        with pytest.raises(InvalidProblemError):
+            GramTaylorKernel(q, np.array([1.0, -1.0]))
+        with pytest.raises(InvalidProblemError):
+            GramTaylorKernel(q, np.ones(2), gram=np.ones((3, 3)))
+        kernel = GramTaylorKernel(q, np.ones(2))
+        with pytest.raises(ValueError):
+            kernel.apply(np.ones(8), 0)
+        with pytest.raises(InvalidProblemError):
+            kernel.apply(np.ones((7, 2)), 3)
+
+    def test_overflow_detection(self):
+        q = np.diag([30.0, 0.0])
+        with pytest.raises(NumericalError):
+            GramTaylorKernel(q, np.ones(2)).apply(np.full(2, 1e300), 60)
+
+
+class TestSparsePsiAccumulator:
+    def _accumulator(self, m=24, r=10, seed=40, density=0.15):
+        q = _stack(m, r, seed=seed, sparse=True, density=density)
+        return q, SparsePsiAccumulator(q)
+
+    def test_values_match_direct_product(self):
+        q, acc = self._accumulator()
+        w = np.random.default_rng(41).random(q.shape[1])
+        psi = acc.psi(acc.values(w))
+        np.testing.assert_allclose(psi.toarray(), _psi_of(q, w), atol=1e-12)
+
+    def test_pattern_is_weight_independent(self):
+        q, acc = self._accumulator()
+        r = q.shape[1]
+        psi_a = acc.psi(acc.values(np.ones(r)))
+        psi_b = acc.psi(acc.values(np.random.default_rng(42).random(r)))
+        np.testing.assert_array_equal(psi_a.indices, psi_b.indices)
+        np.testing.assert_array_equal(psi_a.indptr, psi_b.indptr)
+
+    def test_incremental_update_matches_rebuild(self):
+        q, acc = self._accumulator()
+        r = q.shape[1]
+        rng = np.random.default_rng(43)
+        w = rng.random(r)
+        values = acc.values(w)
+        for _ in range(4):
+            w_new = w.copy()
+            touched = rng.choice(r, size=3, replace=False)
+            w_new[touched] = rng.random(3)
+            delta = w_new - w
+            active = np.flatnonzero(delta)
+            acc.update_values(values, active, delta[active])
+            np.testing.assert_allclose(values, acc.values(w_new), atol=1e-12)
+            w = w_new
+
+    def test_zero_rank_columns_contribute_nothing(self):
+        q = sp.hstack(
+            [_stack(12, 3, seed=44, sparse=True), sp.csr_matrix((12, 2))], format="csr"
+        )
+        acc = SparsePsiAccumulator(q)
+        w = np.ones(5)
+        np.testing.assert_allclose(
+            acc.psi(acc.values(w)).toarray(), _psi_of(q, w), atol=1e-12
+        )
+        assert acc.column_cost(np.array([3, 4])) == 0
+
+    def test_column_cost_proportional(self):
+        q, acc = self._accumulator()
+        all_cols = np.arange(q.shape[1])
+        assert acc.column_cost(all_cols) == acc.map_nnz
+        assert acc.column_cost(all_cols[:2]) <= acc.map_nnz
+
+    def test_rejects_dense_input(self):
+        with pytest.raises(InvalidProblemError):
+            SparsePsiAccumulator(np.ones((4, 2)))
+
+    def test_rejects_wrong_weight_length(self):
+        _, acc = self._accumulator()
+        with pytest.raises(InvalidProblemError):
+            acc.values(np.ones(acc.total_rank + 1))
+
+
+class TestSelectTaylorMode:
+    def test_gram_at_and_below_half_rank(self):
+        # The 2R == m boundary belongs to the Gram-space path.
+        assert select_taylor_mode(100, 50, 5000, False) == "gram"
+        assert select_taylor_mode(100, 49, 4900, False) == "gram"
+        assert select_taylor_mode(100, 0, 0, False) == "gram"
+
+    def test_dense_stack_above_half_rank_densifies(self):
+        assert select_taylor_mode(100, 51, 5100, False) == "dense-psi"
+        assert select_taylor_mode(100, 400, 40000, False) == "dense-psi"
+
+    def test_sparse_psi_when_pattern_is_small(self):
+        m, r = 512, 600
+        assert (
+            select_taylor_mode(m, r, 1200, True, psi_nnz=2000) == "sparse-psi"
+        )
+
+    def test_sparse_dense_boundary(self):
+        # At the densification threshold the discounted factor cost equals
+        # m^2 exactly; ties break toward the denser representation.
+        m, r = 128, 130
+        nnz_at_threshold = int(m * m / (2 * SPARSE_GEMM_DISCOUNT))
+        assert select_taylor_mode(m, r, nnz_at_threshold, True) == "dense-psi"
+        assert select_taylor_mode(m, r, nnz_at_threshold - 1, True) == "sparse-factors"
+        assert select_taylor_mode(m, r, nnz_at_threshold + 1, True) == "dense-psi"
+
+    def test_sparse_factor_beats_psi_on_tall_patterns(self):
+        # Columns with many nonzeros blow up nnz(Psi) quadratically; the
+        # factor recurrence stays linear in nnz(Q).
+        assert (
+            select_taylor_mode(512, 600, 1200, True, psi_nnz=10**5) == "sparse-factors"
+        )
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(InvalidProblemError):
+            select_taylor_mode(-1, 0, 0, False)
+
+
+def _packed(n, m, rank=2, seed=50, sparse=False, density=0.1, scale=0.3):
+    rng = np.random.default_rng(seed)
+    factors = []
+    for _ in range(n):
+        if sparse:
+            f = sp.random(m, rank, density=density, random_state=rng, format="csr")
+            if f.nnz == 0:
+                f = sp.csr_matrix(
+                    (np.full(rank, scale), (rng.integers(0, m, rank), np.arange(rank))),
+                    shape=(m, rank),
+                )
+            factors.append(f)
+        else:
+            factors.append(scale * rng.standard_normal((m, rank)))
+    return PackedGramFactors(factors)
+
+
+class TestTaylorEngine:
+    @pytest.mark.parametrize(
+        "mode,sparse",
+        [
+            ("gram", False),
+            ("gram", True),
+            ("dense-psi", False),
+            ("dense-psi", True),
+            ("dense-factors", False),
+            ("sparse-factors", True),
+            ("sparse-psi", True),
+        ],
+    )
+    def test_incremental_state_matches_rebuild(self, mode, sparse):
+        packed = _packed(8, 18, sparse=sparse, seed=51)
+        engine = packed.taylor_engine(mode=mode)
+        rng = np.random.default_rng(52)
+        block = rng.standard_normal((18, 5))
+        x = rng.random(8)
+        for step in range(4):
+            kernel = engine.kernel_for(x)
+            col_w = packed.expand_weights(x)
+            psi = _psi_of(packed.matrix, col_w)
+            np.testing.assert_allclose(
+                kernel.apply(block, 12, scale=0.5),
+                taylor_expm_apply(0.5 * psi, block, 12),
+                atol=1e-9,
+            )
+            # Perturb a couple of coordinates, as the solver does.
+            x = x.copy()
+            x[rng.integers(0, 8)] *= 1.4
+            x[rng.integers(0, 8)] = 0.0
+        assert engine.full_builds == 1
+        assert engine.incremental_updates >= 1
+
+    def test_engine_cached_on_packed_view(self):
+        packed = _packed(5, 16)
+        assert packed.taylor_engine() is packed.taylor_engine()
+        assert packed.taylor_engine(mode="dense-psi") is not packed.taylor_engine()
+
+    def test_updates_touch_only_active_columns(self):
+        packed = _packed(10, 40, seed=53)  # R = 20 <= m/2 -> gram
+        engine = packed.taylor_engine()
+        assert engine.mode == "gram"
+        x = np.random.default_rng(54).random(10)
+        engine.kernel_for(x)
+        x2 = x.copy()
+        x2[3] *= 2.0
+        engine.kernel_for(x2)
+        assert engine.full_builds == 1
+        assert engine.incremental_updates == 1
+        assert engine.columns_updated == int(packed.ranks[3])
+        # Unchanged weights: no update at all.
+        engine.kernel_for(x2)
+        assert engine.incremental_updates == 1
+
+    def test_charges_backend_proportionally(self):
+        packed = _packed(10, 40, seed=55)
+        engine = packed.taylor_engine()
+        tracker = WorkDepthTracker()
+        backend = SerialBackend(tracker=tracker)
+        x = np.random.default_rng(56).random(10)
+        engine.kernel_for(x, backend=backend)
+        full_charge = tracker.by_label["taylor-engine-update"]
+        x2 = x.copy()
+        x2[0] *= 1.5
+        engine.kernel_for(x2, backend=backend)
+        incremental = tracker.by_label["taylor-engine-update"] - full_charge
+        # One active constraint of rank 2 out of R=20 columns: the update
+        # charge must be the per-column rate, not another full build.
+        assert incremental == pytest.approx(engine.total_rank * packed.ranks[0])
+        assert incremental < full_charge
+        assert tracker.by_label["taylor-engine-update"] == engine.charged_work
+
+    def test_zero_rank_engine(self):
+        packed = PackedGramFactors([np.zeros((6, 0)), np.zeros((6, 0))])
+        engine = packed.taylor_engine()
+        kernel = engine.kernel_for(np.zeros(2))
+        block = np.random.default_rng(57).standard_normal((6, 3))
+        np.testing.assert_array_equal(kernel.apply(block, 8), block)
+
+    def test_mode_validation(self):
+        dense = _packed(4, 12)
+        with pytest.raises(InvalidProblemError):
+            dense.taylor_engine(mode="sparse-psi")
+        with pytest.raises(InvalidProblemError):
+            dense.taylor_engine(mode="bogus")
+        sparse = _packed(4, 12, sparse=True, seed=58)
+        with pytest.raises(InvalidProblemError):
+            sparse.taylor_engine(mode="dense-factors")
+
+
+class TestOracleIntegration:
+    def _collection(self, n=10, m=40, seed=60):
+        rng = np.random.default_rng(seed)
+        return ConstraintCollection(
+            [FactorizedPSDOperator(0.3 * rng.standard_normal((m, 2))) for _ in range(n)]
+        )
+
+    def test_big_dot_exp_accepts_gram_kernel(self):
+        coll = self._collection()
+        packed = coll.packed()
+        x = np.random.default_rng(61).random(len(coll)) / len(coll)
+        kernel = packed.taylor_kernel(x)
+        assert isinstance(kernel, GramTaylorKernel)
+        fused = big_dot_exp(kernel, packed, kappa=2.0, eps=0.2, use_sketch=False)
+        loop = big_dot_exp(
+            packed.matvec_fn(x), packed, kappa=2.0, eps=0.2, use_sketch=False,
+            dim=coll.dim,
+        )
+        np.testing.assert_allclose(fused, loop, rtol=1e-10, atol=1e-12)
+
+    def test_oracle_engine_matches_legacy_kernel(self):
+        x = np.random.default_rng(62).random(10) / 10
+        outputs = {}
+        for engine in (True, False):
+            oracle = FastDotExpOracle(
+                self._collection(), eps=0.1, rng=19, engine=engine
+            )
+            outputs[engine] = oracle(np.zeros((40, 40)), x)
+        np.testing.assert_allclose(
+            outputs[True].values, outputs[False].values, rtol=1e-9, atol=1e-12
+        )
+        assert outputs[True].trace == pytest.approx(outputs[False].trace, rel=1e-9)
+
+    def test_oracle_reuses_engine_across_calls(self):
+        coll = self._collection()
+        oracle = FastDotExpOracle(coll, eps=0.1, rng=20)
+        x = np.random.default_rng(63).random(len(coll)) / len(coll)
+        assert oracle.taylor_engine is None
+        oracle(np.zeros((coll.dim, coll.dim)), x)
+        engine = oracle.taylor_engine
+        assert engine is not None and engine.full_builds == 1
+        x2 = x.copy()
+        x2[4] *= 1.2
+        oracle(np.zeros((coll.dim, coll.dim)), x2)
+        assert oracle.taylor_engine is engine
+        assert engine.full_builds == 1
+        assert engine.incremental_updates == 1
+
+    def test_oracles_share_engine_through_collection(self):
+        coll = self._collection()
+        x = np.random.default_rng(64).random(len(coll)) / len(coll)
+        first = FastDotExpOracle(coll, eps=0.1, rng=21)
+        first(np.zeros((coll.dim, coll.dim)), x)
+        second = FastDotExpOracle(coll, eps=0.1, rng=22)
+        second(np.zeros((coll.dim, coll.dim)), x)
+        assert second.taylor_engine is first.taylor_engine
+        assert second.taylor_engine.full_builds == 1
+
+
+class TestSelectionCostModel:
+    def test_sparse_low_rank_stack_keeps_factor_recurrence(self):
+        # 1500 rank-1 constraints with ~4 nnz each in m=4000: 2R <= m, but
+        # a dense 1500x1500 Gram matrix (R^2 per term) would be a large
+        # regression over the 2*nnz-per-term sparse factor recurrence.
+        assert (
+            select_taylor_mode(4000, 1500, 6000, True, psi_nnz=24000)
+            == "sparse-factors"
+        )
+
+    def test_sparse_gram_still_wins_when_cheapest(self):
+        # Dense-ish sparse stack with small R: R^2 undercuts everything.
+        assert select_taylor_mode(100, 20, 1000, True, psi_nnz=5000) == "gram"
+
+    def test_mode_costs_are_single_source(self):
+        from repro.linalg.taylor_gram import taylor_mode_cost
+
+        assert taylor_mode_cost("gram", 100, 20, 0) == 400
+        assert taylor_mode_cost("dense-psi", 100, 20, 0) == 10000
+        assert taylor_mode_cost("dense-factors", 100, 20, 0) == 4000
+        assert taylor_mode_cost("sparse-factors", 100, 20, 500) == pytest.approx(
+            2 * 500 * SPARSE_GEMM_DISCOUNT
+        )
+        assert taylor_mode_cost("sparse-psi", 100, 20, 500) == float("inf")
+        assert taylor_mode_cost(
+            "sparse-psi", 100, 20, 500, psi_nnz=300
+        ) == pytest.approx(300 * SPARSE_GEMM_DISCOUNT)
+        with pytest.raises(InvalidProblemError):
+            taylor_mode_cost("bogus", 1, 1, 1)
+
+
+class TestWarmStartedNormEstimate:
+    def test_pure_warm_start_documents_stale_direction_risk(self):
+        # The raw primitive with a stale exact eigenvector locks onto it:
+        # this pins the behaviour the oracle's random blending exists for.
+        from repro.linalg.norms import spectral_norm_power
+
+        psi = np.diag([10.0, 20.0, 1.0, 1.0])
+        stale = np.array([1.0, 0.0, 0.0, 0.0])
+        assert spectral_norm_power(psi, v0=stale) == pytest.approx(10.0)
+        assert spectral_norm_power(psi, rng=0) == pytest.approx(20.0)
+
+    def test_oracle_recovers_after_dominant_direction_rotates(self):
+        # Two orthogonal rank-1 constraints; shifting all the weight from
+        # one to the other rotates Psi's dominant eigenvector by 90
+        # degrees.  A pure warm start would estimate ||Psi|| = 0 on the
+        # second call (Psi e1 = 0) and pick a uselessly low Taylor degree;
+        # the blended restart must keep the values near the fresh-oracle
+        # reference.
+        m = 6
+        factors = [
+            np.sqrt(8.0) * np.eye(m)[:, :1],
+            np.sqrt(16.0) * np.eye(m)[:, 1:2],
+        ]
+        coll = ConstraintCollection([FactorizedPSDOperator(f) for f in factors])
+        oracle = FastDotExpOracle(coll, eps=0.05, rng=1)
+        oracle(np.zeros((m, m)), np.array([1.0, 0.0]))  # locks warm vector ~ e1
+        second = oracle(np.zeros((m, m)), np.array([0.0, 1.0]))
+
+        fresh_coll = ConstraintCollection([FactorizedPSDOperator(f) for f in factors])
+        fresh = FastDotExpOracle(fresh_coll, eps=0.05, rng=2)(
+            np.zeros((m, m)), np.array([0.0, 1.0])
+        )
+        np.testing.assert_allclose(second.values, fresh.values, rtol=0.2)
+        assert second.trace == pytest.approx(fresh.trace, rel=0.2)

@@ -276,3 +276,200 @@ class TestPackedOracle:
         exact_trace = float(np.trace(expm_eigh(phi)))
         assert trace == pytest.approx(exact_trace, rel=0.06)
         assert trace <= exact_trace + 1e-8
+
+
+class TestZeroRankStacks:
+    """Offset bookkeeping for rank-zero blocks and fully empty stacks.
+
+    These paths were previously only exercised implicitly; every primitive
+    must degrade to exact zeros / identity behaviour, dense and sparse.
+    """
+
+    def _empty(self, sparse):
+        blocks = (
+            [sp.csr_matrix((4, 0)), sp.csr_matrix((4, 0))]
+            if sparse
+            else [np.zeros((4, 0)), np.zeros((4, 0))]
+        )
+        return PackedGramFactors(blocks)
+
+    @pytest.mark.parametrize("sparse", [False, True])
+    def test_empty_stack_primitives(self, sparse):
+        packed = self._empty(sparse)
+        assert packed.total_rank == 0
+        assert packed.nnz == 0
+        assert packed.expand_weights(np.zeros(2)).shape == (0,)
+        np.testing.assert_array_equal(packed.traces(), np.zeros(2))
+        np.testing.assert_array_equal(packed.dots(np.eye(4)), np.zeros(2))
+        np.testing.assert_array_equal(
+            packed.weighted_sum(np.ones(2)), np.zeros((4, 4))
+        )
+        np.testing.assert_array_equal(
+            packed.matvec(np.ones(2), np.ones((4, 3))), np.zeros((4, 3))
+        )
+        np.testing.assert_array_equal(
+            packed.matvec_fn(np.ones(2))(np.ones(4)), np.zeros(4)
+        )
+        np.testing.assert_array_equal(
+            packed.estimates_from_transform(np.ones((3, 4))), np.zeros(2)
+        )
+        assert packed.dense_columns().shape == (4, 0)
+        assert packed.psi_nnz_bound() == 0
+        assert packed.gram_matrix().shape == (0, 0)
+
+    @pytest.mark.parametrize("sparse", [False, True])
+    def test_empty_stack_taylor_kernel_is_identity(self, sparse):
+        packed = self._empty(sparse)
+        block = np.random.default_rng(70).standard_normal((4, 3))
+        np.testing.assert_array_equal(
+            packed.taylor_kernel(np.ones(2)).apply(block, 7), block
+        )
+
+    def test_sparse_mixed_zero_rank_blocks(self):
+        rng = np.random.default_rng(71)
+        blocks = [
+            sp.random(30, 3, density=0.1, random_state=rng, format="csr"),
+            sp.csr_matrix((30, 0)),
+            sp.random(30, 2, density=0.1, random_state=rng, format="csr"),
+        ]
+        packed = PackedGramFactors(blocks)
+        assert packed.is_sparse
+        assert list(packed.ranks) == [3, 0, 2]
+        traces = packed.traces()
+        assert traces[1] == 0.0
+        dense = PackedGramFactors([b.toarray() for b in blocks])
+        np.testing.assert_allclose(traces, dense.traces(), atol=1e-12)
+        np.testing.assert_allclose(
+            packed.dots(np.eye(30)), dense.dots(np.eye(30)), atol=1e-12
+        )
+        assert packed.factor(1).shape == (30, 0)
+
+    def test_segment_sums_accepts_array_likes(self):
+        np.testing.assert_allclose(
+            segment_sums(np.array([1.0, 2.0, 3.0]), [0, 2, 2, 3]), [3.0, 0.0, 3.0]
+        )
+        np.testing.assert_allclose(segment_sums([1.0, 2.0], [0, 2]), [3.0])
+
+    def test_segment_sums_rejects_matrix_offsets(self):
+        with pytest.raises(InvalidProblemError):
+            segment_sums(np.ones(4), np.zeros((2, 2)))
+
+    def test_segment_sums_trailing_empty_segment(self):
+        np.testing.assert_allclose(
+            segment_sums(np.array([1.0, 2.0, 3.0]), np.array([0, 3, 3])), [6.0, 0.0]
+        )
+
+    def test_segment_sums_degenerate_offsets(self):
+        assert segment_sums(np.zeros(0), np.array([0])).shape == (0,)
+        assert segment_sums(np.zeros(0), np.zeros(0, dtype=np.int64)).shape == (0,)
+
+
+class TestSparseCSRBranches:
+    """The CSR code paths of the packed primitives, on stacks that stay
+    sparse (density below the densification threshold)."""
+
+    def _sparse_packed(self, m=60, n=6, rank=3, density=0.05, seed=80):
+        rng = np.random.default_rng(seed)
+        blocks = []
+        for _ in range(n):
+            f = sp.random(m, rank, density=density, random_state=rng, format="csr")
+            if f.nnz == 0:
+                f = sp.csr_matrix(
+                    (np.ones(rank), (rng.integers(0, m, rank), np.arange(rank))),
+                    shape=(m, rank),
+                )
+            blocks.append(f)
+        packed = PackedGramFactors(blocks)
+        assert packed.is_sparse  # the whole point of this fixture
+        dense = PackedGramFactors([b.toarray() for b in blocks])
+        return packed, dense
+
+    def test_matvec_fn_matches_dense(self, rng):
+        packed, dense = self._sparse_packed()
+        weights = rng.random(6)
+        block = rng.standard_normal((60, 4))
+        np.testing.assert_allclose(
+            packed.matvec_fn(weights)(block),
+            dense.matvec_fn(weights)(block),
+            atol=1e-12,
+        )
+        vec = rng.standard_normal(60)
+        np.testing.assert_allclose(
+            np.asarray(packed.matvec_fn(weights)(vec)).ravel(),
+            dense.matvec_fn(weights)(vec),
+            atol=1e-12,
+        )
+
+    def test_dots_matches_dense(self, rng):
+        packed, dense = self._sparse_packed()
+        weight_matrix = random_psd(60, rng=rng)
+        np.testing.assert_allclose(
+            packed.dots(weight_matrix), dense.dots(weight_matrix), atol=1e-10
+        )
+
+    def test_estimates_from_transform_matches_dense(self, rng):
+        packed, dense = self._sparse_packed()
+        transform = rng.standard_normal((7, 60))
+        np.testing.assert_allclose(
+            packed.estimates_from_transform(transform),
+            dense.estimates_from_transform(transform),
+            atol=1e-10,
+        )
+
+    def test_weighted_sum_active_subset_matches_dense(self, rng):
+        packed, dense = self._sparse_packed()
+        weights = np.zeros(6)
+        weights[2] = 0.8
+        weights[5] = 0.1
+        np.testing.assert_allclose(
+            packed.weighted_sum(weights), dense.weighted_sum(weights), atol=1e-12
+        )
+
+    def test_column_nnz_and_psi_bound(self):
+        packed, dense = self._sparse_packed()
+        col_nnz = packed.column_nnz()
+        assert col_nnz.shape == (packed.total_rank,)
+        assert int(col_nnz.sum()) == packed.nnz
+        acc = packed.psi_accumulator()
+        assert acc.psi_nnz <= packed.psi_nnz_bound()
+        # Dense stacks count explicit nonzeros instead of stored entries.
+        assert dense.column_nnz().sum() == packed.nnz
+
+    def test_sparse_taylor_kernel_modes_agree(self, rng):
+        packed, dense = self._sparse_packed()
+        weights = rng.random(6)
+        block = rng.standard_normal((60, 5))
+        reference = packed.taylor_kernel(weights, mode="legacy").apply(block, 12)
+        for mode in ("sparse-psi", "sparse-factors", "dense-psi", "gram"):
+            np.testing.assert_allclose(
+                packed.taylor_kernel(weights, mode=mode).apply(block, 12),
+                reference,
+                atol=1e-9,
+                err_msg=mode,
+            )
+
+    def test_auto_mode_boundaries(self):
+        from repro.linalg.taylor_gram import select_taylor_mode
+
+        # 2R == m stays in Gram space; one more column densifies.
+        m = 40
+        even = PackedGramFactors(
+            [np.random.default_rng(81).standard_normal((m, 2)) for _ in range(10)]
+        )
+        assert 2 * even.total_rank == m
+        assert even.auto_taylor_mode() == "gram"
+        odd = PackedGramFactors(
+            [np.random.default_rng(82).standard_normal((m, 3)) for _ in range(7)]
+        )
+        assert 2 * odd.total_rank == m + 2
+        assert odd.auto_taylor_mode() == "dense-psi"
+        # The sparse decision at the densification threshold matches the
+        # pure policy function on the stack's measured quantities.
+        packed, _ = self._sparse_packed()
+        assert packed.auto_taylor_mode() == select_taylor_mode(
+            packed.dim,
+            packed.total_rank,
+            packed.nnz,
+            True,
+            psi_nnz=packed.psi_nnz_bound(),
+        )

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Lightweight documentation gate for CI.
 
-Three checks, any failure exits non-zero:
+Four checks, any failure exits non-zero:
 
 1. **README snippets run.**  Every fenced ``python`` code block in
    ``README.md`` is executed (in order, each in a fresh namespace), so the
@@ -12,6 +12,10 @@ Three checks, any failure exits non-zero:
    have a module docstring, and every public function/class/method defined
    in it must have a non-empty docstring (a pydocstyle-style D1xx subset,
    without the external dependency).
+4. **Scripts are documented.**  Every ``benchmarks/*.py`` and
+   ``tools/*.py`` script must carry a module docstring and docstrings on
+   its public top-level functions and classes — checked via ``ast`` so the
+   gate never executes (or even imports) the scripts.
 
 Run from the repository root::
 
@@ -20,6 +24,7 @@ Run from the repository root::
 
 from __future__ import annotations
 
+import ast
 import doctest
 import importlib
 import inspect
@@ -35,6 +40,7 @@ sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 
 
 def iter_repro_modules():
+    """Yield (name, module) for the repro package and every submodule."""
     import repro
 
     yield "repro", repro
@@ -43,6 +49,7 @@ def iter_repro_modules():
 
 
 def check_readme_snippets() -> list[str]:
+    """Execute every fenced python block in README.md, collecting failures."""
     failures = []
     readme = os.path.join(REPO_ROOT, "README.md")
     with open(readme, encoding="utf-8") as handle:
@@ -65,6 +72,7 @@ def check_readme_snippets() -> list[str]:
 
 
 def check_doctests() -> list[str]:
+    """Run doctest over every repro module, collecting failures."""
     failures = []
     for name, module in iter_repro_modules():
         try:
@@ -109,17 +117,69 @@ def _missing_docstrings(name: str, module) -> list[str]:
 
 
 def check_docstrings() -> list[str]:
+    """Docstring lint over the repro package's public API."""
     failures = []
     for name, module in iter_repro_modules():
         failures.extend(_missing_docstrings(name, module))
     return failures
 
 
+SCRIPT_DIRS = ("benchmarks", "tools")
+
+
+def _script_missing_docstrings(path: str) -> list[str]:
+    rel = os.path.relpath(path, REPO_ROOT)
+    with open(path, encoding="utf-8") as handle:
+        try:
+            tree = ast.parse(handle.read(), filename=rel)
+        except SyntaxError as exc:
+            return [f"{rel}: failed to parse ({exc})"]
+    missing = []
+    if not (ast.get_docstring(tree) or "").strip():
+        missing.append(f"{rel}: missing module docstring")
+    for node in tree.body:
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        if node.name.startswith("_"):
+            continue
+        if not (ast.get_docstring(node) or "").strip():
+            missing.append(f"{rel}:{node.lineno}: {node.name}: missing docstring")
+        if isinstance(node, ast.ClassDef):
+            for member in node.body:
+                if not isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if member.name.startswith("_"):
+                    continue
+                if not (ast.get_docstring(member) or "").strip():
+                    missing.append(
+                        f"{rel}:{member.lineno}: {node.name}.{member.name}: "
+                        "missing docstring"
+                    )
+    return missing
+
+
+def check_script_docstrings() -> list[str]:
+    """Docstring lint over the benchmark/tool scripts (AST-only, no import)."""
+    failures = []
+    for dirname in SCRIPT_DIRS:
+        root = os.path.join(REPO_ROOT, dirname)
+        if not os.path.isdir(root):
+            continue
+        for entry in sorted(os.listdir(root)):
+            if entry.endswith(".py"):
+                failures.extend(
+                    _script_missing_docstrings(os.path.join(root, entry))
+                )
+    return failures
+
+
 def main() -> int:
+    """Run every documentation check and return the process exit code."""
     sections = (
         ("README snippets", check_readme_snippets),
         ("doctests", check_doctests),
         ("docstring coverage", check_docstrings),
+        ("script docstring coverage", check_script_docstrings),
     )
     any_failed = False
     for title, check in sections:
