@@ -25,6 +25,12 @@ from repro.core.dotexp import (
     big_dot_exp,
     make_oracle,
 )
+from repro.core.psi_state import (
+    DensePsiState,
+    ImplicitPsiState,
+    PsiState,
+    make_psi_state,
+)
 from repro.core.certificates import (
     DualCertificate,
     PrimalCertificate,
@@ -54,6 +60,10 @@ __all__ = [
     "OracleOutput",
     "big_dot_exp",
     "make_oracle",
+    "PsiState",
+    "DensePsiState",
+    "ImplicitPsiState",
+    "make_psi_state",
     "DualCertificate",
     "PrimalCertificate",
     "verify_dual",

@@ -32,6 +32,23 @@ certifies):
   the current iterate already yields a primal or dual certificate
   (``certificate_check_every`` iterations) and exits early when it does.
   Experiment E9 quantifies how much this helps in practice.
+
+Matrix-free iteration core
+--------------------------
+The solver's ``Psi`` lives behind a :class:`~repro.core.psi_state.PsiState`.
+With the exact oracle (or any oracle that consumes the dense matrix) the
+dense state reproduces the seed semantics bit-for-bit.  With the fast
+oracle on exact-factor collections the *implicit* state is selected
+automatically (``DecisionOptions.psi_state = "auto"``): the loop then
+never materialises ``Psi`` — weight updates are ``O(n)`` vector updates,
+history records and certificate checks estimate ``lambda_max`` by Lanczos
+through the factored matvec at ``O((mR + nnz) * sweeps)`` with a
+warm-started vector carried across iterations, primal tracking accumulates
+the oracle's *dots vector* (the segment-summed ``||Pi exp(Psi/2) Q_i||_F^2``
+estimates of ``constraints.dots(P(t))``) instead of ``(m, m)`` densities,
+and ``primal_y`` is densified at most once, on demand, when a caller
+actually reads it off the result.  ``benchmarks/bench_e14_matrixfree.py``
+measures the end-to-end effect on large-``m`` low-rank/sparse instances.
 """
 
 from __future__ import annotations
@@ -47,13 +64,13 @@ from repro.config import get_config
 from repro.exceptions import InvalidProblemError, SolverError
 from repro.instrumentation.history import ConvergenceHistory, IterationRecord
 from repro.linalg.expm import expm_normalized
-from repro.linalg.norms import top_eigenvalue
 from repro.operators.collection import ConstraintCollection
 from repro.utils.random_utils import spawn_generators
 from repro.parallel.backends import ExecutionBackend, SerialBackend
 from repro.parallel.workdepth import WorkDepthTracker
 from repro.core.dotexp import DotExpOracle, make_oracle, oracle_engine_metadata
 from repro.core.problem import NormalizedPackingSDP
+from repro.core.psi_state import make_psi_state
 from repro.core.result import DecisionOutcome, DecisionResult
 from repro.utils.random_utils import RandomState
 
@@ -89,10 +106,26 @@ class DecisionOptions:
         needed for the primal return value.  ``None`` means "automatic":
         on for the exact oracle, off for the fast oracle (where the
         average would require an extra eigendecomposition per iteration).
+        On the matrix-free path the average is tracked through the dots
+        vector (the oracle's per-iteration trace-product estimates), never
+        through ``(m, m)`` matrices; those estimates are *sketched*, so
+        the implicit state reports them but never uses them for the early
+        primal-certificate exit (a verified certificate needs the exact
+        trace products the dense state computes) — a dense-state run with
+        ``track_primal_average=True`` may therefore stop at a primal
+        check the implicit state deliberately skips.
     backend:
         Execution backend for the batched per-constraint operations.
     rng:
         Randomness source (used only by the fast oracle's sketches).
+    psi_state:
+        Representation of the solver's weight matrix
+        (:mod:`repro.core.psi_state`): ``"auto"`` (default) picks the
+        matrix-free implicit state when the oracle declares
+        ``needs_dense_psi = False``, carries a packed factor view, and the
+        collection's factors are exact, falling back to the dense seed
+        semantics otherwise; ``"dense"``/``"implicit"`` force one (the
+        latter raises on inexact-factor collections).
     """
 
     epsilon: float = 0.2
@@ -105,6 +138,7 @@ class DecisionOptions:
     track_primal_average: bool | None = None
     backend: ExecutionBackend | None = None
     rng: RandomState = None
+    psi_state: str = "auto"
     metadata: dict[str, Any] = field(default_factory=dict)
 
 
@@ -248,27 +282,37 @@ def decision_psdp(
     log_depth = math.log2(max(n, 2)) + math.log2(max(m, 2))
 
     # Top-eigenvalue estimation (certificate checks, history, final dual
-    # rescaling): Lanczos at O(m^2) per sweep instead of the O(m^3)
-    # eigendecomposition; tiny matrices fall back to exact eigvalsh inside
-    # top_eigenvalue.  The work charge reflects the cheaper routine.  The
-    # generator is spawned, not shared: consuming the oracle's stream here
-    # would make sketch draws depend on history/certificate cadence.
+    # rescaling) lives on the PsiState: dense Lanczos on the maintained
+    # matrix for the dense state, warm-started Lanczos through the factored
+    # matvec for the implicit one.  The eigenvalue work charged below is
+    # the *measured* sweep count returned by top_eigenvalue, not an
+    # a-priori m^2 * maxiter constant.  The generator is spawned, not
+    # shared: consuming the oracle's stream here would make sketch draws
+    # depend on history/certificate cadence.
     eig_rng = spawn_generators(opts.rng, 1)[0]
-    eig_cost = float(m * m * min(m, cfg.power_iteration_maxiter))
-
-    def psi_lambda_max(matrix: np.ndarray) -> float:
-        if m == 0:
-            return 0.0
-        return top_eigenvalue(matrix, rng=eig_rng)
 
     # --- initialisation (Claim 3.3): x_i(0) = 1 / (n Tr[A_i]) ------------------
-    x = 1.0 / (n * traces)
-    psi = constraints.weighted_sum(x)
-    tracker.charge(constraints.total_nnz, log_depth, label="init-psi")
+    state = make_psi_state(
+        constraints,
+        1.0 / (n * traces),
+        oracle=oracle,
+        eig_rng=eig_rng,
+        mode=opts.psi_state,
+    )
+    implicit = state.mode == "implicit"
+    x = state.x
+    tracker.charge(state.init_work, log_depth, label="init-psi")
 
-    primal_sum = np.zeros((m, m), dtype=np.float64)
+    primal_sum = None if implicit else np.zeros((m, m), dtype=np.float64)
     primal_rounds = 0
     last_density: np.ndarray | None = None
+    # Matrix-free primal tracking: the oracle's values vector *is* the
+    # Theorem 4.1 estimate of the dots vector constraints.dots(P(t)) —
+    # segment-summed || Pi exp(Psi/2) Q_i ||_F^2 over the factor stack —
+    # so the running density average is tracked through its trace products
+    # and an (m, m) density matrix is never formed during the run.
+    dots_sum = np.zeros(n, dtype=np.float64) if implicit else None
+    last_values: np.ndarray | None = None
 
     def current_primal() -> np.ndarray | None:
         if primal_rounds > 0:
@@ -280,27 +324,40 @@ def decision_psdp(
         iterations: int,
         early: bool,
         dual_candidate: np.ndarray,
+        primal_final: bool = False,
     ) -> DecisionResult:
         # Always report a *feasible* dual candidate by rescaling with the
         # measured lambda_max: if lambda_max(sum_i x_i A_i) = lam > 0 then
         # x / lam is feasible with value ||x||_1 / lam.  Lemma 3.2 bounds lam
         # by (1 + 10 eps) K, so this is never worse than the paper's scaling,
         # and scaling *up* when lam < 1 only strengthens the certificate.
-        psi_now = constraints.weighted_sum(dual_candidate)
-        lam = psi_lambda_max(psi_now)
-        tracker.charge(eig_cost, log_depth, label="dual-rescale")
+        lam, eig_work = state.lambda_max(final=True)
+        tracker.charge(eig_work, log_depth, label="dual-rescale")
         scale = lam if lam > 0 else 1.0
         dual_x = dual_candidate / scale
         dual_value = float(dual_x.sum())
         dual_lam = lam / scale
 
-        primal_y = current_primal()
-        if primal_y is not None:
-            min_dot = float(constraints.dots(primal_y).min(initial=np.inf))
+        if implicit:
+            # No (m, m) matrix exists; primal_y is attached as a deferred
+            # build below when this outcome carries a primal certificate.
+            primal_y = None
+            if primal_final and last_values is not None:
+                # The certificate is the *current* iterate's density; its
+                # trace products are the oracle's last estimates.
+                min_dot = float(last_values.min(initial=np.inf))
+            elif primal_rounds > 0:
+                min_dot = float((dots_sum / primal_rounds).min(initial=np.inf))
+            else:
+                min_dot = float("nan")
         else:
-            min_dot = float("nan")
+            primal_y = current_primal()
+            if primal_y is not None:
+                min_dot = float(constraints.dots(primal_y).min(initial=np.inf))
+            else:
+                min_dot = float("nan")
 
-        return DecisionResult(
+        result = DecisionResult(
             outcome=outcome,
             dual_x=dual_x,
             primal_y=primal_y,
@@ -320,23 +377,44 @@ def decision_psdp(
                 "R": params.R,
                 "oracle": oracle_kind,
                 "strict": opts.strict,
+                # Matrix-free discipline counters (snapshot at result build:
+                # a deferred primal build afterwards is *meant* to densify).
+                "psi_state": state.stats(),
                 # Rank-adaptive Taylor-engine counters (fast oracle only).
                 **oracle_engine_metadata(oracle),
                 **opts.metadata,
             },
         )
+        if implicit and primal_final:
+            def build_primal() -> np.ndarray:
+                # The one deferred densification + eigendecomposition of the
+                # matrix-free path, run only when primal_y is actually read;
+                # the exact trace products replace the sketched estimate.
+                y = expm_normalized(state.densify())
+                result.primal_min_dot = float(
+                    constraints.dots(y).min(initial=np.inf)
+                )
+                return y
+
+            result.primal_builder = build_primal
+        return result
 
     # --- main loop (Algorithm 3.1) --------------------------------------------
     t = 0
     while float(x.sum()) <= params.K and t < max_iterations:
         t += 1
 
-        output = oracle(psi, x)
+        output = oracle(state.oracle_psi(), x)
         values = np.asarray(output.values, dtype=np.float64)
         tracker.charge(output.work, log_depth, label="oracle")
 
-        if track_primal:
-            last_density = expm_normalized(psi)
+        if implicit:
+            last_values = values
+            if track_primal:
+                dots_sum += values
+                primal_rounds += 1
+        elif track_primal:
+            last_density = expm_normalized(state.densify())
             primal_sum += last_density
             primal_rounds += 1
 
@@ -346,6 +424,7 @@ def decision_psdp(
         tracker.charge(float(n), math.log2(max(n, 2)), label="select")
 
         if history is not None:
+            lam_hist, _ = state.lambda_max()
             history.append(
                 IterationRecord(
                     iteration=t,
@@ -353,7 +432,7 @@ def decision_psdp(
                     updated=updated,
                     min_value=float(values.min(initial=np.inf)),
                     max_value=float(values.max(initial=-np.inf)),
-                    psi_lambda_max=psi_lambda_max(psi),
+                    psi_lambda_max=lam_hist,
                     oracle_work=output.work,
                 )
             )
@@ -361,37 +440,33 @@ def decision_psdp(
         if updated == 0:
             # Every constraint already has A_i . P > 1 + eps: the density
             # matrix itself is a primal certificate (Tr P = 1).
-            density = last_density if last_density is not None else expm_normalized(psi)
+            if implicit:
+                return build_result(
+                    DecisionOutcome.PRIMAL, t, early=True, dual_candidate=x,
+                    primal_final=True,
+                )
+            density = last_density if last_density is not None else expm_normalized(state.densify())
             primal_sum = density.copy()
             primal_rounds = 1
             last_density = density
             return build_result(DecisionOutcome.PRIMAL, t, early=True, dual_candidate=x)
 
-        # Line 6: multiply the selected coordinates by (1 + alpha).
+        # Line 6: multiply the selected coordinates by (1 + alpha).  The
+        # dense state also maintains psi + weighted_sum(delta) (a single
+        # GEMM over the active packed columns); the implicit state touches
+        # only the weight vector.
         delta = np.where(mask, params.alpha * x, 0.0)
-        x = x + delta
-        # weighted_sum routes through the packed Gram-factor view when the
-        # fast oracle built one (and the factors are exact): a single GEMM
-        # over the active columns only.
-        psi = psi + constraints.weighted_sum(delta)
-        packed_view = constraints.packed_fast_path
-        if packed_view is not None and packed_view.total_rank > 0:
-            # Charge only the touched share of the factor nonzeros.
-            active_cols = int(packed_view.ranks[mask].sum())
-            update_work = (
-                constraints.total_nnz * active_cols / packed_view.total_rank + n
-            )
-        else:
-            update_work = constraints.total_nnz + n
+        update_work = state.add_delta(delta, mask)
+        x = state.x
         tracker.charge(update_work, log_depth, label="update")
 
         # Early certificate checks (non-strict mode only).
         if check_every and t % check_every == 0:
-            lam = psi_lambda_max(psi)
-            tracker.charge(eig_cost, log_depth, label="certificate-check")
+            lam, eig_work = state.lambda_max()
+            tracker.charge(eig_work, log_depth, label="certificate-check")
             if lam > 0 and float(x.sum()) / lam >= 1.0 - eps:
                 return build_result(DecisionOutcome.DUAL, t, early=True, dual_candidate=x)
-            primal_candidate = current_primal()
+            primal_candidate = None if implicit else current_primal()
             if primal_candidate is not None:
                 min_dot = float(constraints.dots(primal_candidate).min(initial=np.inf))
                 if min_dot >= 1.0:
@@ -405,9 +480,15 @@ def decision_psdp(
         return build_result(DecisionOutcome.DUAL, t, early=False, dual_candidate=x)
 
     if t >= max_iterations:
-        # Line 9-10: the averaged density matrices form the primal solution.
+        # Line 9-10: the averaged density matrices form the primal solution
+        # (final iterate's density on the matrix-free path, built lazily).
+        if implicit:
+            return build_result(
+                DecisionOutcome.PRIMAL, t, early=False, dual_candidate=x,
+                primal_final=True,
+            )
         if primal_rounds == 0 and last_density is None:
-            last_density = expm_normalized(psi)
+            last_density = expm_normalized(state.densify())
         return build_result(DecisionOutcome.PRIMAL, t, early=False, dual_candidate=x)
 
     raise SolverError("decision solver exited its loop without a certificate")  # pragma: no cover

@@ -20,26 +20,36 @@ The variant performs (many) fewer matrix exponentials per unit of ℓ1
 progress at the cost of using slightly stale penalties; every returned
 certificate is still verified exactly like the phase-less solver's, so the
 comparison in E9 is about iteration/oracle counts, not correctness.
+
+Like the phase-less solver, the iteration core is matrix-free on the
+fast-oracle path: ``Psi`` lives behind a
+:class:`~repro.core.psi_state.PsiState`, and with the implicit state the
+phase boundaries estimate the density's trace products from the oracle's
+engine-applied factor stack (the values vector) and ``lambda_max`` by
+warm-started Lanczos through the factored matvec — the per-phase
+``O(m^3)`` ``expm_normalized`` of the dense path disappears, and
+``primal_y`` is densified at most once, on demand, when read off the
+result.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from typing import Any
 
 import numpy as np
 
-from repro.config import get_config
 from repro.exceptions import InvalidProblemError
 from repro.instrumentation.history import ConvergenceHistory, IterationRecord
 from repro.linalg.expm import expm_normalized
-from repro.linalg.norms import top_eigenvalue
 from repro.operators.collection import ConstraintCollection
 from repro.parallel.backends import SerialBackend
 from repro.parallel.workdepth import WorkDepthTracker
 from repro.core.decision import DecisionOptions, DecisionParameters, _resolve_constraints
 from repro.core.dotexp import make_oracle, oracle_engine_metadata
 from repro.core.problem import NormalizedPackingSDP
+from repro.core.psi_state import make_psi_state
 from repro.core.result import DecisionOutcome, DecisionResult
 from repro.utils.random_utils import spawn_generators
 
@@ -70,7 +80,9 @@ def decision_psdp_phased(
             raise TypeError(f"unknown decision options: {sorted(unknown)}")
         opts = DecisionOptions(**{**opts.__dict__, **overrides})
     if epsilon is not None:
-        opts.epsilon = float(epsilon)
+        # Copy before overriding: the caller's options object must not be
+        # silently mutated across calls (mirrors decision_psdp).
+        opts = dataclasses.replace(opts, epsilon=float(epsilon))
 
     constraints = _resolve_constraints(problem)
     eps = float(opts.epsilon)
@@ -91,35 +103,49 @@ def decision_psdp_phased(
     else:
         tracker = backend.tracker
 
-    oracle = make_oracle(
-        constraints,
-        kind=opts.oracle if isinstance(opts.oracle, str) else "exact",
-        eps=opts.oracle_eps if opts.oracle_eps is not None else eps / 4.0,
-        kappa_bound=None,
-        rng=opts.rng,
-        backend=backend,
-    )
+    if isinstance(opts.oracle, str):
+        oracle = make_oracle(
+            constraints,
+            kind=opts.oracle,
+            eps=opts.oracle_eps if opts.oracle_eps is not None else eps / 4.0,
+            kappa_bound=None,
+            rng=opts.rng,
+            backend=backend,
+        )
+    else:
+        # An already-constructed oracle object (the phase-less solver has
+        # always honoured these; the phased variant used to silently fall
+        # back to a fresh exact oracle).
+        oracle = opts.oracle
 
     history = ConvergenceHistory() if opts.collect_history else None
     log_depth = math.log2(max(n, 2)) + math.log2(max(m, 2))
     max_iterations = opts.max_iterations if opts.max_iterations is not None else params.R
 
-    # Same cheap top-eigenvalue strategy as the phase-less solver: Lanczos
-    # above the dense cutoff, spawned (not shared) generator so eigenvalue
-    # draws never perturb the oracle's sketch stream.
-    cfg = get_config()
+    # Same matrix-free strategy as the phase-less solver: the PsiState owns
+    # the representation and the measured-cost eigenvalue estimation, with
+    # a spawned (not shared) generator so eigenvalue draws never perturb
+    # the oracle's sketch stream.
     eig_rng = spawn_generators(opts.rng, 1)[0]
-    eig_cost = float(m * m * min(m, cfg.power_iteration_maxiter))
+    state = make_psi_state(
+        constraints,
+        1.0 / (n * traces),
+        oracle=oracle,
+        eig_rng=eig_rng,
+        mode=opts.psi_state,
+    )
+    implicit = state.mode == "implicit"
+    x = state.x
+    tracker.charge(state.init_work, log_depth, label="init-psi")
 
-    def psi_lambda_max(matrix: np.ndarray) -> float:
-        if m == 0:
-            return 0.0
-        return top_eigenvalue(matrix, rng=eig_rng)
-
-    x = 1.0 / (n * traces)
-    psi = constraints.weighted_sum(x)
-    primal_sum = np.zeros((m, m), dtype=np.float64)
+    primal_sum = None if implicit else np.zeros((m, m), dtype=np.float64)
     primal_rounds = 0
+    # Matrix-free primal tracking: on the implicit path the candidate is
+    # the *final* iterate's density (built lazily), so the last oracle
+    # values — the engine-applied factor-stack estimates of that density's
+    # trace products — are carried as its dots vector and no (m, m)
+    # density is formed at phase boundaries.
+    last_values: np.ndarray | None = None
 
     def current_primal() -> np.ndarray | None:
         if primal_rounds > 0:
@@ -127,16 +153,27 @@ def decision_psdp_phased(
         return None
 
     def build_result(outcome: DecisionOutcome, iterations: int, phases: int, early: bool) -> DecisionResult:
-        psi_now = constraints.weighted_sum(x)
-        lam = psi_lambda_max(psi_now)
-        tracker.charge(eig_cost, log_depth, label="dual-rescale")
+        lam, eig_work = state.lambda_max(final=True)
+        tracker.charge(eig_work, log_depth, label="dual-rescale")
         scale = lam if lam > 0 else 1.0
         dual_x = x / scale
-        primal_y = current_primal()
-        if primal_y is None:
-            primal_y = expm_normalized(psi_now)
-        min_dot = float(constraints.dots(primal_y).min(initial=np.inf))
-        return DecisionResult(
+        if implicit:
+            # min_dot describes the same object primal_y's deferred build
+            # returns — the final iterate's density — so it is estimated
+            # from the last oracle values (and replaced by the exact trace
+            # products of that very matrix when primal_y is read), never
+            # from the phase average the implicit path does not keep.
+            primal_y = None
+            if last_values is not None:
+                min_dot = float(last_values.min(initial=np.inf))
+            else:
+                min_dot = float("nan")
+        else:
+            primal_y = current_primal()
+            if primal_y is None:
+                primal_y = expm_normalized(state.densify())
+            min_dot = float(constraints.dots(primal_y).min(initial=np.inf))
+        result = DecisionResult(
             outcome=outcome,
             dual_x=dual_x,
             primal_y=primal_y,
@@ -157,26 +194,49 @@ def decision_psdp_phased(
                 "phases": phases,
                 "phase_growth": growth,
                 "variant": "phased",
+                # Matrix-free discipline counters (snapshot at result build).
+                "psi_state": state.stats(),
                 # Rank-adaptive Taylor-engine counters (fast oracle only).
                 **oracle_engine_metadata(oracle),
                 **opts.metadata,
             },
         )
+        if implicit:
+            # The phased solver always reports a primal candidate; on the
+            # matrix-free path it is the final iterate's density, built at
+            # most once, on demand, when primal_y is actually read.
+            def build_primal() -> np.ndarray:
+                y = expm_normalized(state.densify())
+                result.primal_min_dot = float(
+                    constraints.dots(y).min(initial=np.inf)
+                )
+                return y
+
+            result.primal_builder = build_primal
+        return result
 
     t = 0
     phases = 0
     while float(x.sum()) <= params.K and t < max_iterations:
         phases += 1
-        output = oracle(psi, x)
+        output = oracle(state.oracle_psi(), x)
         values = np.asarray(output.values, dtype=np.float64)
         tracker.charge(output.work, log_depth, label="oracle")
 
-        density = expm_normalized(psi)
-        primal_sum += density
-        primal_rounds += 1
+        if implicit:
+            last_values = values
+        else:
+            density = expm_normalized(state.densify())
+            primal_sum += density
+            primal_rounds += 1
 
         mask = values <= 1.0 + eps
         if not mask.any():
+            if implicit:
+                # The certificate is the current density; min_dot reports
+                # its oracle estimates until primal_y's deferred build
+                # replaces them with the exact trace products.
+                return build_result(DecisionOutcome.PRIMAL, t, phases, early=True)
             primal_sum = density.copy()
             primal_rounds = 1
             return build_result(DecisionOutcome.PRIMAL, t, phases, early=True)
@@ -191,20 +251,12 @@ def decision_psdp_phased(
         ):
             t += 1
             delta = np.where(mask, params.alpha * x, 0.0)
-            x = x + delta
-            # weighted_sum routes through the packed Gram-factor view when
-            # the fast oracle built one (and the factors are exact); charge
-            # only the touched share of the factor nonzeros, as the
-            # phase-less solver does.
-            psi = psi + constraints.weighted_sum(delta)
-            packed_view = constraints.packed_fast_path
-            if packed_view is not None and packed_view.total_rank > 0:
-                active_cols = int(packed_view.ranks[mask].sum())
-                update_work = (
-                    constraints.total_nnz * active_cols / packed_view.total_rank + n
-                )
-            else:
-                update_work = constraints.total_nnz + n
+            # The dense state also maintains psi + weighted_sum(delta)
+            # (charging only the touched share of the packed factor
+            # columns, as the phase-less solver does); the implicit state
+            # touches only the weight vector.
+            update_work = state.add_delta(delta, mask)
+            x = state.x
             tracker.charge(update_work, log_depth, label="update")
             if history is not None:
                 history.append(
@@ -219,10 +271,12 @@ def decision_psdp_phased(
                 )
 
         # Optional early dual certificate at phase boundaries (mirrors the
-        # phase-less solver's non-strict behaviour).
+        # phase-less solver's non-strict behaviour).  With the implicit
+        # state this runs through the factored matvec — the phase boundary
+        # never materialises Psi or a density matrix.
         if not opts.strict:
-            lam = psi_lambda_max(psi)
-            tracker.charge(eig_cost, log_depth, label="certificate-check")
+            lam, eig_work = state.lambda_max()
+            tracker.charge(eig_work, log_depth, label="certificate-check")
             if lam > 0 and float(x.sum()) / lam >= 1.0 - eps:
                 return build_result(DecisionOutcome.DUAL, t, phases, early=True)
 

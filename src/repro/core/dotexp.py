@@ -53,7 +53,8 @@ through the polynomial).  With ``blocked=True`` (default) the packed
 oracle evaluates the polynomial through a fused block kernel whose
 representation is picked per factor stack by
 :func:`~repro.linalg.taylor_gram.select_taylor_mode`: the ``R x R``
-Gram-space recurrence when ``2R <= m`` (per-term cost ``R^2 s``), a
+Gram-space recurrence when ``2R <= 1.1 m`` (the hysteresis-margined gate;
+per-term cost ``R^2 s``), a
 one-time densification of ``Psi`` (``m^2 s``), a sparse-CSR ``Psi``
 accumulated with a reusable symbolic pattern (``nnz(Psi) s``), or the
 factor recurrence (``2 nnz(Q) s``) — replacing PR 2's single ``2R > m``
@@ -142,17 +143,27 @@ class OracleOutput:
 class DotExpOracle(Protocol):
     """Protocol for per-iteration oracles used by the decision solver.
 
-    The solver supplies both its materialised weight matrix ``psi`` and the
-    dual iterate ``x`` that generated it (``psi = sum_i x_i A_i``).  The
-    exact oracle consumes ``psi`` directly; the fast (Theorem 4.1) oracle
-    rebuilds the same operator from ``x`` through the constraint factors so
-    it never touches a dense ``m x m`` matrix.  The two arguments must
-    therefore describe the same solver state.
+    The solver supplies its weight matrix ``psi`` and the dual iterate
+    ``x`` that generated it (``psi = sum_i x_i A_i``).  The exact oracle
+    consumes ``psi`` directly; the fast (Theorem 4.1) oracle rebuilds the
+    same operator from ``x`` through the constraint factors so it never
+    touches a dense ``m x m`` matrix — it accepts ``psi=None``, and
+    declares that through ``needs_dense_psi = False`` so the solver's
+    matrix-free :class:`~repro.core.psi_state.ImplicitPsiState` can skip
+    maintaining (or ever building) the dense matrix.  Oracles without the
+    attribute are assumed to need ``psi`` (the solver then keeps the dense
+    seed path).  When both arguments are given they must describe the same
+    solver state.
     """
 
     counters: OracleCounters
+    #: Whether the oracle consumes the dense ``psi`` argument.  ``False``
+    #: lets the decision solvers run matrix-free and pass ``psi=None``.
+    needs_dense_psi: bool
 
-    def __call__(self, psi: np.ndarray, x: np.ndarray) -> OracleOutput:  # pragma: no cover
+    def __call__(
+        self, psi: np.ndarray | None, x: np.ndarray
+    ) -> OracleOutput:  # pragma: no cover
         ...
 
 
@@ -391,6 +402,10 @@ class ExactDotExpOracle:
         collection's factors are exact.
     """
 
+    #: The exact oracle eigendecomposes the dense ``psi`` argument, so the
+    #: decision solvers must maintain it (dense ``PsiState``).
+    needs_dense_psi = True
+
     def __init__(
         self,
         constraints: ConstraintCollection,
@@ -407,6 +422,11 @@ class ExactDotExpOracle:
             constraints.packed()
 
     def __call__(self, psi: np.ndarray, x: np.ndarray) -> OracleOutput:
+        if psi is None:
+            raise InvalidProblemError(
+                "the exact oracle needs the dense psi matrix "
+                "(needs_dense_psi = True); only the fast oracle accepts psi=None"
+            )
         self.counters.record_call()
         self.counters.eigendecompositions += 1
         m = self.constraints.dim
@@ -444,6 +464,14 @@ class FastDotExpOracle:
     instead treats the identity as an extra factor (``exp(Psi) . I``).
     Either way the returned values are directly comparable to the exact
     oracle's.
+
+    The oracle rebuilds ``Psi`` from ``x`` through the constraint factors
+    and never reads the ``psi`` argument — ``needs_dense_psi = False``, and
+    calls may pass ``psi=None`` (the decision solvers do exactly that when
+    their matrix-free :class:`~repro.core.psi_state.ImplicitPsiState` is
+    active, so no dense ``sum_i x_i A_i`` is ever assembled for the
+    oracle's sake).  The positional ``psi`` slot is kept for backward
+    compatibility with the :class:`DotExpOracle` protocol.
 
     Parameters
     ----------
@@ -493,6 +521,10 @@ class FastDotExpOracle:
         Optional column-chunk size forwarded to the kernels to bound
         their peak memory on wide sketch blocks (``None`` = unchunked).
     """
+
+    #: The fast oracle reads ``x`` only; the decision solvers may therefore
+    #: run matrix-free and pass ``psi=None``.
+    needs_dense_psi = False
 
     def __init__(
         self,
@@ -566,7 +598,11 @@ class FastDotExpOracle:
 
         return matvec
 
-    def __call__(self, psi: np.ndarray, x: np.ndarray) -> OracleOutput:
+    def __call__(self, psi: np.ndarray | None = None, x: np.ndarray | None = None) -> OracleOutput:
+        if x is None:
+            raise InvalidProblemError(
+                "the fast oracle requires the weight vector x (psi may be None)"
+            )
         m = self.constraints.dim
         weights = np.asarray(x, dtype=np.float64)
         if self._packed is not None and self.blocked:

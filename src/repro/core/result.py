@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable
 
 import numpy as np
 
@@ -41,8 +41,21 @@ class DecisionResult:
         The dual (packing) vector, already rescaled to satisfy
         ``sum_i x_i A_i <= I`` (per Lemma 3.2 / Equation 3.4).
     primal_y:
-        The primal (covering) matrix ``Y``, the running average of the
-        probability matrices ``P(t)`` (trace exactly 1).
+        The primal (covering) matrix ``Y`` (trace exactly 1).  On the
+        exact-oracle (dense ``PsiState``) path this is the running average
+        of the probability matrices ``P(t)``, materialised eagerly as
+        before.  On the matrix-free fast-oracle path the solver never
+        forms a density matrix during the run: reading this attribute
+        triggers the one deferred build (``exp(Psi)/Tr[exp(Psi)]`` of the
+        final iterate via :attr:`primal_builder`) — a solve whose
+        ``primal_y`` is never read performs zero ``O(m^3)``
+        eigendecompositions and zero dense ``Psi`` materialisations.
+        ``None`` when no primal candidate exists (e.g. a fast-path dual
+        outcome).  Note that *any* read resolves the build — including
+        indirect ones such as ``dataclasses.asdict``/``replace`` or
+        ``==`` on the result — and the first read also refreshes
+        :attr:`primal_min_dot` from the oracle's sketched estimate to the
+        exact trace products of the returned matrix.
     dual_value:
         ``||dual_x||_1`` (0 if no dual vector was produced).
     primal_min_dot:
@@ -68,7 +81,7 @@ class DecisionResult:
 
     outcome: DecisionOutcome
     dual_x: np.ndarray | None
-    primal_y: np.ndarray | None
+    primal_y: np.ndarray | None = field(repr=False)
     dual_value: float
     primal_min_dot: float
     dual_lambda_max: float
@@ -80,6 +93,13 @@ class DecisionResult:
     counters: OracleCounters = field(default_factory=OracleCounters)
     work_depth: WorkDepthReport | None = None
     metadata: dict[str, Any] = field(default_factory=dict)
+    #: Deferred builder for :attr:`primal_y` (matrix-free path only): called
+    #: at most once, on first read, then discarded.  The builder may also
+    #: refresh :attr:`primal_min_dot` with the exact trace products of the
+    #: matrix it returns.
+    primal_builder: Callable[[], np.ndarray | None] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def is_dual(self) -> bool:
@@ -90,6 +110,27 @@ class DecisionResult:
     def is_primal(self) -> bool:
         """Whether the certified outcome is the primal (covering) side."""
         return self.outcome is DecisionOutcome.PRIMAL
+
+
+def _primal_y_get(self: "DecisionResult") -> np.ndarray | None:
+    """Resolve :attr:`DecisionResult.primal_y`, running the deferred build once."""
+    value = self.__dict__.get("_primal_y_value")
+    if value is None and self.primal_builder is not None:
+        builder, self.primal_builder = self.primal_builder, None
+        value = builder()
+        self.__dict__["_primal_y_value"] = value
+    return value
+
+
+def _primal_y_set(self: "DecisionResult", value: np.ndarray | None) -> None:
+    """Store an eagerly-built primal matrix (the dense-path assignment)."""
+    self.__dict__["_primal_y_value"] = value
+
+
+# The dataclass-generated __init__ assigns `self.primal_y = ...`; routing the
+# field through a property keeps that assignment working while making *reads*
+# trigger the deferred matrix-free build exactly once.
+DecisionResult.primal_y = property(_primal_y_get, _primal_y_set)  # type: ignore[assignment]
 
 
 @dataclass

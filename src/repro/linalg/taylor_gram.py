@@ -68,6 +68,8 @@ __all__ = [
     "gram_taylor_apply",
     "select_taylor_mode",
     "taylor_mode_cost",
+    "GRAM_HYSTERESIS",
+    "REFINEMENT_MARGIN",
     "SPARSE_GEMM_DISCOUNT",
 ]
 
@@ -78,6 +80,24 @@ __all__ = [
 #: counts by this factor so "fewer flops" only wins when it survives the
 #: throughput gap.
 SPARSE_GEMM_DISCOUNT = 8.0
+
+#: Hysteresis margin on the Gram-space gate: the Gram recurrence is allowed
+#: up to ``2R <= GRAM_HYSTERESIS * m`` instead of the sharp ``2R <= m``.  At
+#: ``2R`` just past ``m`` the per-term cost ``R^2 ~ m^2/4`` still clearly
+#: beats the densified recurrence's ``m^2`` (the two ``m x R`` projections
+#: it adds amortise over the Taylor degree), so near-threshold adversary
+#: stacks — the E13 row PR 3 left at break-even — no longer fall off a
+#: cliff onto the legacy kernel for being a few columns over the boundary.
+#: Past ~1.1m the projection overhead and the Gram build's ``m R^2`` start
+#: eating the margin, so the gate stays conservative.
+GRAM_HYSTERESIS = 1.1
+
+#: Required relative win before `auto_taylor_mode`'s two-stage refinement
+#: builds the exact sparse-``Psi`` pattern: the candidate's optimistic cost
+#: must undercut the current winner by at least this factor.  Refinement
+#: that could at best *match* the already-selected kernel would pay the
+#: pattern build only to flip-flop between equal-cost modes.
+REFINEMENT_MARGIN = 0.9
 
 #: Modes understood by :func:`select_taylor_mode` / :class:`TaylorEngine`.
 _MODES = ("gram", "dense-psi", "sparse-psi", "dense-factors", "sparse-factors")
@@ -151,21 +171,26 @@ def select_taylor_mode(
         ``"sparse-factors"`` — the mode whose :func:`taylor_mode_cost` is
         smallest among the applicable candidates:
 
-        * dense stacks: gram whenever ``2R <= dim`` (``R^2 <= m^2/4``
-          beats both the dense recurrence and the ``2mR`` factor
-          recurrence; the two ``m x R`` projections it adds are one
-          factor-term's worth of work, amortised over the degree), the
-          densified recurrence otherwise — the blocked kernel's legacy
-          rule;
-        * sparse stacks: the argmin over gram (gated on ``2R <= dim``,
-          and costed at the *dense* ``R^2`` rate since ``G`` is
-          materialised dense), densified ``Psi``, sparse ``Psi``, and the
-          sparse factor recurrence — so a very sparse stack never pays a
-          dense ``R x R`` Gram matrix its factor recurrence undercuts.
+        * dense stacks: gram whenever ``2R <= GRAM_HYSTERESIS * dim``
+          (``R^2 <= m^2/4`` at the nominal boundary beats both the dense
+          recurrence and the ``2mR`` factor recurrence; the two ``m x R``
+          projections it adds are one factor-term's worth of work,
+          amortised over the degree — and the ~10% hysteresis keeps
+          near-threshold stacks with ``2R`` just past ``m`` on the Gram
+          path instead of dropping them onto the legacy densified
+          kernel at break-even), the densified recurrence otherwise;
+        * sparse stacks: the argmin over gram (gated on the same
+          hysteresis boundary, and costed at the *dense* ``R^2`` rate
+          since ``G`` is materialised dense), densified ``Psi``, sparse
+          ``Psi``, and the sparse factor recurrence — so a very sparse
+          stack never pays a dense ``R x R`` Gram matrix its factor
+          recurrence undercuts.
 
         Ties break toward the earlier entry in the order above (denser
         representations are preferred at equal cost: their constants are
-        more predictable).
+        more predictable).  The decision depends only on the immutable
+        shape quantities ``(m, R, nnz, nnz(Psi))``, so repeated calls for
+        the same stack can never flip-flop between modes.
     """
     if dim < 0 or total_rank < 0:
         raise InvalidProblemError(
@@ -173,7 +198,7 @@ def select_taylor_mode(
         )
     if total_rank == 0:
         return "gram"
-    gram_ok = 2 * total_rank <= dim
+    gram_ok = 2 * total_rank <= GRAM_HYSTERESIS * dim
     if not is_sparse:
         return "gram" if gram_ok else "dense-psi"
     candidates = (["gram"] if gram_ok else []) + [

@@ -313,12 +313,20 @@ class PackedGramFactors:
         sparse-``Psi`` verdict from it is final), and when the bound rejects
         sparse-``Psi`` but a lower bound on ``nnz(Psi)`` — the largest
         single-column outer product — says the exact pattern could still
-        win (heavily overlapping supports make the upper bound arbitrarily
-        loose), the weight-independent accumulator is built once and the
-        decision repeated with the exact count.
+        *meaningfully* win (heavily overlapping supports make the upper
+        bound arbitrarily loose), the weight-independent accumulator is
+        built once and the decision repeated with the exact count.  The
+        second stage only runs when the optimistic sparse-``Psi`` cost
+        undercuts the current winner by the
+        :data:`~repro.linalg.taylor_gram.REFINEMENT_MARGIN` hysteresis
+        (~10%): paying the pattern build to at best *match* the selected
+        kernel — the near-threshold adversary shape — is a pure loss, and
+        skipping it also pins the selection so it cannot flip-flop between
+        equal-cost modes.
         """
         if self._auto_mode is None:
             from repro.linalg.taylor_gram import (
+                REFINEMENT_MARGIN,
                 SPARSE_GEMM_DISCOUNT,
                 select_taylor_mode,
                 taylor_mode_cost,
@@ -344,7 +352,7 @@ class PackedGramFactors:
                 psi_lower = float(col_nnz.max()) ** 2 if col_nnz.size else 0.0
                 build_cost = float(np.sum(col_nnz.astype(np.float64) ** 2))
                 if (
-                    SPARSE_GEMM_DISCOUNT * psi_lower < winner_cost
+                    SPARSE_GEMM_DISCOUNT * psi_lower < REFINEMENT_MARGIN * winner_cost
                     and build_cost <= 16.0 * self.dim * self.dim
                 ):
                     mode = select_taylor_mode(

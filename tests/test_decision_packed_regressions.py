@@ -370,3 +370,194 @@ class TestTaylorEngineRegressions:
     def test_exact_oracle_has_no_engine_metadata(self, small_collection):
         result = decision_psdp(small_collection, epsilon=0.3, max_iterations=4)
         assert "taylor_engine" not in result.metadata
+
+
+def _counting_expm(monkeypatch, modules):
+    """Replace expm_normalized in the given solver modules with a counter."""
+    from repro.linalg.expm import expm_normalized as real
+
+    counter = {"calls": 0}
+
+    def counting(psi):
+        counter["calls"] += 1
+        return real(psi)
+
+    for module in modules:
+        monkeypatch.setattr(module, "expm_normalized", counting)
+    return counter
+
+
+class TestMatrixFreeRegressions:
+    """The E14 matrix-free core: fixed-seed equivalence against the dense
+    state, the zero-materialisation discipline, and the lazy primal build."""
+
+    def test_dense_and_implicit_states_certify_identical_decisions(self):
+        # m = 96 keeps both states on the Lanczos (not eigvalsh) regime.
+        results = {}
+        for mode in ("dense", "implicit"):
+            coll = _factorized_collection(seed=20120522, m=96, n=12)
+            oracle = FastDotExpOracle(coll, eps=0.05, rng=17)
+            results[mode] = decision_psdp(
+                coll,
+                epsilon=0.2,
+                oracle=oracle,
+                rng=17,
+                psi_state=mode,
+                collect_history=True,
+                max_iterations=20,
+                certificate_check_every=5,
+            )
+        dense, implicit = results["dense"], results["implicit"]
+        assert dense.metadata["psi_state"]["mode"] == "dense"
+        assert implicit.metadata["psi_state"]["mode"] == "implicit"
+        assert dense.outcome == implicit.outcome
+        assert dense.iterations == implicit.iterations
+        np.testing.assert_allclose(dense.dual_x, implicit.dual_x, rtol=1e-8, atol=1e-12)
+        # Per-iteration lambda_max: dense Lanczos on the materialised Psi vs
+        # warm-started Lanczos through the factored matvec.
+        lam_dense = np.array([r.psi_lambda_max for r in dense.history])
+        lam_implicit = np.array([r.psi_lambda_max for r in implicit.history])
+        np.testing.assert_allclose(lam_implicit, lam_dense, rtol=1e-8, atol=1e-8)
+
+    def test_auto_mode_selects_implicit_for_fast_oracle(self):
+        coll = _factorized_collection(seed=3, m=20, n=8)
+        result = decision_psdp(coll, epsilon=0.25, oracle="fast", rng=5, max_iterations=6)
+        assert result.metadata["psi_state"]["mode"] == "implicit"
+        exact = decision_psdp(
+            _factorized_collection(seed=3, m=20, n=8), epsilon=0.25, max_iterations=6
+        )
+        assert exact.metadata["psi_state"]["mode"] == "dense"
+
+    def test_fast_path_performs_zero_materialisations_and_expm(self, monkeypatch):
+        """A fast-path solve with history + certificate checks enabled must
+        run zero expm_normalized calls and zero dense Psi materialisations
+        — until (and unless) primal_y is read, which triggers exactly one
+        of each."""
+        import repro.core.decision as decision_mod
+
+        counter = _counting_expm(monkeypatch, [decision_mod])
+        coll = _factorized_collection(seed=8, m=96, n=10)
+        result = decision_psdp(
+            coll,
+            epsilon=0.2,
+            oracle="fast",
+            rng=11,
+            collect_history=True,
+            certificate_check_every=3,
+            max_iterations=12,
+        )
+        stats = result.metadata["psi_state"]
+        assert stats["mode"] == "implicit"
+        assert stats["densifies"] == 0
+        assert counter["calls"] == 0
+        assert result.counters.eigendecompositions == 0
+        assert result.history is not None and len(result.history) == result.iterations
+        assert all(np.isfinite(r.psi_lambda_max) for r in result.history)
+        if result.outcome.name == "PRIMAL":
+            # Reading primal_y runs the one deferred densify + expm.
+            y = result.primal_y
+            assert counter["calls"] == 1
+            assert np.trace(y) == pytest.approx(1.0, abs=1e-8)
+            # The builder replaces the sketched estimate with exact dots.
+            exact_min = float(coll.dots(y).min())
+            assert result.primal_min_dot == pytest.approx(exact_min)
+            # Cached: a second read builds nothing.
+            assert result.primal_y is y
+            assert counter["calls"] == 1
+        else:
+            assert result.primal_y is None
+            assert counter["calls"] == 0
+
+    def test_fast_path_dual_outcome_never_builds_primal(self, monkeypatch):
+        import repro.core.decision as decision_mod
+
+        counter = _counting_expm(monkeypatch, [decision_mod])
+        rng = np.random.default_rng(2)
+        coll = ConstraintCollection(
+            [FactorizedPSDOperator(0.05 * rng.standard_normal((16, 2))) for _ in range(6)]
+        )
+        result = decision_psdp(coll, epsilon=0.25, oracle="fast", rng=4)
+        assert result.outcome.name == "DUAL"
+        assert result.primal_y is None
+        assert counter["calls"] == 0
+        assert result.metadata["psi_state"]["densifies"] == 0
+
+    def test_phased_fast_path_is_matrix_free(self, monkeypatch):
+        import repro.core.decision_phased as phased_mod
+
+        counter = _counting_expm(monkeypatch, [phased_mod])
+        coll = _factorized_collection(seed=9, m=96, n=10)
+        result = decision_psdp_phased(
+            coll, epsilon=0.25, oracle="fast", rng=6, max_iterations=12
+        )
+        assert result.metadata["psi_state"]["mode"] == "implicit"
+        assert result.metadata["psi_state"]["densifies"] == 0
+        assert counter["calls"] == 0
+        # The phased solver always carries a primal candidate: reading it
+        # triggers the one deferred build.
+        y = result.primal_y
+        assert y is not None
+        assert counter["calls"] == 1
+        assert np.trace(y) == pytest.approx(1.0, abs=1e-8)
+
+    def test_phased_dense_and_implicit_agree(self):
+        results = {}
+        for mode in ("dense", "implicit"):
+            coll = _factorized_collection(seed=12, m=40, n=10)
+            oracle = FastDotExpOracle(coll, eps=0.05, rng=21)
+            results[mode] = decision_psdp_phased(
+                coll, epsilon=0.25, oracle="fast", rng=21, psi_state=mode,
+                max_iterations=15,
+            )
+        assert results["dense"].outcome == results["implicit"].outcome
+        assert results["dense"].iterations == results["implicit"].iterations
+        np.testing.assert_allclose(
+            results["dense"].dual_x, results["implicit"].dual_x, rtol=1e-8
+        )
+
+    def test_measured_eig_charges_replace_constant(self):
+        """Certificate-check/dual-rescale work is charged from measured
+        Lanczos sweeps — orders of magnitude below the old m^2 * maxiter
+        pessimistic constant."""
+        from repro.config import get_config
+
+        coll = _factorized_collection(seed=13, m=96, n=10)
+        result = decision_psdp(
+            coll, epsilon=0.2, oracle="fast", rng=9,
+            certificate_check_every=3, max_iterations=12,
+        )
+        m = 96
+        old_constant = m * m * min(m, get_config().power_iteration_maxiter)
+        rescale = result.work_depth.by_label["dual-rescale"]
+        assert 0 < rescale < old_constant
+
+    def test_fast_oracle_accepts_psi_none(self):
+        coll = _factorized_collection(seed=14)
+        oracle = FastDotExpOracle(coll, eps=0.1, rng=2)
+        x = np.full(len(coll), 1.0 / len(coll))
+        out_none = oracle(None, x)
+        assert np.all(np.isfinite(out_none.values))
+        out_kw = FastDotExpOracle(_factorized_collection(seed=14), eps=0.1, rng=2)(x=x)
+        np.testing.assert_array_equal(out_none.values, out_kw.values)
+        with pytest.raises(Exception):
+            oracle(None)  # x is required
+
+    def test_exact_oracle_rejects_psi_none(self):
+        from repro.exceptions import InvalidProblemError
+
+        coll = _factorized_collection(seed=15)
+        oracle = ExactDotExpOracle(coll)
+        with pytest.raises(InvalidProblemError):
+            oracle(None, np.full(len(coll), 0.1))
+
+    def test_forced_implicit_state_on_exact_oracle_collection(self):
+        # psi_state="implicit" is honoured whenever the factors are exact,
+        # even if auto would have chosen dense (the oracle needs psi, so
+        # the exact oracle cannot run on it — use the fast oracle).
+        coll = _factorized_collection(seed=16, m=30, n=8)
+        oracle = FastDotExpOracle(coll, eps=0.08, rng=3, packed=True)
+        result = decision_psdp(
+            coll, epsilon=0.25, oracle=oracle, rng=3, psi_state="implicit",
+            max_iterations=8,
+        )
+        assert result.metadata["psi_state"]["mode"] == "implicit"

@@ -90,6 +90,108 @@ class TestSpectralNorm:
             spectral_norm(random_psd(3, rng=rng), method="magic")
 
 
+class TestTopEigenvalueExtensions:
+    """The E14 additions: matvec-callable Lanczos, warm starts (``v0``),
+    ``return_vector``, and the measured-cost ``info`` dict."""
+
+    def test_callable_lanczos_matches_dense(self, rng):
+        from repro.linalg.norms import top_eigenvalue
+
+        mat = random_psd(90, rng=rng, scale=2.5)
+        exact = float(np.linalg.eigvalsh(mat)[-1])
+        info: dict = {}
+        est = top_eigenvalue(lambda v: mat @ v, dim=90, rng=rng, info=info)
+        assert est == pytest.approx(exact, rel=1e-8)
+        assert info["method"] == "lanczos"
+        assert info["matvecs"] > 0
+
+    def test_callable_small_dim_is_exact(self, rng):
+        from repro.linalg.norms import top_eigenvalue
+
+        mat = random_psd(12, rng=rng, scale=1.5)
+        info: dict = {}
+        est = top_eigenvalue(lambda v: mat @ v, dim=12, info=info)
+        assert est == pytest.approx(float(np.linalg.eigvalsh(mat)[-1]))
+        assert info["method"] == "eigvalsh"
+        assert info["matvecs"] == 12
+
+    def test_return_vector_is_top_eigenvector(self, rng):
+        from repro.linalg.norms import top_eigenvalue
+
+        mat = random_psd(70, rank=3, rng=rng, scale=2.0)
+        value, vector = top_eigenvalue(mat, rng=rng, return_vector=True)
+        assert vector is not None
+        rayleigh = float(vector @ (mat @ vector)) / float(vector @ vector)
+        assert rayleigh == pytest.approx(value, rel=1e-8)
+
+    def test_warm_start_reduces_sweeps(self, rng):
+        from repro.linalg.norms import top_eigenvalue
+
+        mat = random_psd(120, rng=rng, scale=3.0)
+        cold_info: dict = {}
+        value, vector = top_eigenvalue(
+            mat, rng=rng, return_vector=True, info=cold_info
+        )
+        warm_info: dict = {}
+        warm = top_eigenvalue(mat, v0=vector, rng=rng, info=warm_info)
+        assert warm == pytest.approx(value, rel=1e-9)
+        assert warm_info["matvecs"] <= cold_info["matvecs"]
+
+    def test_v0_validation(self, rng):
+        from repro.linalg.norms import top_eigenvalue
+
+        mat = random_psd(80, rng=rng)
+        with pytest.raises(ValueError):
+            top_eigenvalue(mat, v0=np.ones(3))
+        # Degenerate warm starts are ignored, not fatal.
+        assert top_eigenvalue(mat, v0=np.zeros(80), rng=rng) > 0
+
+    def test_info_on_dense_matrix_paths(self, rng):
+        from repro.linalg.norms import top_eigenvalue
+
+        info: dict = {}
+        top_eigenvalue(random_psd(10, rng=rng), info=info)
+        assert info == {"method": "eigvalsh", "matvecs": 10}
+        info_big: dict = {}
+        top_eigenvalue(random_psd(90, rng=rng), rng=rng, info=info_big)
+        assert info_big["method"] == "lanczos"
+        assert 0 < info_big["matvecs"] < 90 * 90
+
+    def test_sparse_matrix_input(self, rng):
+        from repro.linalg.norms import top_eigenvalue
+
+        mat = sp.csr_matrix(random_psd(90, rank=4, rng=rng, scale=2.2))
+        exact = float(np.linalg.eigvalsh(mat.toarray())[-1])
+        assert top_eigenvalue(mat, rng=rng) == pytest.approx(exact, rel=1e-7)
+
+    def test_small_dim_accepts_vector_only_matvec(self, rng):
+        # The matvec contract is single vectors (power iteration never
+        # passed blocks); the small-dim materialisation must honour it.
+        from repro.linalg.norms import top_eigenvalue
+
+        mat = random_psd(12, rng=rng, scale=1.8)
+        matvec = sp.linalg.aslinearoperator(mat).matvec  # rejects (n, n) input
+        assert top_eigenvalue(matvec, dim=12) == pytest.approx(
+            float(np.linalg.eigvalsh(mat)[-1])
+        )
+
+    def test_matvec_errors_propagate(self):
+        # A bug inside the caller's matvec must fail loudly, not silently
+        # degrade the certificate estimate to the power-iteration fallback.
+        from repro.linalg.norms import top_eigenvalue
+
+        def broken(v):
+            raise RuntimeError("matvec bug")
+
+        with pytest.raises(RuntimeError, match="matvec bug"):
+            top_eigenvalue(broken, dim=80)
+
+    def test_lanczos_value_clamped_at_zero(self):
+        from repro.linalg.norms import top_eigenvalue
+
+        assert top_eigenvalue(lambda v: np.zeros_like(v), dim=80) == 0.0
+
+
 class TestJLDimension:
     def test_formula(self):
         assert jl_dimension(100, 0.5, constant=8.0) == int(np.ceil(8.0 * np.log(100) / 0.25))

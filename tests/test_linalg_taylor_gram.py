@@ -18,6 +18,7 @@ from repro.exceptions import InvalidProblemError, NumericalError
 from repro.linalg.taylor import taylor_expm_apply
 from repro.linalg.taylor_blocked import BlockedTaylorKernel
 from repro.linalg.taylor_gram import (
+    GRAM_HYSTERESIS,
     SPARSE_GEMM_DISCOUNT,
     GramTaylorKernel,
     SparsePsiAccumulator,
@@ -241,9 +242,36 @@ class TestSelectTaylorMode:
         assert select_taylor_mode(100, 49, 4900, False) == "gram"
         assert select_taylor_mode(100, 0, 0, False) == "gram"
 
-    def test_dense_stack_above_half_rank_densifies(self):
-        assert select_taylor_mode(100, 51, 5100, False) == "dense-psi"
+    def test_gram_hysteresis_keeps_near_threshold_stacks(self):
+        # 2R just past m stays on the Gram path (R^2 ~ m^2/4 still beats
+        # the densified m^2 recurrence); the ~10% hysteresis margin is the
+        # near-threshold fix of the E14 PR.
+        assert select_taylor_mode(100, 51, 5100, False) == "gram"
+        assert select_taylor_mode(100, 55, 5500, False) == "gram"  # 2R = 1.1 m
+        assert select_taylor_mode(100, 56, 5600, False) == "dense-psi"
+
+    def test_dense_stack_above_hysteresis_densifies(self):
+        assert select_taylor_mode(100, 60, 6000, False) == "dense-psi"
         assert select_taylor_mode(100, 400, 40000, False) == "dense-psi"
+
+    def test_e13_near_threshold_row_no_flip_flop(self):
+        # The E13 adversary row (n=33, m=128, rank 2 -> 2R = m + 4) used to
+        # break even on the legacy densified kernel; with the hysteresis it
+        # selects gram, and every selection surface — the pure function,
+        # the packed view's cached auto mode, one-shot kernels, and the
+        # engine — must agree and stay stable across repeated calls.
+        m, n, rank = 128, 33, 2
+        assert 2 * n * rank == m + 4  # just past the sharp boundary
+        assert 2 * n * rank <= GRAM_HYSTERESIS * m
+        assert select_taylor_mode(m, n * rank, m * n * rank, False) == "gram"
+        packed = _packed(n, m, rank=rank, seed=59)
+        first = packed.auto_taylor_mode()
+        assert first == "gram"
+        for _ in range(3):
+            assert packed.auto_taylor_mode() == first
+        x = np.random.default_rng(60).random(n)
+        assert packed.taylor_kernel(x).mode == "gram"
+        assert packed.taylor_engine().mode == "gram"
 
     def test_sparse_psi_when_pattern_is_small(self):
         m, r = 512, 600

@@ -451,18 +451,25 @@ class TestSparseCSRBranches:
     def test_auto_mode_boundaries(self):
         from repro.linalg.taylor_gram import select_taylor_mode
 
-        # 2R == m stays in Gram space; one more column densifies.
+        # 2R == m stays in Gram space; just past the boundary the ~10%
+        # hysteresis (GRAM_HYSTERESIS) keeps the Gram path; clearly past it
+        # the stack densifies.
         m = 40
         even = PackedGramFactors(
             [np.random.default_rng(81).standard_normal((m, 2)) for _ in range(10)]
         )
         assert 2 * even.total_rank == m
         assert even.auto_taylor_mode() == "gram"
-        odd = PackedGramFactors(
+        near = PackedGramFactors(
             [np.random.default_rng(82).standard_normal((m, 3)) for _ in range(7)]
         )
-        assert 2 * odd.total_rank == m + 2
-        assert odd.auto_taylor_mode() == "dense-psi"
+        assert 2 * near.total_rank == m + 2
+        assert near.auto_taylor_mode() == "gram"
+        past = PackedGramFactors(
+            [np.random.default_rng(83).standard_normal((m, 3)) for _ in range(8)]
+        )
+        assert 2 * past.total_rank == m + 8
+        assert past.auto_taylor_mode() == "dense-psi"
         # The sparse decision at the densification threshold matches the
         # pure policy function on the stack's measured quantities.
         packed, _ = self._sparse_packed()

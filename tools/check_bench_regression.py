@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Guard the committed benchmark headlines against silent regressions.
+
+Every perf PR commits a ``BENCH_*.json`` payload whose speedup columns are
+the PR's acceptance evidence (E11 packed kernels, E12 blocked Taylor, E13
+Gram engine, E14 matrix-free core).  Nothing previously stopped a later PR
+from re-running a benchmark, measuring a slower result, and committing the
+worse numbers without anyone noticing — this gate does.  For each committed
+payload it checks:
+
+* the payload is a **full** run (``quick: false``) — CI smoke runs must not
+  overwrite the committed evidence;
+* aggregate speedup floors: a ``min`` floor says *every* row of a section
+  must stay above it (broad wins like E11's), a ``max`` floor says the
+  section's headline row must (regime-specific wins like E13/E14's, whose
+  grids deliberately include near-break-even adversary rows).
+
+Floors are set well below the committed measurements (roughly half) so the
+gate trips on genuine regressions — a lost fast path, a disabled kernel —
+rather than on machine-to-machine noise.
+
+Run from the repository root (CI runs it in the docs job)::
+
+    python tools/check_bench_regression.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: (file, section, row filter or None, aggregate, floor).  The filter maps a
+#: row dict to bool; ``min`` floors apply to every (filtered) row, ``max``
+#: floors to the best one.
+CHECKS = [
+    ("BENCH_packed.json", "oracle", None, "min", 4.0),
+    ("BENCH_packed.json", "decision", None, "min", 4.0),
+    ("BENCH_taylor.json", "taylor_block", None, "min", 1.5),
+    ("BENCH_taylor.json", "decision", None, "min", 1.1),
+    ("BENCH_gram.json", "taylor_block", None, "max", 3.0),
+    ("BENCH_gram.json", "decision", None, "max", 1.5),
+    (
+        "BENCH_matrixfree.json",
+        "decision",
+        lambda row: row["factor_kind"] == "lowrank" and row["m"] >= 512,
+        "max",
+        3.0,
+    ),
+    ("BENCH_matrixfree.json", "phased", None, "max", 1.5),
+]
+
+
+def check_payload(path: str, section: str, row_filter, aggregate: str, floor: float) -> list[str]:
+    """Return failure messages for one (file, section) floor check."""
+    name = os.path.basename(path)
+    if not os.path.exists(path):
+        return [f"{name}: committed payload is missing"]
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("quick"):
+        return [f"{name}: committed payload is a --quick smoke run, not a full grid"]
+    rows = payload.get(section)
+    if not rows:
+        return [f"{name}: section {section!r} is missing or empty"]
+    speedups = [float(row["speedup"]) for row in rows if row_filter is None or row_filter(row)]
+    if not speedups:
+        return [f"{name}: no {section!r} rows match the gate's filter"]
+    value = min(speedups) if aggregate == "min" else max(speedups)
+    if value < floor:
+        return [
+            f"{name}: {aggregate}({section}.speedup) = {value:.2f}x "
+            f"regressed below the {floor:.1f}x floor"
+        ]
+    return []
+
+
+def main() -> int:
+    """Run every floor check; print results and return the exit code."""
+    failures: list[str] = []
+    for filename, section, row_filter, aggregate, floor in CHECKS:
+        path = os.path.join(REPO_ROOT, filename)
+        problems = check_payload(path, section, row_filter, aggregate, floor)
+        if problems:
+            failures.extend(problems)
+        else:
+            print(f"[ok] {filename}:{section} ({aggregate} >= {floor:.1f}x)")
+    for line in failures:
+        print(f"[FAIL] {line}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
