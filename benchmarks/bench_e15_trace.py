@@ -1,0 +1,274 @@
+"""E15 — structured trace estimation vs the per-call full-identity Taylor apply.
+
+After PR 4's matrix-free core, the last dense object on the fast-oracle hot
+path was the trace normalisation in the degenerate-sketch regime (JL
+dimension at ``m`` — the default configuration at these sizes): every
+oracle call pushed the full ``(m, m)`` identity through the Lemma 4.2
+Taylor polynomial to read the estimates and ``Tr[exp(Psi)]`` off it.  The
+structured estimator (``repro.linalg.trace_estimation``) reads the
+estimates from the polynomial applied to the ``(m, R)`` factor stack and
+the trace from the exact Gram-spectrum / deflated block-Krylov paths; this
+benchmark measures both levels against the ``trace_mode="identity"``
+reference:
+
+* **oracle**: steady-state ``FastDotExpOracle`` call latency (engine warm,
+  weights mildly perturbed per call the way the solver does);
+* **decision**: end-to-end ``decision_psdp`` wall clock with history and
+  certificate checks enabled, checking certified decisions are identical
+  on fixed seeds and that the structured runs report **zero**
+  full-identity Taylor applies.
+
+Results are printed as a table and emitted machine-readably to
+``BENCH_trace.json`` at the repository root (override with ``--output``).
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_e15_trace.py [--quick]
+
+The non-quick run enforces the PR acceptance gates: >= 2x steady-state
+oracle speedup on every ``m >= 1024`` low-rank row, zero identity applies
+and identical certified decisions on every structured row.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
+
+from common import (  # noqa: E402
+    emit_payload,
+    environment_info,
+    fresh_collection,
+    make_argparser,
+    make_operators,
+    report_failures,
+    time_call,
+    DEFAULT_RANK,
+    DEFAULT_SPARSE_DENSITY,
+)
+from repro.core.decision import decision_psdp  # noqa: E402
+from repro.core.dotexp import FastDotExpOracle  # noqa: E402
+
+DEFAULT_OUTPUT = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_trace.json"
+)
+
+# (n, m, generator kind, reported family) grids.  Low-rank rows keep
+# R = 2n far below m (the Gram-spectrum trace); the "wide" rows are
+# mid-rank adversaries — R past the Gram gate but below m, the deflated
+# block-Krylov path, whose speedup ceiling is the inherent column ratio
+# ~m/R; sparse rows exercise the sparse-stack kernels under a structured
+# trace.
+ORACLE_GRID = [
+    (16, 512, "lowrank", "lowrank"),
+    (16, 1024, "lowrank", "lowrank"),
+    (24, 2048, "lowrank", "lowrank"),
+    (160, 512, "lowrank", "wide"),
+    (320, 1024, "lowrank", "wide"),
+    (200, 1024, "sparse", "sparse"),
+]
+DECISION_GRID = [
+    (16, 1024, "lowrank", "lowrank"),
+    (24, 2048, "lowrank", "lowrank"),
+    (160, 512, "lowrank", "wide"),
+    (200, 1024, "sparse", "sparse"),
+]
+QUICK_ORACLE_GRID = [
+    (8, 96, "lowrank", "lowrank"),
+    (36, 96, "lowrank", "wide"),
+]
+QUICK_DECISION_GRID = [
+    (8, 96, "lowrank", "lowrank"),
+]
+
+ORACLE_EPS = 0.1
+ORACLE_REPEATS = 5
+DECISION_CAP = 30
+CHECK_EVERY = 5
+
+
+def _steady_state_oracle(ops, n, seed, trace_mode):
+    """Warm the engine caches, then time one oracle call (best of repeats)."""
+    coll = fresh_collection(ops)
+    oracle = FastDotExpOracle(coll, eps=ORACLE_EPS, rng=seed, trace_mode=trace_mode)
+    rng = np.random.default_rng(seed + 1)
+    x = 1.0 / (n * coll.traces())
+    oracle(None, x)  # first call pays the one-time engine/estimator builds
+    # The solver perturbs a subset of weights per iteration; mimic that so
+    # the engine's incremental update is on the measured path.
+    def one_call():
+        mask = rng.random(n) < 0.5
+        x[mask] *= 1.01
+        oracle(None, x)
+
+    seconds = time_call(one_call, ORACLE_REPEATS)
+    return {
+        "seconds": seconds,
+        "identity_applies": oracle.counters.extra.get("identity_taylor_applies", 0),
+        "trace_mode": (
+            oracle.trace_estimator.mode if oracle.trace_estimator is not None
+            else "identity"
+        ),
+        "fallbacks": (
+            oracle.trace_estimator.identity_fallbacks
+            if oracle.trace_estimator is not None
+            else 0
+        ),
+    }
+
+
+def _run_decision(ops, n, seed, cap, trace_mode):
+    """One timed end-to-end solve on a fresh collection; returns row facts."""
+    coll = fresh_collection(ops)
+    oracle = FastDotExpOracle(coll, eps=ORACLE_EPS, rng=seed, trace_mode=trace_mode)
+    start = time.perf_counter()
+    result = decision_psdp(
+        coll,
+        epsilon=0.2,
+        oracle=oracle,
+        rng=seed,
+        max_iterations=cap,
+        collect_history=True,
+        certificate_check_every=CHECK_EVERY,
+    )
+    seconds = time.perf_counter() - start
+    return {
+        "seconds": seconds,
+        "outcome": result.outcome.name,
+        "iterations": result.iterations,
+        "identity_applies": oracle.counters.extra.get("identity_taylor_applies", 0),
+        "trace_stats": result.metadata.get("trace_estimator"),
+    }
+
+
+def main(argv=None) -> int:
+    """Run the E15 grid and return the process exit code."""
+    args = make_argparser(__doc__.splitlines()[0], DEFAULT_OUTPUT).parse_args(argv)
+
+    oracle_grid = QUICK_ORACLE_GRID if args.quick else ORACLE_GRID
+    decision_grid = QUICK_DECISION_GRID if args.quick else DECISION_GRID
+    cap = 10 if args.quick else DECISION_CAP
+
+    oracle_rows = []
+    for n, m, kind, family in oracle_grid:
+        ops = make_operators(n, m, kind, args.seed)
+        old = _steady_state_oracle(ops, n, args.seed, "identity")
+        new = _steady_state_oracle(ops, n, args.seed, "auto")
+        row = {
+            "n": n,
+            "m": m,
+            "factor_kind": family,
+            "rank": DEFAULT_RANK,
+            "total_rank": DEFAULT_RANK * n,
+            "trace_mode": new["trace_mode"],
+            "old_seconds": old["seconds"],
+            "new_seconds": new["seconds"],
+            "speedup": old["seconds"] / max(new["seconds"], 1e-12),
+            "identity_applies_old": old["identity_applies"],
+            "identity_applies_new": new["identity_applies"],
+            "fallbacks_new": new["fallbacks"],
+        }
+        oracle_rows.append(row)
+        print(
+            f"[oracle  ] n={n:4d} m={m:5d} {family:8s} "
+            f"trace={row['trace_mode']:9s} "
+            f"old={row['old_seconds'] * 1e3:9.2f}ms new={row['new_seconds'] * 1e3:8.2f}ms "
+            f"speedup={row['speedup']:6.1f}x identity={row['identity_applies_new']:.0f}"
+        )
+
+    decision_rows = []
+    for n, m, kind, family in decision_grid:
+        ops = make_operators(n, m, kind, args.seed)
+        old = _run_decision(ops, n, args.seed, cap, "identity")
+        new = _run_decision(ops, n, args.seed, cap, "auto")
+        row = {
+            "n": n,
+            "m": m,
+            "factor_kind": family,
+            "rank": DEFAULT_RANK,
+            "trace_mode": (new["trace_stats"] or {}).get("mode"),
+            "old_seconds": old["seconds"],
+            "new_seconds": new["seconds"],
+            "speedup": old["seconds"] / max(new["seconds"], 1e-12),
+            "outcome_old": old["outcome"],
+            "outcome_new": new["outcome"],
+            "iterations_old": old["iterations"],
+            "iterations_new": new["iterations"],
+            "identity_applies_old": old["identity_applies"],
+            "identity_applies_new": new["identity_applies"],
+            "fallbacks_new": (new["trace_stats"] or {}).get("identity_fallbacks", 0),
+        }
+        decision_rows.append(row)
+        print(
+            f"[decision] n={n:4d} m={m:5d} {family:8s} "
+            f"trace={str(row['trace_mode']):9s} "
+            f"old={row['old_seconds']:8.3f}s new={row['new_seconds']:7.3f}s "
+            f"speedup={row['speedup']:6.1f}x "
+            f"outcomes={row['outcome_old']}/{row['outcome_new']} "
+            f"identity={row['identity_applies_new']:.0f}"
+        )
+
+    payload = {
+        "experiment": "E15-trace",
+        "description": "structured trace estimation vs the full-identity Taylor apply",
+        "quick": args.quick,
+        "config": {
+            "rank": DEFAULT_RANK,
+            "sparse_density": DEFAULT_SPARSE_DENSITY,
+            "oracle_eps": ORACLE_EPS,
+            "oracle_repeats": ORACLE_REPEATS,
+            "decision_iteration_cap": cap,
+            "certificate_check_every": CHECK_EVERY,
+            "collect_history": True,
+            "seed": args.seed,
+        },
+        "environment": environment_info(),
+        "oracle": oracle_rows,
+        "decision": decision_rows,
+    }
+    emit_payload(payload, args.output)
+
+    failures = []
+    for row in oracle_rows + decision_rows:
+        if row["identity_applies_new"] != 0:
+            failures.append(
+                f"structured run pushed the identity "
+                f"{row['identity_applies_new']:.0f}x at n={row['n']}, m={row['m']}"
+            )
+        if row["fallbacks_new"] != 0:
+            failures.append(
+                f"structured run fell back to the identity push at "
+                f"n={row['n']}, m={row['m']}"
+            )
+        if row["identity_applies_old"] == 0:
+            failures.append(
+                f"reference run reports no identity applies at "
+                f"n={row['n']}, m={row['m']} — the comparison is vacuous"
+            )
+    for row in decision_rows:
+        if row["outcome_old"] != row["outcome_new"]:
+            failures.append(
+                f"decision outcome diverged ({row['outcome_old']} vs "
+                f"{row['outcome_new']}) at n={row['n']}, m={row['m']}"
+            )
+        if row["iterations_old"] != row["iterations_new"]:
+            failures.append(
+                f"decision iteration count diverged at n={row['n']}, m={row['m']}"
+            )
+    if not args.quick:
+        for row in oracle_rows:
+            if row["factor_kind"] == "lowrank" and row["m"] >= 1024:
+                if row["speedup"] < 2.0:
+                    failures.append(
+                        f"m={row['m']} low-rank oracle speedup "
+                        f"{row['speedup']:.1f}x < 2x"
+                    )
+    return report_failures(failures)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

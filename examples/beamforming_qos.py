@@ -37,7 +37,16 @@ def main() -> None:
     parser.add_argument("--users", type=int, default=6)
     parser.add_argument("--epsilon", type=float, default=0.25)
     parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny instance for the CI docs gate (tools/check_docs.py)",
+    )
     args = parser.parse_args()
+    snr_grid = (0.5, 1.0, 2.0, 4.0)
+    if args.smoke:
+        args.antennas, args.users, args.epsilon = 3, 4, 0.3
+        snr_grid = (0.5, 1.0)
 
     print(
         f"Multicast beamforming: {args.antennas} antennas, {args.users} users, "
@@ -45,7 +54,7 @@ def main() -> None:
     )
 
     rows = []
-    for snr_target in (0.5, 1.0, 2.0, 4.0):
+    for snr_target in snr_grid:
         problem = beamforming_sdp(
             args.antennas,
             args.users,

@@ -32,7 +32,14 @@ def main() -> None:
     parser.add_argument("--nodes", type=int, default=10, help="number of graph nodes")
     parser.add_argument("--epsilon", type=float, default=0.25, help="target relative accuracy")
     parser.add_argument("--seed", type=int, default=3, help="random seed for graph generation")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny instance for the CI docs gate (tools/check_docs.py)",
+    )
     args = parser.parse_args()
+    if args.smoke:
+        args.nodes, args.epsilon = 6, 0.3
 
     families = [
         ("cycle", {}),
@@ -40,6 +47,8 @@ def main() -> None:
         ("regular", {"degree": 3}),
         ("erdos_renyi", {"p": 0.4}),
     ]
+    if args.smoke:
+        families = families[:2]
 
     rows = []
     for kind, kwargs in families:

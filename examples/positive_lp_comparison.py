@@ -76,7 +76,14 @@ def main() -> None:
     parser.add_argument("--constraints", type=int, default=6)
     parser.add_argument("--epsilon", type=float, default=0.2)
     parser.add_argument("--seed", type=int, default=5)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny instance for the CI docs gate (tools/check_docs.py)",
+    )
     args = parser.parse_args()
+    if args.smoke:
+        args.variables, args.constraints, args.epsilon = 5, 4, 0.3
 
     rows = []
     set_packing = set_cover_lp(args.constraints, args.variables, coverage=2, rng=args.seed)

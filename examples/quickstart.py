@@ -34,7 +34,14 @@ def main() -> None:
     parser.add_argument("--n", type=int, default=6, help="number of constraint matrices")
     parser.add_argument("--m", type=int, default=8, help="matrix dimension")
     parser.add_argument("--seed", type=int, default=7, help="random seed")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny instance for the CI docs gate (tools/check_docs.py)",
+    )
     args = parser.parse_args()
+    if args.smoke:
+        args.n, args.m, args.epsilon = 4, 6, 0.3
 
     print(f"Generating a random packing SDP with n={args.n} constraints of dimension m={args.m}")
     problem = random_packing_sdp(args.n, args.m, rng=args.seed)

@@ -34,12 +34,21 @@ def main() -> None:
     parser.add_argument("--n", type=int, default=5, help="constraints per instance")
     parser.add_argument("--m", type=int, default=5, help="matrix dimension")
     parser.add_argument("--seed", type=int, default=2)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny instance for the CI docs gate (tools/check_docs.py)",
+    )
     args = parser.parse_args()
+    widths = (1.0, 4.0, 16.0, 64.0)
+    if args.smoke:
+        args.n, args.m = 4, 4
+        widths = (1.0, 16.0)
 
     print("[1] width-independence: iterations vs instance width")
     rows = []
     last_result = None
-    for width in (1.0, 4.0, 16.0, 64.0):
+    for width in widths:
         problem = random_width_controlled_sdp(args.n, args.m, width=width, rng=args.seed)
         exact = exact_packing_value(problem)
         ours = decision_psdp(problem.scaled(1.0 / exact.value), epsilon=args.epsilon)

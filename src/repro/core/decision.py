@@ -49,6 +49,14 @@ estimates of ``constraints.dots(P(t))``) instead of ``(m, m)`` densities,
 and ``primal_y`` is densified at most once, on demand, when a caller
 actually reads it off the result.  ``benchmarks/bench_e14_matrixfree.py``
 measures the end-to-end effect on large-``m`` low-rank/sparse instances.
+
+The fast oracle's degenerate-sketch trace normalisation is likewise
+structured (:mod:`repro.linalg.trace_estimation`): no ``(m, m)`` identity
+passes through the Taylor polynomial on the default path, the oracle's
+per-call work charge reflects the ``(m, R)`` factor-stack columns that
+actually ran, and the estimator's counters are surfaced as
+``result.metadata["trace_estimator"]`` next to the ``psi_state`` ones
+(``benchmarks/bench_e15_trace.py`` measures the per-call effect).
 """
 
 from __future__ import annotations

@@ -29,7 +29,11 @@ engine-applied factor stack (the values vector) and ``lambda_max`` by
 warm-started Lanczos through the factored matvec — the per-phase
 ``O(m^3)`` ``expm_normalized`` of the dense path disappears, and
 ``primal_y`` is densified at most once, on demand, when read off the
-result.
+result.  The fast oracle's structured trace estimator
+(:mod:`repro.linalg.trace_estimation`) completes the picture: its
+counters appear in ``result.metadata["trace_estimator"]`` and its
+column-accurate work rides in the per-phase oracle charge, exactly as in
+the phase-less solver.
 """
 
 from __future__ import annotations

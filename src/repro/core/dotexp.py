@@ -13,11 +13,14 @@ interchangeable oracle implementations are provided:
   truncated Taylor polynomial of Lemma 4.2, and sketches the left factor
   with a Johnson–Lindenstrauss Gaussian matrix so that only
   ``O(eps^{-2} log m)`` rows ever pass through the polynomial.  Work is
-  nearly linear in ``nnz(Phi) + q`` per call; the trace ``Tr[exp(Phi)]`` is
-  obtained from the same transformed sketch block at no extra cost (on the
-  packed default path it is ``|| Pi exp(Phi/2) ||_F^2`` read directly off
-  the block; only the legacy sequence-of-factors path still appends an
-  identity pseudo-factor to get it).
+  nearly linear in ``nnz(Phi) + q`` per call; the trace ``Tr[exp(Phi)]``
+  comes from the transformed sketch block at no extra cost when the sketch
+  genuinely reduces (``|| Pi exp(Phi/2) ||_F^2`` read directly off the
+  block), and from the structured estimator of
+  :mod:`repro.linalg.trace_estimation` in the degenerate-sketch regime —
+  no identity block, dense or pseudo-factor, enters the polynomial on the
+  default path; only the legacy sequence-of-factors path still appends an
+  identity pseudo-factor to get it.
 
 The standalone function :func:`big_dot_exp` exposes the Theorem 4.1
 primitive directly (given ``Phi``, a norm bound ``kappa``, and the factors),
@@ -83,6 +86,24 @@ trade dense BLAS kernels already make internally.
 with a packed factor view is routed through a kernel automatically, while
 matvec-callable ``phi`` and plain factor sequences keep the reference
 per-term recurrence bit-for-bit.
+
+Structured trace estimation
+---------------------------
+At tight ``eps`` the JL dimension reaches ``m`` (the default for every
+``m`` below several thousand), the sketch degenerates to the identity, and
+the legacy path pushed the full ``(m, m)`` identity through the polynomial
+once per call to read both the estimates and the trace off it.  The
+default kernel path now reads the estimates from the polynomial applied to
+the ``(m, R)`` factor stack itself (mathematically identical — the
+identity "sketch" is a no-op) and the trace from a structured
+:class:`~repro.linalg.trace_estimation.TraceEstimator`: the exact
+``R x R`` Gram-spectrum evaluation when ``2R`` is within the hysteresis
+margin of ``m``, the exact deflated block-Krylov projection of the
+already-transformed factor block while ``R`` stays meaningfully below
+``m``, a certified Hutchinson sampler on request, and the legacy identity
+push where ``R ~ m`` makes it genuinely optimal.  The
+``identity_taylor_applies`` counter records every ``(m, m)`` identity that
+does pass through the polynomial; the structured paths keep it at zero.
 """
 
 from __future__ import annotations
@@ -101,6 +122,7 @@ from repro.linalg.sketching import gaussian_sketch, jl_dimension
 from repro.linalg.taylor import taylor_degree, taylor_expm_apply
 from repro.linalg.taylor_blocked import BlockedTaylorKernel
 from repro.linalg.taylor_gram import GramTaylorKernel, TaylorEngine
+from repro.linalg.trace_estimation import TraceEstimator
 from repro.operators.collection import ConstraintCollection
 from repro.operators.packed import PackedGramFactors, segment_sums
 from repro.parallel.backends import ExecutionBackend
@@ -178,6 +200,7 @@ def big_dot_exp(
     counters: OracleCounters | None = None,
     dim: int | None = None,
     return_trace: bool = False,
+    trace_estimator=None,
 ) -> np.ndarray | tuple[np.ndarray, float]:
     """Approximate all ``exp(phi) . (Q_i Q_i^T)`` (Theorem 4.1's ``bigDotExp``).
 
@@ -218,10 +241,28 @@ def big_dot_exp(
         Optional operation counters to update.
     return_trace:
         When ``True`` the estimate of ``Tr[exp(phi)] = exp(phi) . I`` is
-        returned alongside the values.  On the packed sketch path this is
-        read directly off the transformed sketch block
-        (``|| Pi exp(phi/2) ||_F^2``) at no extra cost; on the sequence path
-        it is computed by appending the identity pseudo-factor.
+        returned alongside the values.  On the packed sketch path with a
+        genuinely reducing sketch this is read directly off the transformed
+        sketch block (``|| Pi exp(phi/2) ||_F^2``) at no extra cost.  In
+        the degenerate-sketch regime (JL dimension at least ``dim``) and on
+        the ``use_sketch=False`` path, a structured ``trace_estimator``
+        (when provided) supplies it without any ``(m, m)`` identity ever
+        entering the polynomial; without one, the identity block is pushed
+        through the polynomial (counted under the
+        ``identity_taylor_applies`` counter).  Only the legacy
+        sequence-of-factors path still appends an identity pseudo-factor.
+    trace_estimator:
+        Optional :class:`~repro.linalg.trace_estimation.TraceEstimator`
+        (already :meth:`~repro.linalg.trace_estimation.TraceEstimator.bind`-ed
+        to the weights that generated ``phi``).  Engaged only where the
+        trace would otherwise require a full-identity Taylor apply — the
+        packed kernel path in the degenerate-sketch regime and the
+        ``use_sketch=False`` packed path; the Theorem 4.1 estimates are
+        then read from the polynomial applied to the factor stack itself
+        (an ``(m, R)`` block — mathematically identical, since the
+        identity "sketch" is a no-op) and the trace comes from the
+        estimator's exact Gram-spectrum / deflated projection or its
+        certified Hutchinson sampler.
 
     Returns
     -------
@@ -278,10 +319,34 @@ def big_dot_exp(
         # fall back to the identity "sketch", which makes the left factor
         # exact and leaves only the Taylor truncation error.
         sketch_dim = min(jl_dimension(dim, eps_sketch, constant=sketch_constant), dim)
-        if sketch_dim >= dim:
+        if (
+            sketch_dim >= dim
+            and return_trace
+            and packed is not None
+            and kernel is not None
+            and trace_estimator is not None
+            and trace_estimator.structured
+        ):
+            # Degenerate-sketch regime with a structured trace estimator:
+            # the identity "sketch" is a mathematical no-op (the left
+            # factor is exact), so this call is exactly the
+            # ``use_sketch=False`` packed path below — the Theorem 4.1
+            # estimates read from the polynomial applied to the (m, R)
+            # factor stack, the trace from the estimator, no full-identity
+            # Taylor apply.  Fall through to that block instead of
+            # duplicating it.
+            use_sketch = False
+        elif sketch_dim >= dim:
             sketch = np.eye(dim)
+            if counters is not None:
+                # The (m, m) identity is about to pass through the Taylor
+                # polynomial — the counter the structured estimator's
+                # regression tests assert stays at zero on its grids.
+                counters.add("identity_taylor_applies")
         else:
             sketch = gaussian_sketch(sketch_dim, dim, rng=as_generator(rng))
+
+    if use_sketch:
         # Rows of (Pi exp(phi/2)) = (exp(phi/2) Pi^T)^T because phi is symmetric.
         if kernel is not None:
             transformed = kernel.apply(sketch.T, degree, scale=0.5).T
@@ -332,6 +397,27 @@ def big_dot_exp(
             counters.factor_passes += len(packed)
             counters.add("packed_estimate_gemms")
         if return_trace:
+            if (
+                kernel is not None
+                and trace_estimator is not None
+                and trace_estimator.structured
+            ):
+                # `transformed` is already the polynomial applied to the
+                # factor stack — exactly the block the deflated estimator
+                # projects, so the structured trace costs no extra apply.
+                estimate = trace_estimator.estimate(
+                    kernel, degree, scale=0.5, transformed_factors=transformed
+                )
+                if counters is not None:
+                    counters.matvecs += estimate.probes * (degree - 1)
+                    counters.add("structured_trace_estimates")
+                    if estimate.mode == "identity":
+                        # Probe budget exhausted: the estimator ran the
+                        # exact identity push, so charge its columns too.
+                        counters.matvecs += dim * (degree - 1)
+                        counters.factor_passes += 1
+                        counters.add("identity_taylor_applies")
+                return results, float(estimate.value)
             if kernel is not None:
                 eye_transformed = kernel.apply(np.eye(dim), degree, scale=0.5)
             else:
@@ -339,6 +425,7 @@ def big_dot_exp(
             if counters is not None:
                 counters.matvecs += dim * (degree - 1)
                 counters.factor_passes += 1
+                counters.add("identity_taylor_applies")
             return results, float(np.sum(eye_transformed * eye_transformed))
         return results
 
@@ -458,12 +545,18 @@ class ExactDotExpOracle:
 class FastDotExpOracle:
     """Theorem 4.1 oracle: truncated Taylor + JL sketch on factorized constraints.
 
-    The oracle obtains the normalization ``Tr[exp(Psi)]`` from the same
-    transformed sketch block at no extra cost: on the packed default path it
-    is read off as ``|| Pi exp(Psi/2) ||_F^2``; the legacy per-factor path
-    instead treats the identity as an extra factor (``exp(Psi) . I``).
-    Either way the returned values are directly comparable to the exact
-    oracle's.
+    The oracle's normalization ``Tr[exp(Psi)]`` depends on the regime: with
+    a genuinely reducing sketch it is read off the transformed sketch block
+    at no extra cost (``|| Pi exp(Psi/2) ||_F^2``); in the degenerate-sketch
+    regime (JL dimension at least ``m`` — the default configuration for
+    every ``m`` below several thousand) the default kernel path hands it to
+    a structured :class:`~repro.linalg.trace_estimation.TraceEstimator`
+    (exact Gram-spectrum / deflated block-Krylov projection, or the
+    certified Hutchinson sampler) so no ``(m, m)`` identity ever passes
+    through the Taylor polynomial; the legacy per-factor path instead
+    treats the identity as an extra factor (``exp(Psi) . I``).  Every
+    variant estimates the same quantity, so the returned values are
+    directly comparable to the exact oracle's.
 
     The oracle rebuilds ``Psi`` from ``x`` through the constraint factors
     and never reads the ``psi`` argument — ``needs_dense_psi = False``, and
@@ -520,6 +613,23 @@ class FastDotExpOracle:
     taylor_chunk_columns:
         Optional column-chunk size forwarded to the kernels to bound
         their peak memory on wide sketch blocks (``None`` = unchunked).
+    trace_mode:
+        Trace-normalisation strategy for the degenerate-sketch regime
+        (packed kernel path only).  ``"auto"`` (default) applies
+        :func:`~repro.linalg.trace_estimation.select_trace_mode` —
+        the exact Gram-spectrum path when ``2R`` is within the hysteresis
+        margin of ``m``, the exact deflated block-Krylov projection while
+        ``R`` stays meaningfully below ``m``, the legacy identity push
+        otherwise (at ``R ~ m`` its columns carry the estimates too, so it
+        is genuinely optimal).  Explicit values force a mode
+        (``"gram"``/``"deflated"``/``"hutchinson"``/``"identity"``);
+        ``"identity"`` reproduces the pre-estimator reference bit-for-bit
+        and exists for benchmarking and regression testing.
+    trace_seed:
+        Deterministic seed of the Hutchinson probe stream (default 0).
+        The probes never touch the oracle's ``rng``, so enabling or
+        disabling the structured trace cannot shift the sketch stream —
+        the fixed-seed decision-equivalence regressions rely on this.
     """
 
     #: The fast oracle reads ``x`` only; the decision solvers may therefore
@@ -538,6 +648,8 @@ class FastDotExpOracle:
         blocked: bool = True,
         engine: bool = True,
         taylor_chunk_columns: int | None = None,
+        trace_mode: str = "auto",
+        trace_seed: int | None = None,
     ) -> None:
         if eps <= 0 or eps >= 1:
             raise InvalidProblemError(f"eps must be in (0, 1), got {eps}")
@@ -565,6 +677,19 @@ class FastDotExpOracle:
             self._packed = None
             self._factors = constraints.gram_factors()
             self._identity = np.eye(constraints.dim)
+        # Structured degenerate-regime trace estimator (kernel path only).
+        # The sketch half of the eps budget funds the Hutchinson
+        # certification: the degenerate regime's identity "sketch" is
+        # exact, so that half is otherwise unused there.
+        if self._packed is not None and self.blocked and trace_mode != "identity":
+            self._trace_estimator: TraceEstimator | None = TraceEstimator(
+                self._packed,
+                eps=self.eps / 2.0,
+                mode=trace_mode,
+                seed=0 if trace_seed is None else trace_seed,
+            )
+        else:
+            self._trace_estimator = None
 
     @property
     def packed(self) -> PackedGramFactors | None:
@@ -580,6 +705,18 @@ class FastDotExpOracle:
         active-column update discipline.
         """
         return self._engine
+
+    @property
+    def trace_estimator(self) -> TraceEstimator | None:
+        """The structured degenerate-regime trace estimator (kernel path).
+
+        ``None`` on the reference paths (``packed=False``, ``blocked=False``,
+        or ``trace_mode="identity"``).  The decision solvers read its
+        :meth:`~repro.linalg.trace_estimation.TraceEstimator.stats` into
+        the result metadata next to the ``psi_state`` counters so
+        regressions can assert the zero-identity-apply discipline.
+        """
+        return self._trace_estimator
 
     def _factored_matvec(self, x: np.ndarray):
         """Matvec ``v -> Psi v = sum_i x_i Q_i (Q_i^T v)`` applied through the
@@ -651,6 +788,8 @@ class FastDotExpOracle:
             )
             kappa = max(1.0, estimate * 1.05)
             self.counters.add("norm_estimates")
+        tracer = self._trace_estimator if operator is not None else None
+        trace_calls_before = tracer.calls if tracer is not None else 0
         if self._packed is not None:
             estimates, trace_estimate = big_dot_exp(
                 operator if operator is not None else matvec,
@@ -662,6 +801,7 @@ class FastDotExpOracle:
                 counters=self.counters,
                 dim=m,
                 return_trace=True,
+                trace_estimator=tracer.bind(weights) if tracer is not None else None,
             )
         else:
             raw = big_dot_exp(
@@ -683,24 +823,46 @@ class FastDotExpOracle:
         sketch_dim = min(jl_dimension(m, self.eps / 2.0, constant=self.sketch_constant), m)
         degree = taylor_degree(kappa / 2.0, self.eps / 2.0)
         # Work in the Corollary 1.2 units: each of the `degree` polynomial
-        # steps applies Psi to the sketch block through the factors (O(q) per
+        # steps applies Psi to the block through the factors (O(q) per
         # column), plus one pass over the factor nonzeros for the estimates.
+        # When the structured trace estimator handled the degenerate-regime
+        # normalisation, the block is the (m, R) factor stack plus any
+        # Hutchinson probes — not the (m, m) identity — and the estimator's
+        # own model work (eigendecomposition / projection GEMMs / fallback
+        # push) rides along, so the charge reflects what actually ran.
         q = self.constraints.total_nnz
-        work = float(sketch_dim * degree * max(q, m) + q)
+        trace_info = (
+            tracer.last
+            if tracer is not None and tracer.calls > trace_calls_before
+            else None
+        )
+        if trace_info is not None:
+            columns = self._packed.total_rank + trace_info.probes
+            work = float(columns * degree * max(q, m) + q + trace_info.extra_work)
+        else:
+            work = float(sketch_dim * degree * max(q, m) + q)
         self.counters.flops_estimate += work
         return OracleOutput(values=values, trace=trace_estimate, work=work)
 
 
 def oracle_engine_metadata(oracle) -> dict:
-    """Result-metadata fragment with the oracle's Taylor-engine counters.
+    """Result-metadata fragment with the oracle's engine/estimator counters.
 
     Returns ``{"taylor_engine": stats}`` when ``oracle`` is a fast oracle
-    whose rank-adaptive engine has been built, ``{}`` otherwise — the one
-    helper both decision solvers merge into their result metadata so
-    regressions can assert the incremental update discipline.
+    whose rank-adaptive engine has been built, plus
+    ``{"trace_estimator": stats}`` when it carries a structured trace
+    estimator — the one helper both decision solvers merge into their
+    result metadata so regressions can assert the incremental-update and
+    zero-identity-apply disciplines.
     """
+    out: dict = {}
     engine = getattr(oracle, "taylor_engine", None)
-    return {"taylor_engine": engine.stats()} if engine is not None else {}
+    if engine is not None:
+        out["taylor_engine"] = engine.stats()
+    tracer = getattr(oracle, "trace_estimator", None)
+    if tracer is not None:
+        out["trace_estimator"] = tracer.stats()
+    return out
 
 
 def make_oracle(
@@ -714,15 +876,19 @@ def make_oracle(
     blocked: bool = True,
     engine: bool = True,
     batched: bool = True,
+    trace_mode: str = "auto",
+    trace_seed: int | None = None,
 ) -> DotExpOracle:
     """Factory for the decision solver's oracle (``"exact"`` or ``"fast"``).
 
-    ``packed``/``blocked``/``engine`` configure the fast oracle's
-    single-GEMM estimate pass, fused Taylor kernels, and the rank-adaptive
-    incremental engine; ``batched`` configures the exact oracle's packed
-    trace-product pass.  All default to the fast paths; the ``False``
-    settings reproduce the reference loops bit-for-bit and exist for
-    benchmarking and regression testing.
+    ``packed``/``blocked``/``engine``/``trace_mode`` configure the fast
+    oracle's single-GEMM estimate pass, fused Taylor kernels, the
+    rank-adaptive incremental engine, and the structured degenerate-regime
+    trace estimator (``trace_seed`` its deterministic probe stream);
+    ``batched`` configures the exact oracle's packed trace-product pass.
+    All default to the fast paths; the ``False`` / ``"identity"`` settings
+    reproduce the reference loops bit-for-bit and exist for benchmarking
+    and regression testing.
     """
     kind = kind.lower()
     if kind == "exact":
@@ -737,5 +903,7 @@ def make_oracle(
             packed=packed,
             blocked=blocked,
             engine=engine,
+            trace_mode=trace_mode,
+            trace_seed=trace_seed,
         )
     raise InvalidProblemError(f"unknown oracle kind {kind!r}; expected 'exact' or 'fast'")

@@ -92,6 +92,12 @@ class DecisionResult:
     history: ConvergenceHistory | None = None
     counters: OracleCounters = field(default_factory=OracleCounters)
     work_depth: WorkDepthReport | None = None
+    #: Free-form run facts.  The decision solvers record the Algorithm 3.1
+    #: constants (``K``/``alpha``/``R``), the oracle kind, and the
+    #: fast-path discipline counters: ``psi_state`` (matrix-free
+    #: densify/matvec counts), ``taylor_engine`` (incremental-update
+    #: counts), and ``trace_estimator`` (structured-trace mode, probes,
+    #: identity fallbacks, certified-bound high-water mark).
     metadata: dict[str, Any] = field(default_factory=dict)
     #: Deferred builder for :attr:`primal_y` (matrix-free path only): called
     #: at most once, on first read, then discarded.  The builder may also

@@ -23,6 +23,11 @@ built on:
   CSR accumulation with symbolic-pattern reuse, the measured-cost kernel
   selection policy, and the incremental cross-iteration
   :class:`~repro.linalg.taylor_gram.TaylorEngine`.
+* :mod:`repro.linalg.trace_estimation` — structured estimation of the
+  oracle's trace normalisation ``Tr[exp(Psi)]`` in the degenerate-sketch
+  regime: the exact ``R x R`` Gram-spectrum evaluation, the exact deflated
+  block-Krylov projection, and a certified Hutchinson sampler — replacing
+  the per-call full-identity Taylor apply.
 * :mod:`repro.linalg.sketching` — Johnson–Lindenstrauss Gaussian sketching
   used by the nearly-linear-work oracle of Theorem 4.1.
 * :mod:`repro.linalg.norms` — spectral-norm estimation (power iteration and
@@ -71,6 +76,13 @@ from repro.linalg.taylor_gram import (
     gram_taylor_apply,
     select_taylor_mode,
 )
+from repro.linalg.trace_estimation import (
+    TraceEstimate,
+    TraceEstimator,
+    gram_exp_trace,
+    select_trace_mode,
+    truncated_exp_values,
+)
 from repro.linalg.sketching import (
     jl_dimension,
     gaussian_sketch,
@@ -117,6 +129,11 @@ __all__ = [
     "TaylorEngine",
     "gram_taylor_apply",
     "select_taylor_mode",
+    "TraceEstimate",
+    "TraceEstimator",
+    "gram_exp_trace",
+    "select_trace_mode",
+    "truncated_exp_values",
     "jl_dimension",
     "gaussian_sketch",
     "sketch_columns",

@@ -1,0 +1,585 @@
+"""Structured estimation of the oracle's trace normalisation ``Tr[exp(Psi)]``.
+
+Every iteration of the decision solver normalises the Theorem 4.1 estimates
+by ``Tr[exp(Psi)]``.  In the *degenerate-sketch* regime — ``eps`` tight
+enough that the JL dimension reaches the ambient dimension ``m``, which is
+the default configuration for every ``m`` below several thousand — the
+sketch is the identity and the legacy path obtained the trace by pushing
+the full ``(m, m)`` identity through the Lemma 4.2 Taylor polynomial once
+per oracle call: ``Tr[p(Psi/2)^2] = || p(Psi/2) I ||_F^2``.  After the
+matrix-free iteration core (PR 4) that identity push was the last dense
+``O(m^2 . degree)``-per-column object on the hot path.
+
+This module removes it.  All estimators target the *same* quantity the
+identity push measured — ``Tr[p(s Psi)^2]`` for the truncated polynomial
+``p`` of degree ``k`` (``squared=False`` variants of the helpers return
+``Tr[p(s Psi)]``) — so the oracle's normalisation semantics are unchanged:
+
+* **Gram-spectrum path** (:func:`gram_exp_trace`, mode ``"gram"``) — exact.
+  ``Psi = Q diag(w) Q^T`` and the symmetrised Gram matrix
+  ``S = diag(sqrt(w)) (Q^T Q) diag(sqrt(w))`` share their nonzero spectrum
+  (``AB`` and ``BA`` have the same nonzero eigenvalues), so
+
+  .. math:: \\mathrm{Tr}[p(s\\Psi)^2] = (m - R) + \\sum_{j=1}^{R} p(s\\lambda_j)^2,
+      \\qquad \\lambda = \\mathrm{eig}(S),
+
+  one ``R x R`` symmetric eigendecomposition plus ``R`` scalar polynomial
+  evaluations — ``O(R^3 + R k)`` instead of ``O(m^2 k)`` per column times
+  ``m`` columns.  Selected whenever the stacked rank satisfies
+  ``2R <= GRAM_HYSTERESIS * m`` (the same gate as the Gram-space Taylor
+  kernel).
+* **Deflated block-Krylov path** (mode ``"deflated"``) — exact.  Writing
+  ``p(s Psi) = I + U``, the update ``U`` is symmetric with range contained
+  in ``range(Q)`` — the one-step block Krylov subspace of the factor stack
+  captures the *entire* non-identity part.  With ``T = p(s Psi) Q`` (the
+  transformed factor block the structured estimates pass computes anyway)
+  and the cached eigendecomposition of the weight-independent ``Q^T Q``,
+  the projected ``S = V^T U V`` onto an orthonormal basis ``V`` of
+  ``range(Q)`` costs one ``(R, m) x (m, R)`` GEMM, and
+
+  .. math:: \\mathrm{Tr}[p(s\\Psi)^2] = m + 2\\,\\mathrm{Tr}[S] + \\|S\\|_F^2.
+
+  Used when ``2R`` exceeds the Gram gate but ``R`` is still meaningfully
+  below ``m`` (dense-``Psi`` / sparse-``Psi`` kernel regimes).
+* **Hutchinson with control variate** (:class:`TraceEstimator` mode
+  ``"hutchinson"``) — stochastic, with a certified error bound.  Rademacher
+  probes ``z`` give unbiased samples of ``Tr[p^2] - m`` through
+  ``2 z^T U z + ||U z||^2`` (``||z||^2 = m`` exactly for Rademacher, so the
+  identity part contributes zero variance), with the first-order control
+  variate ``2s z^T Psi z`` subtracted and its exact expectation
+  ``2s Tr[Psi] = 2s sum_c w_c ||q_c||^2`` added back.  Probes are drawn in
+  blocks and doubled adaptively until the certified bound
+  ``TRACE_CONFIDENCE * stderr`` fits the caller's relative tolerance; if
+  the probe budget is exhausted the estimator *falls back to the exact
+  identity push* (counted, never silent), so the oracle's accuracy
+  guarantee is unconditional.  A fixed ``seed`` makes every call
+  deterministic and independent of the oracle's sketch stream.
+
+:func:`select_trace_mode` is the measured-cost policy (the companion of
+:func:`~repro.linalg.taylor_gram.select_taylor_mode`): the structured modes
+pay ``R`` polynomial columns (the factor stack, which also yields the
+Theorem 4.1 estimates) instead of the ``m`` identity columns, so they win
+exactly when ``R`` is sufficiently below ``m``; at ``R`` near or above
+``m`` the identity push *is* optimal (it serves the estimates too) and the
+policy keeps it.
+
+``tests/test_linalg_trace_estimation.py`` pins every mode against the
+dense-reference identity push across low-rank, sparse, and concentrated
+stacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import InvalidProblemError, NumericalError
+from repro.linalg.taylor_gram import GRAM_HYSTERESIS
+
+__all__ = [
+    "TraceEstimate",
+    "TraceEstimator",
+    "gram_exp_trace",
+    "select_trace_mode",
+    "truncated_exp_values",
+    "TRACE_CONFIDENCE",
+    "TRACE_MIN_PROBES",
+    "TRACE_PROBE_CAP_FRACTION",
+    "TRACE_IDENTITY_MARGIN",
+]
+
+#: One-sided normal quantile used to certify the Hutchinson estimator: the
+#: reported ``error_bound`` is ``TRACE_CONFIDENCE`` sample standard errors,
+#: i.e. a ~99.9% confidence bound under the CLT normal approximation.  The
+#: exact modes report a bound of 0 (they are deterministic up to rounding).
+TRACE_CONFIDENCE = 3.0
+
+#: Probes drawn by the first Hutchinson block (doubled adaptively until the
+#: certified bound fits the tolerance).
+TRACE_MIN_PROBES = 8
+
+#: Default Hutchinson probe budget as a fraction of ``m``: past this the
+#: stochastic estimate is approaching the exact identity push's cost, so
+#: the estimator stops doubling and falls back to the exact push instead.
+TRACE_PROBE_CAP_FRACTION = 0.5
+
+#: Required headroom before a structured mode replaces the identity push:
+#: the structured estimate pass costs ``R`` polynomial columns (plus
+#: probes), the identity push ``m`` — and the identity's columns also carry
+#: the Theorem 4.1 estimates, so the swap must win by a clear margin, and
+#: the margined gate cannot flip-flop for stacks near the boundary.
+TRACE_IDENTITY_MARGIN = 0.9
+
+_TRACE_MODES = ("gram", "deflated", "hutchinson", "identity")
+
+#: Relative eigenvalue cutoff for the deflated basis: directions of
+#: ``Q^T Q`` below ``_BASIS_RTOL * mu_max`` are numerically rank-deficient
+#: and are dropped from the projection (their ``U``-components are of the
+#: same tiny order, so dropping them perturbs the trace at rounding level).
+_BASIS_RTOL = 1e-12
+
+
+def truncated_exp_values(x: np.ndarray, degree: int, scale: float = 1.0) -> np.ndarray:
+    """Elementwise truncated exponential ``sum_{0 <= i < degree} (scale*x)^i / i!``.
+
+    The scalar form of the Lemma 4.2 polynomial the Taylor kernels apply to
+    blocks: evaluating it on the eigenvalues of ``Psi`` gives the exact
+    eigenvalues of ``p(scale * Psi)``, which is how :func:`gram_exp_trace`
+    turns the ``R x R`` Gram spectrum into the trace.
+    """
+    if degree < 1:
+        raise InvalidProblemError(f"degree must be >= 1, got {degree}")
+    x = np.asarray(x, dtype=np.float64) * float(scale)
+    acc = np.ones_like(x)
+    term = np.ones_like(x)
+    for i in range(1, degree):
+        term = term * x / i
+        acc = acc + term
+    return acc
+
+
+def select_trace_mode(
+    dim: int, total_rank: int, probes: int = TRACE_MIN_PROBES
+) -> str:
+    """Pick the trace estimator for a stack of shape ``(dim, total_rank)``.
+
+    The decision mirrors :func:`~repro.linalg.taylor_gram.select_taylor_mode`:
+    it depends only on immutable shape quantities, so repeated calls can
+    never flip-flop.  The per-column polynomial cost cancels between the
+    candidates (all push blocks through the same kernel), leaving a pure
+    column-count comparison:
+
+    * ``"gram"`` when ``2R <= GRAM_HYSTERESIS * dim`` — the exact Gram
+      spectrum (``R^3`` eigendecomposition, no polynomial columns beyond
+      the ``R`` the estimates already pay);
+    * ``"deflated"`` when ``R + probes <= TRACE_IDENTITY_MARGIN * dim`` —
+      the exact block-Krylov projection (one ``(R, m) x (m, R)`` GEMM over
+      the transformed factor block);
+    * ``"identity"`` otherwise — at ``R`` near or above ``m`` the identity
+      push is optimal because its ``m`` columns also carry the Theorem 4.1
+      estimates, which the structured modes would recompute from ``R >= m``
+      factor columns.
+
+    ``"hutchinson"`` is never auto-selected — the exact deflated projection
+    costs less than any probe block whenever pushing the factor stack is
+    affordable at all — but remains explicitly selectable (it is the only
+    mode whose cost is independent of ``R``, and its certified-bound
+    machinery is exercised by the tests).
+    """
+    if dim < 0 or total_rank < 0:
+        raise InvalidProblemError(
+            f"dim and total_rank must be non-negative, got {dim}, {total_rank}"
+        )
+    if total_rank == 0 or 2 * total_rank <= GRAM_HYSTERESIS * dim:
+        return "gram"
+    if total_rank + probes <= TRACE_IDENTITY_MARGIN * dim:
+        return "deflated"
+    return "identity"
+
+
+def gram_exp_trace(
+    gram: np.ndarray,
+    col_weights: np.ndarray,
+    dim: int,
+    degree: int,
+    scale: float = 1.0,
+    squared: bool = True,
+) -> float:
+    """Exact ``Tr[p(scale * Psi)^2]`` from the Gram spectrum of the stack.
+
+    Parameters
+    ----------
+    gram:
+        The weight-independent dense ``(R, R)`` Gram matrix ``Q^T Q``
+        (:meth:`~repro.operators.packed.PackedGramFactors.gram_matrix`).
+    col_weights:
+        Per-column non-negative weights ``w`` of length ``R``.
+    dim:
+        Ambient dimension ``m`` of ``Psi = Q diag(w) Q^T``.
+    degree:
+        Taylor truncation degree ``k`` of ``p``.
+    scale:
+        Scalar multiplier on ``Psi`` inside the polynomial (the oracle
+        passes ``0.5`` and squares, matching ``||p(Psi/2)||_F^2``).
+    squared:
+        Return ``Tr[p^2]`` (the oracle's normalisation) when ``True``,
+        ``Tr[p]`` when ``False``.
+
+    Notes
+    -----
+    ``Psi`` and ``S = diag(sqrt(w)) gram diag(sqrt(w))`` share their
+    nonzero spectrum, and the ``m - R`` remaining eigenvalues of ``Psi``
+    are 0 where ``p(0) = 1``, so the trace is
+    ``(m - R) + sum_j p(scale * lambda_j)^(1 or 2)`` — exact up to
+    rounding, never touching an ``(m, m)`` object.  Requires ``R <= m``
+    (guaranteed under the Gram gate of :func:`select_trace_mode`).
+    """
+    col_weights = np.asarray(col_weights, dtype=np.float64).ravel()
+    gram = np.asarray(gram, dtype=np.float64)
+    r = col_weights.shape[0]
+    if gram.shape != (r, r):
+        raise InvalidProblemError(
+            f"gram matrix must have shape {(r, r)}, got {gram.shape}"
+        )
+    if r > dim:
+        raise InvalidProblemError(
+            f"the Gram-spectrum trace requires R <= m, got R={r}, m={dim}"
+        )
+    if np.any(col_weights < 0):
+        raise InvalidProblemError("column weights must be non-negative")
+    if r == 0:
+        return float(dim)
+    root = np.sqrt(col_weights)
+    weighted = gram * root[None, :] * root[:, None]
+    eigenvalues = np.linalg.eigvalsh(0.5 * (weighted + weighted.T))
+    # Psi is PSD; tiny negative eigenvalues are rounding noise.
+    np.clip(eigenvalues, 0.0, None, out=eigenvalues)
+    values = truncated_exp_values(eigenvalues, degree, scale=scale)
+    if squared:
+        values = values * values
+    trace = float(dim - r) + float(values.sum())
+    if not np.isfinite(trace):
+        raise NumericalError(
+            "Gram-spectrum trace evaluation overflowed; reduce the spectral "
+            "norm of psi or the degree"
+        )
+    return trace
+
+
+@dataclass
+class TraceEstimate:
+    """One structured trace estimate and its certification.
+
+    Attributes
+    ----------
+    value:
+        The estimate of ``Tr[p(scale * Psi)^2]``.
+    error_bound:
+        Certified absolute error bound: 0 for the exact modes (``gram``,
+        ``deflated``, and the ``identity`` fallback — deterministic up to
+        rounding), ``TRACE_CONFIDENCE`` standard errors for ``hutchinson``.
+    mode:
+        The mode that produced the value (``"identity"`` when the
+        Hutchinson budget was exhausted and the exact fallback ran).
+    probes:
+        Rademacher probe columns pushed through the polynomial (0 for the
+        exact modes) — the oracle adds them to its column-count work charge.
+    extra_work:
+        Model work of the estimator beyond the shared polynomial columns
+        (the ``R^3`` eigendecomposition, the projection GEMMs, the
+        control-variate matvecs, or the fallback identity push).
+    """
+
+    value: float
+    error_bound: float
+    mode: str
+    probes: int = 0
+    extra_work: float = 0.0
+
+
+class TraceEstimator:
+    """Per-oracle structured estimator of ``Tr[p(s Psi)^2]`` with counters.
+
+    One estimator is held by each :class:`~repro.core.dotexp.FastDotExpOracle`
+    and engaged by :func:`~repro.core.dotexp.big_dot_exp` whenever the trace
+    would otherwise require the full-identity Taylor apply (the
+    degenerate-sketch regime and the ``use_sketch=False`` path).  The mode
+    is resolved once at construction from the stack's immutable shape
+    (:func:`select_trace_mode`); weight-dependent inputs are rebound per
+    oracle call through :meth:`bind`.
+
+    Parameters
+    ----------
+    packed:
+        The :class:`~repro.operators.packed.PackedGramFactors` view whose
+        ``Psi = sum_i x_i Q_i Q_i^T`` is being exponentiated.
+    eps:
+        Relative tolerance the ``hutchinson`` mode must certify (the fast
+        oracle passes the sketch half of its budget, which the degenerate
+        regime's identity "sketch" leaves unused).  Ignored by the exact
+        modes.
+    mode:
+        ``"auto"`` (default) applies :func:`select_trace_mode`; any
+        explicit mode from its vocabulary (plus ``"hutchinson"``) forces
+        the estimator.  ``"identity"`` makes :attr:`structured` false — the
+        caller keeps the legacy push and this object only counts.
+    seed:
+        Deterministic seed of the Hutchinson probe stream.  Probes are
+        drawn from ``default_rng((seed, call_index))``, so every call is
+        reproducible and *independent of the oracle's sketch stream* —
+        enabling the fixed-seed structured-vs-reference decision
+        equivalence the regression tests certify.
+    confidence:
+        Standard-error multiple of the certified bound
+        (:data:`TRACE_CONFIDENCE`).
+    min_probes, max_probes:
+        First probe block size and total probe budget (defaults:
+        :data:`TRACE_MIN_PROBES` and ``TRACE_PROBE_CAP_FRACTION * m``).
+        Exhausting the budget triggers the exact identity fallback.
+    """
+
+    def __init__(
+        self,
+        packed,
+        eps: float = 0.05,
+        mode: str = "auto",
+        seed: int = 0,
+        confidence: float = TRACE_CONFIDENCE,
+        min_probes: int = TRACE_MIN_PROBES,
+        max_probes: int | None = None,
+    ) -> None:
+        if eps <= 0 or eps >= 1:
+            raise InvalidProblemError(f"eps must be in (0, 1), got {eps}")
+        self.packed = packed
+        self.dim = int(packed.dim)
+        self.total_rank = int(packed.total_rank)
+        self.eps = float(eps)
+        self.seed = int(seed)
+        self.confidence = float(confidence)
+        self.min_probes = max(2, int(min_probes))
+        if max_probes is None:
+            max_probes = max(
+                self.min_probes, int(TRACE_PROBE_CAP_FRACTION * self.dim)
+            )
+        self.max_probes = int(max_probes)
+        if mode == "auto":
+            mode = select_trace_mode(self.dim, self.total_rank, probes=self.min_probes)
+        if mode not in _TRACE_MODES:
+            raise InvalidProblemError(
+                f"unknown trace mode {mode!r}; expected one of {_TRACE_MODES} or 'auto'"
+            )
+        if mode == "gram" and self.total_rank > self.dim:
+            raise InvalidProblemError(
+                "trace mode 'gram' requires R <= m "
+                f"(got R={self.total_rank}, m={self.dim})"
+            )
+        self.mode = mode
+        self.calls = 0
+        self.probes_drawn = 0
+        self.identity_fallbacks = 0
+        self.extra_work = 0.0
+        self.max_error_bound = 0.0
+        self.last: TraceEstimate | None = None
+        self._mode_counts: dict[str, int] = {}
+        self._col_w: np.ndarray | None = None
+        self._gram_eig: tuple[np.ndarray, np.ndarray] | None = None
+
+    @property
+    def structured(self) -> bool:
+        """Whether this estimator replaces the identity push (mode != identity)."""
+        return self.mode != "identity"
+
+    def stats(self) -> dict:
+        """Counters for regression tests and solver result metadata.
+
+        The decision solvers surface this dict as
+        ``result.metadata["trace_estimator"]`` next to the ``psi_state``
+        and ``taylor_engine`` counters, so tests can assert the
+        zero-identity-apply discipline and the certified-bound budget.
+        """
+        return {
+            "mode": self.mode,
+            "calls": self.calls,
+            "probes_drawn": self.probes_drawn,
+            "identity_fallbacks": self.identity_fallbacks,
+            "extra_work": self.extra_work,
+            "max_error_bound": self.max_error_bound,
+            "mode_counts": dict(self._mode_counts),
+        }
+
+    def bind(self, weights: np.ndarray) -> "TraceEstimator":
+        """Bind the per-constraint weights of the current oracle call.
+
+        Returns ``self`` so the oracle can pass
+        ``trace_estimator=estimator.bind(x)`` straight into
+        :func:`~repro.core.dotexp.big_dot_exp` (which has no weight
+        argument of its own — the weights are exactly what generated its
+        ``phi``).
+        """
+        self._col_w = self.packed.expand_weights(weights)
+        return self
+
+    # ------------------------------------------------------------------ modes
+    def _gram_estimate(self, degree: int, scale: float) -> TraceEstimate:
+        if self._col_w is None:
+            raise InvalidProblemError(
+                "bind(weights) must be called before a Gram trace estimate"
+            )
+        value = gram_exp_trace(
+            self.packed.gram_matrix(),
+            self._col_w,
+            self.dim,
+            degree,
+            scale=scale,
+            squared=True,
+        )
+        r = self.total_rank
+        return TraceEstimate(
+            value=value,
+            error_bound=0.0,
+            mode="gram",
+            extra_work=float(r) ** 3 + float(r) * degree,
+        )
+
+    def _basis(self) -> tuple[np.ndarray, np.ndarray]:
+        """Kept eigenpairs of the weight-independent ``Q^T Q`` (cached)."""
+        if self._gram_eig is None:
+            gram = self.packed.gram_matrix()
+            mu, w = np.linalg.eigh(0.5 * (gram + gram.T))
+            keep = mu > _BASIS_RTOL * max(float(mu[-1]), 0.0) if mu.size else mu > 0
+            self._gram_eig = (mu[keep], w[:, keep])
+        return self._gram_eig
+
+    def _deflated_estimate(
+        self, kernel, degree: int, scale: float, transformed: np.ndarray | None
+    ) -> TraceEstimate:
+        stacked = self.packed.dense_columns()
+        if transformed is None:
+            transformed = kernel.apply(stacked, degree, scale=scale)
+        q = self.packed.matrix
+        # M = Q^T (p(sPsi) Q - Q) = Q^T U Q with U = p(sPsi) - I; U is
+        # symmetric with range inside range(Q), so projecting onto an
+        # orthonormal basis V of range(Q) loses nothing: S = V^T U V.
+        update = transformed - stacked
+        m_mat = np.asarray(q.T @ update, dtype=np.float64)
+        mu, w = self._basis()
+        if mu.size == 0:
+            return TraceEstimate(value=float(self.dim), error_bound=0.0, mode="deflated")
+        inv_root = 1.0 / np.sqrt(mu)
+        s = (w.T @ m_mat @ w) * inv_root[:, None] * inv_root[None, :]
+        s = 0.5 * (s + s.T)
+        value = float(self.dim) + 2.0 * float(np.trace(s)) + float(np.sum(s * s))
+        if not np.isfinite(value):
+            raise NumericalError(
+                "deflated trace evaluation overflowed; reduce the spectral "
+                "norm of psi or the degree"
+            )
+        r = self.total_rank
+        return TraceEstimate(
+            value=value,
+            error_bound=0.0,
+            mode="deflated",
+            extra_work=float(self.dim) * r * r + 2.0 * float(r) ** 3,
+        )
+
+    def _identity_push(self, kernel, degree: int, scale: float) -> float:
+        eye_transformed = kernel.apply(np.eye(self.dim), degree, scale=scale)
+        return float(np.sum(eye_transformed * eye_transformed))
+
+    def _hutchinson_estimate(
+        self, kernel, degree: int, scale: float
+    ) -> TraceEstimate:
+        if self._col_w is None:
+            raise InvalidProblemError(
+                "bind(weights) must be called before a Hutchinson trace estimate"
+            )
+        m = self.dim
+        psi_trace = float(self._col_w @ self.packed.column_sq_norms())
+        rng = np.random.default_rng((self.seed, self.calls))
+        samples = np.zeros(0, dtype=np.float64)
+        drawn = 0
+        block = min(self.min_probes, self.max_probes)
+        while True:
+            z = rng.integers(0, 2, size=(m, block)).astype(np.float64) * 2.0 - 1.0
+            pz = kernel.apply(z, degree, scale=scale)
+            uz = pz - z
+            psi_z = kernel.matvec(z)
+            # ||z||^2 = m exactly for Rademacher probes, so the identity
+            # part of p^2 = I + 2U + U^2 contributes zero variance; the
+            # first-order control variate 2s z^T Psi z (exact expectation
+            # 2s Tr[Psi]) removes the leading term of 2 z^T U z.
+            new = (
+                2.0 * np.einsum("ij,ij->j", z, uz)
+                + np.einsum("ij,ij->j", uz, uz)
+                - 2.0 * scale * np.einsum("ij,ij->j", z, psi_z)
+            )
+            samples = np.concatenate([samples, new])
+            drawn += block
+            estimate = float(m) + 2.0 * scale * psi_trace + float(samples.mean())
+            stderr = float(samples.std(ddof=1)) / np.sqrt(samples.shape[0])
+            bound = self.confidence * stderr
+            if not np.isfinite(estimate):
+                raise NumericalError(
+                    "Hutchinson trace evaluation overflowed; reduce the "
+                    "spectral norm of psi or the degree"
+                )
+            if estimate > 0 and bound <= self.eps * estimate:
+                self.probes_drawn += drawn
+                return TraceEstimate(
+                    value=estimate,
+                    error_bound=bound,
+                    mode="hutchinson",
+                    probes=drawn,
+                    extra_work=float(drawn) * max(self.packed.nnz, m),
+                )
+            if drawn >= self.max_probes:
+                # Budget exhausted: certify by computing the exact value.
+                # Never silent — the fallback is counted so the regression
+                # tests can assert it does not fire on the supported grids.
+                self.probes_drawn += drawn
+                self.identity_fallbacks += 1
+                value = self._identity_push(kernel, degree, scale)
+                return TraceEstimate(
+                    value=value,
+                    error_bound=0.0,
+                    mode="identity",
+                    probes=drawn,
+                    extra_work=float(m) * degree * max(self.packed.nnz, m),
+                )
+            block = min(drawn, self.max_probes - drawn)
+
+    # ------------------------------------------------------------------ entry
+    def estimate(
+        self,
+        kernel,
+        degree: int,
+        scale: float = 0.5,
+        transformed_factors: np.ndarray | None = None,
+    ) -> TraceEstimate:
+        """Estimate ``Tr[p(scale * Psi)^2]`` for the currently-bound weights.
+
+        Parameters
+        ----------
+        kernel:
+            The Taylor kernel over the current ``Psi`` (any representation
+            — the estimator only uses ``apply``/``matvec``).
+        degree:
+            Taylor truncation degree of ``p``.
+        scale:
+            Scalar inside the polynomial (the oracle's ``0.5``).
+        transformed_factors:
+            Optional ``p(scale * Psi) Q`` block, when the caller has
+            already computed it for the Theorem 4.1 estimates — the
+            deflated mode then adds only one projection GEMM.
+
+        Returns
+        -------
+        TraceEstimate
+            Value, certified bound, mode, probe count and extra model work;
+            also stored as :attr:`last` for the oracle's work accounting.
+        """
+        if self.mode == "identity":
+            raise InvalidProblemError(
+                "trace mode 'identity' keeps the legacy push; the caller "
+                "should not engage the estimator (structured is False)"
+            )
+        self.calls += 1
+        if self.mode == "gram":
+            result = self._gram_estimate(degree, scale)
+        elif self.mode == "deflated":
+            result = self._deflated_estimate(kernel, degree, scale, transformed_factors)
+        else:
+            result = self._hutchinson_estimate(kernel, degree, scale)
+        self.extra_work += result.extra_work
+        self.max_error_bound = max(self.max_error_bound, result.error_bound)
+        self._mode_counts[result.mode] = self._mode_counts.get(result.mode, 0) + 1
+        self.last = result
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TraceEstimator(dim={self.dim}, R={self.total_rank}, "
+            f"mode={self.mode}, calls={self.calls})"
+        )

@@ -158,6 +158,7 @@ class PackedGramFactors:
         self._auto_mode: str | None = None
         self._engine_cache: dict = {}
         self._column_nnz: np.ndarray | None = None
+        self._column_sq_norms: np.ndarray | None = None
 
     # ------------------------------------------------------------------ basics
     @classmethod
@@ -474,13 +475,26 @@ class PackedGramFactors:
             col_vals = np.einsum("ij,ij->j", wq, self._q)
         return segment_sums(col_vals, self.offsets)
 
+    def column_sq_norms(self) -> np.ndarray:
+        """Squared column norms ``||q_c||^2`` of the stack (cached).
+
+        Weight-independent: ``Tr[Psi] = sum_c w_c ||q_c||^2`` for
+        ``Psi = Q diag(w) Q^T``, which is how the structured trace
+        estimator (:mod:`repro.linalg.trace_estimation`) gets its exact
+        control-variate expectation in ``O(R)`` per call.
+        """
+        if self._column_sq_norms is None:
+            if self._sparse:
+                self._column_sq_norms = np.asarray(
+                    self._q.multiply(self._q).sum(axis=0)
+                ).ravel()
+            else:
+                self._column_sq_norms = np.einsum("ij,ij->j", self._q, self._q)
+        return self._column_sq_norms
+
     def traces(self) -> np.ndarray:
         """All ``Tr[A_i] = ||Q_i||_F^2`` from the stacked column norms."""
-        if self._sparse:
-            col_vals = np.asarray(self._q.multiply(self._q).sum(axis=0)).ravel()
-        else:
-            col_vals = np.einsum("ij,ij->j", self._q, self._q)
-        return segment_sums(col_vals, self.offsets)
+        return segment_sums(self.column_sq_norms(), self.offsets)
 
     def estimates_from_transform(self, transformed: np.ndarray) -> np.ndarray:
         """All Theorem 4.1 estimates ``||T Q_i||_F^2`` for a transform block

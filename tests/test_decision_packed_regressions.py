@@ -561,3 +561,106 @@ class TestMatrixFreeRegressions:
             max_iterations=8,
         )
         assert result.metadata["psi_state"]["mode"] == "implicit"
+
+
+def _trace_collection(seed, m, n, kind="lowrank", rank=2, density=0.05):
+    """Factorized families for the E15 structured-trace regressions."""
+    import scipy.sparse as sp
+
+    rng = np.random.default_rng(seed)
+    scale = 1.0 / np.sqrt(m)
+    ops = []
+    for _ in range(n):
+        if kind == "lowrank":
+            ops.append(FactorizedPSDOperator(scale * rng.standard_normal((m, rank))))
+        else:
+            factor = sp.random(m, rank, density=density, random_state=rng, format="csr")
+            if factor.nnz == 0:
+                factor = sp.csr_matrix(
+                    (np.full(rank, scale), (rng.integers(0, m, rank), np.arange(rank))),
+                    shape=(m, rank),
+                )
+            ops.append(FactorizedPSDOperator(factor * (scale / np.sqrt(density))))
+    return ConstraintCollection(ops, validate=False)
+
+
+class TestStructuredTraceRegressions:
+    """The E15 structured trace estimator: fixed-seed decision equivalence
+    against the identity-push reference and the zero-full-identity-apply
+    discipline on the ``m >= 512`` degenerate-sketch grid."""
+
+    def _solve(self, seed, m, n, kind, trace_mode, cap=8):
+        coll = _trace_collection(seed, m, n, kind=kind)
+        oracle = FastDotExpOracle(coll, eps=0.1, rng=seed, trace_mode=trace_mode)
+        result = decision_psdp(
+            coll,
+            epsilon=0.2,
+            oracle=oracle,
+            rng=seed,
+            max_iterations=cap,
+            collect_history=True,
+            certificate_check_every=4,
+        )
+        return result, oracle
+
+    @pytest.mark.parametrize(
+        "m,n,kind",
+        [
+            (512, 8, "lowrank"),   # gram trace mode (2R << m)
+            (512, 120, "sparse"),  # gram trace mode on a sparse stack
+        ],
+    )
+    def test_m512_degenerate_solves_zero_identity_applies(self, m, n, kind):
+        result, oracle = self._solve(11, m, n, kind, "auto")
+        assert oracle.counters.extra.get("identity_taylor_applies", 0) == 0
+        stats = result.metadata["trace_estimator"]
+        assert stats["identity_fallbacks"] == 0
+        assert stats["calls"] == result.iterations
+        assert stats["mode"] in ("gram", "deflated")
+
+    @pytest.mark.parametrize(
+        "m,n,kind",
+        [
+            (512, 8, "lowrank"),
+            (256, 80, "lowrank"),  # 2R > 1.1m: deflated trace mode
+            (512, 120, "sparse"),
+        ],
+    )
+    def test_structured_and_identity_certify_identical_decisions(self, m, n, kind):
+        new, oracle_new = self._solve(13, m, n, kind, "auto")
+        ref, oracle_ref = self._solve(13, m, n, kind, "identity")
+        assert oracle_ref.trace_estimator is None
+        assert new.outcome == ref.outcome
+        assert new.iterations == ref.iterations
+        np.testing.assert_allclose(new.dual_x, ref.dual_x, rtol=1e-6, atol=1e-10)
+        # The reference run pushed one identity per oracle call; the
+        # structured run pushed none.
+        assert oracle_ref.counters.extra["identity_taylor_applies"] == ref.iterations
+        assert oracle_new.counters.extra.get("identity_taylor_applies", 0) == 0
+
+    def test_deflated_mode_selected_past_gram_gate(self):
+        result, oracle = self._solve(17, 256, 80, "lowrank", "auto", cap=5)
+        assert result.metadata["trace_estimator"]["mode"] == "deflated"
+        assert oracle.counters.extra.get("identity_taylor_applies", 0) == 0
+
+    def test_oracle_work_charge_shrinks_with_structured_trace(self):
+        new, _ = self._solve(19, 512, 8, "lowrank", "auto", cap=4)
+        ref, _ = self._solve(19, 512, 8, "lowrank", "identity", cap=4)
+        work_new = sum(r.oracle_work for r in new.history)
+        work_ref = sum(r.oracle_work for r in ref.history)
+        assert work_new < 0.5 * work_ref
+
+    def test_phased_solver_surfaces_trace_stats(self):
+        coll = _trace_collection(23, 256, 8)
+        oracle = FastDotExpOracle(coll, eps=0.1, rng=23)
+        result = decision_psdp_phased(
+            coll, epsilon=0.25, oracle=oracle, rng=23, max_iterations=8
+        )
+        stats = result.metadata["trace_estimator"]
+        assert stats["mode"] == "gram"
+        assert stats["identity_fallbacks"] == 0
+        assert oracle.counters.extra.get("identity_taylor_applies", 0) == 0
+
+    def test_exact_oracle_has_no_trace_metadata(self, small_collection):
+        result = decision_psdp(small_collection, epsilon=0.3, max_iterations=4)
+        assert "trace_estimator" not in result.metadata

@@ -1,0 +1,409 @@
+"""Tests for repro.linalg.trace_estimation (structured degenerate-regime trace).
+
+Every estimator mode must agree with the dense reference — the full
+``(m, m)`` identity pushed through the Taylor polynomial,
+``Tr[p(Psi/2)^2] = ||p(Psi/2) I||_F^2`` — within its certification: exact
+(rounding-level) for the Gram-spectrum and deflated block-Krylov modes,
+within the reported ``error_bound`` for the Hutchinson sampler.  The mode
+policy and the oracle threading (zero full-identity Taylor applies on the
+structured paths) are pinned here; the end-to-end solver regressions live
+in ``tests/test_decision_packed_regressions.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core.dotexp import FastDotExpOracle, big_dot_exp
+from repro.exceptions import InvalidProblemError
+from repro.linalg.taylor_gram import GRAM_HYSTERESIS
+from repro.linalg.trace_estimation import (
+    TRACE_IDENTITY_MARGIN,
+    TRACE_MIN_PROBES,
+    TraceEstimator,
+    gram_exp_trace,
+    select_trace_mode,
+    truncated_exp_values,
+)
+from repro.operators import ConstraintCollection, FactorizedPSDOperator
+
+
+def _collection(seed, n=10, m=48, rank=2, kind="dense", density=0.1, support=None):
+    """Random factorized constraints across the low-rank/sparse/concentrated
+    families the estimator must cover."""
+    rng = np.random.default_rng(seed)
+    scale = 1.0 / np.sqrt(m)
+    ops = []
+    for _ in range(n):
+        if kind == "dense":
+            ops.append(FactorizedPSDOperator(scale * rng.standard_normal((m, rank))))
+        elif kind == "sparse":
+            factor = sp.random(m, rank, density=density, random_state=rng, format="csr")
+            if factor.nnz == 0:
+                factor = sp.csr_matrix(
+                    (np.full(rank, scale), (rng.integers(0, m, rank), np.arange(rank))),
+                    shape=(m, rank),
+                )
+            ops.append(FactorizedPSDOperator(factor * (scale / np.sqrt(density))))
+        elif kind == "concentrated":
+            rows_avail = support if support is not None else max(m // 8, 4)
+            dense = np.zeros((m, rank))
+            for c in range(rank):
+                rows = rng.choice(rows_avail, size=min(4, rows_avail), replace=False)
+                dense[rows, c] = scale * rng.standard_normal(rows.shape[0])
+            ops.append(FactorizedPSDOperator(sp.csr_matrix(dense)))
+        else:  # pragma: no cover - test helper
+            raise ValueError(kind)
+    return ConstraintCollection(ops, validate=False)
+
+
+def _reference_trace(packed, weights, degree, scale=0.5):
+    """The legacy identity push: ``||p(scale * Psi) I||_F^2``."""
+    kernel = packed.taylor_kernel(weights)
+    eye_t = kernel.apply(np.eye(packed.dim), degree, scale=scale)
+    return float(np.sum(eye_t * eye_t))
+
+
+class TestTruncatedExpValues:
+    def test_matches_exp_at_high_degree(self):
+        x = np.linspace(0.0, 3.0, 7)
+        np.testing.assert_allclose(
+            truncated_exp_values(x, 40), np.exp(x), rtol=1e-12
+        )
+
+    def test_scale_and_low_degree(self):
+        x = np.array([0.0, 1.0, 2.0])
+        # degree 2: 1 + 0.5 x
+        np.testing.assert_allclose(
+            truncated_exp_values(x, 2, scale=0.5), 1.0 + 0.5 * x
+        )
+
+    def test_degree_validation(self):
+        with pytest.raises(InvalidProblemError):
+            truncated_exp_values(np.ones(3), 0)
+
+
+class TestSelectTraceMode:
+    def test_gram_under_hysteresis_gate(self):
+        assert select_trace_mode(100, 0) == "gram"
+        assert select_trace_mode(100, 50) == "gram"
+        # The hysteresis margin keeps near-threshold stacks on the gram path.
+        assert select_trace_mode(100, int(GRAM_HYSTERESIS * 100 / 2)) == "gram"
+
+    def test_deflated_midrange(self):
+        assert select_trace_mode(100, 60) == "deflated"
+        margin = int(TRACE_IDENTITY_MARGIN * 100) - TRACE_MIN_PROBES
+        assert select_trace_mode(100, margin) == "deflated"
+
+    def test_identity_near_full_rank(self):
+        assert select_trace_mode(100, 95) == "identity"
+        assert select_trace_mode(100, 150) == "identity"
+
+    def test_negative_shapes_rejected(self):
+        with pytest.raises(InvalidProblemError):
+            select_trace_mode(-1, 2)
+
+
+class TestGramExpTrace:
+    @pytest.mark.parametrize("kind", ["dense", "sparse", "concentrated"])
+    def test_matches_identity_push(self, kind):
+        coll = _collection(3, n=8, m=40, kind=kind)
+        packed = coll.packed()
+        w = np.random.default_rng(4).random(len(coll)) + 0.1
+        degree = 22
+        ref = _reference_trace(packed, w, degree)
+        value = gram_exp_trace(
+            packed.gram_matrix(),
+            packed.expand_weights(w),
+            packed.dim,
+            degree,
+            scale=0.5,
+            squared=True,
+        )
+        assert value == pytest.approx(ref, rel=1e-10)
+
+    def test_unsquared_matches_eigen_sum(self):
+        coll = _collection(5, n=6, m=30)
+        packed = coll.packed()
+        w = np.full(len(coll), 0.4)
+        col_w = packed.expand_weights(w)
+        psi = packed.weighted_sum(w)
+        degree = 25
+        lam = np.linalg.eigvalsh(psi)
+        ref = float(truncated_exp_values(lam, degree, scale=0.5).sum())
+        value = gram_exp_trace(
+            packed.gram_matrix(), col_w, packed.dim, degree, scale=0.5, squared=False
+        )
+        assert value == pytest.approx(ref, rel=1e-10)
+
+    def test_zero_weights_give_dim(self):
+        coll = _collection(6, n=4, m=20)
+        packed = coll.packed()
+        value = gram_exp_trace(
+            packed.gram_matrix(),
+            np.zeros(packed.total_rank),
+            packed.dim,
+            10,
+            squared=True,
+        )
+        assert value == pytest.approx(float(packed.dim))
+
+    def test_rank_above_dim_rejected(self):
+        with pytest.raises(InvalidProblemError):
+            gram_exp_trace(np.eye(5), np.ones(5), 3, 10)
+
+
+class TestTraceEstimatorModes:
+    @pytest.mark.parametrize("kind", ["dense", "sparse", "concentrated"])
+    @pytest.mark.parametrize("mode", ["gram", "deflated"])
+    def test_exact_modes_match_reference(self, kind, mode):
+        coll = _collection(7, n=9, m=44, kind=kind)
+        packed = coll.packed()
+        w = np.random.default_rng(8).random(len(coll)) + 0.05
+        degree = 20
+        ref = _reference_trace(packed, w, degree)
+        estimator = TraceEstimator(packed, mode=mode).bind(w)
+        kernel = packed.taylor_kernel(w)
+        estimate = estimator.estimate(kernel, degree, scale=0.5)
+        assert estimate.mode == mode
+        assert estimate.error_bound == 0.0
+        assert estimate.value == pytest.approx(ref, rel=1e-9)
+
+    def test_deflated_reuses_transformed_block(self):
+        coll = _collection(9, n=8, m=40)
+        packed = coll.packed()
+        w = np.full(len(coll), 0.3)
+        degree = 18
+        kernel = packed.taylor_kernel(w)
+        transformed = kernel.apply(packed.dense_columns(), degree, scale=0.5)
+        estimator = TraceEstimator(packed, mode="deflated").bind(w)
+        with_block = estimator.estimate(
+            kernel, degree, scale=0.5, transformed_factors=transformed
+        )
+        fresh = TraceEstimator(packed, mode="deflated").bind(w)
+        without = fresh.estimate(kernel, degree, scale=0.5)
+        assert with_block.value == pytest.approx(without.value, rel=1e-12)
+
+    @pytest.mark.parametrize("kind", ["dense", "sparse", "concentrated"])
+    def test_hutchinson_within_certified_bound(self, kind):
+        coll = _collection(11, n=10, m=52, kind=kind)
+        packed = coll.packed()
+        w = np.random.default_rng(12).random(len(coll)) + 0.1
+        degree = 20
+        ref = _reference_trace(packed, w, degree)
+        estimator = TraceEstimator(
+            packed, mode="hutchinson", eps=0.05, seed=5
+        ).bind(w)
+        kernel = packed.taylor_kernel(w)
+        estimate = estimator.estimate(kernel, degree, scale=0.5)
+        if estimate.mode == "hutchinson":
+            assert abs(estimate.value - ref) <= max(
+                estimate.error_bound, 0.05 * ref
+            )
+            assert estimate.probes >= 2
+        else:  # budget exhausted: the exact fallback must be bit-exact
+            assert estimate.value == pytest.approx(ref, rel=1e-12)
+            assert estimator.identity_fallbacks == 1
+
+    def test_hutchinson_is_deterministic_per_seed(self):
+        coll = _collection(13, n=8, m=36)
+        packed = coll.packed()
+        w = np.full(len(coll), 0.25)
+        degree = 16
+
+        def run(seed):
+            estimator = TraceEstimator(
+                packed, mode="hutchinson", eps=0.1, seed=seed
+            ).bind(w)
+            return estimator.estimate(packed.taylor_kernel(w), degree, scale=0.5)
+
+        a, b, c = run(7), run(7), run(8)
+        assert a.value == b.value and a.probes == b.probes
+        assert a.value != c.value  # a different seed draws different probes
+
+    def test_hutchinson_budget_exhaustion_falls_back_exactly(self):
+        coll = _collection(15, n=6, m=32)
+        packed = coll.packed()
+        w = np.full(len(coll), 0.3)
+        degree = 15
+        ref = _reference_trace(packed, w, degree)
+        # An absurdly tight tolerance forces the budget out; the estimator
+        # must return the exact identity-push value and count the fallback.
+        estimator = TraceEstimator(
+            packed, mode="hutchinson", eps=1e-9, seed=1, max_probes=4
+        ).bind(w)
+        estimate = estimator.estimate(packed.taylor_kernel(w), degree, scale=0.5)
+        assert estimate.mode == "identity"
+        assert estimate.value == pytest.approx(ref, rel=1e-12)
+        assert estimator.identity_fallbacks == 1
+        assert estimator.stats()["mode_counts"] == {"identity": 1}
+
+    def test_identity_mode_refuses_estimates(self):
+        coll = _collection(17, n=4, m=10, rank=4)
+        packed = coll.packed()
+        estimator = TraceEstimator(packed, mode="identity")
+        assert not estimator.structured
+        with pytest.raises(InvalidProblemError):
+            estimator.estimate(packed.taylor_kernel(np.ones(4)), 10)
+
+    def test_bind_required_for_weighted_modes(self):
+        coll = _collection(19, n=5, m=24)
+        packed = coll.packed()
+        estimator = TraceEstimator(packed, mode="gram")
+        with pytest.raises(InvalidProblemError):
+            estimator.estimate(packed.taylor_kernel(np.ones(5)), 10)
+
+    def test_unknown_mode_rejected(self):
+        coll = _collection(21, n=4, m=16)
+        with pytest.raises(InvalidProblemError):
+            TraceEstimator(coll.packed(), mode="krylov++")
+
+
+class TestBigDotExpThreading:
+    def _setup(self, seed=23, n=9, m=40, kind="dense"):
+        coll = _collection(seed, n=n, m=m, kind=kind)
+        packed = coll.packed()
+        w = np.random.default_rng(seed + 1).random(n) + 0.1
+        kernel = packed.taylor_kernel(w)
+        return packed, w, kernel
+
+    def test_degenerate_sketch_values_and_trace_match_legacy(self):
+        packed, w, kernel = self._setup()
+        # eps small enough that the JL dimension exceeds m: degenerate.
+        legacy_vals, legacy_trace = big_dot_exp(
+            kernel, packed, kappa=4.0, eps=0.05, rng=0, return_trace=True
+        )
+        estimator = TraceEstimator(packed, mode="gram").bind(w)
+        vals, trace = big_dot_exp(
+            kernel,
+            packed,
+            kappa=4.0,
+            eps=0.05,
+            rng=0,
+            return_trace=True,
+            trace_estimator=estimator,
+        )
+        np.testing.assert_allclose(vals, legacy_vals, rtol=1e-9)
+        assert trace == pytest.approx(legacy_trace, rel=1e-9)
+        assert estimator.calls == 1
+
+    def test_structured_path_counts_zero_identity_applies(self):
+        from repro.instrumentation.counters import OracleCounters
+
+        packed, w, kernel = self._setup()
+        estimator = TraceEstimator(packed, mode="gram").bind(w)
+        counters = OracleCounters()
+        big_dot_exp(
+            kernel,
+            packed,
+            kappa=4.0,
+            eps=0.05,
+            rng=0,
+            return_trace=True,
+            counters=counters,
+            trace_estimator=estimator,
+        )
+        assert counters.extra.get("identity_taylor_applies", 0) == 0
+        assert counters.extra["structured_trace_estimates"] == 1
+
+    def test_legacy_path_counts_identity_applies(self):
+        from repro.instrumentation.counters import OracleCounters
+
+        packed, w, kernel = self._setup()
+        counters = OracleCounters()
+        big_dot_exp(
+            kernel,
+            packed,
+            kappa=4.0,
+            eps=0.05,
+            rng=0,
+            return_trace=True,
+            counters=counters,
+        )
+        assert counters.extra["identity_taylor_applies"] == 1
+
+    def test_no_sketch_path_threads_estimator(self):
+        packed, w, kernel = self._setup()
+        legacy_vals, legacy_trace = big_dot_exp(
+            kernel, packed, kappa=4.0, eps=0.05, use_sketch=False, return_trace=True
+        )
+        estimator = TraceEstimator(packed, mode="deflated").bind(w)
+        vals, trace = big_dot_exp(
+            kernel,
+            packed,
+            kappa=4.0,
+            eps=0.05,
+            use_sketch=False,
+            return_trace=True,
+            trace_estimator=estimator,
+        )
+        np.testing.assert_allclose(vals, legacy_vals, rtol=1e-12)
+        assert trace == pytest.approx(legacy_trace, rel=1e-9)
+
+    def test_non_degenerate_sketch_ignores_estimator(self):
+        # Loose eps on a larger m: the sketch genuinely reduces, the trace
+        # rides on the sketch block, and the estimator must stay idle.
+        coll = _collection(25, n=6, m=96)
+        packed = coll.packed()
+        w = np.full(6, 0.3)
+        kernel = packed.taylor_kernel(w)
+        estimator = TraceEstimator(packed, mode="gram").bind(w)
+        big_dot_exp(
+            kernel,
+            packed,
+            kappa=3.0,
+            eps=0.9,
+            rng=0,
+            sketch_constant=1.0,
+            return_trace=True,
+            trace_estimator=estimator,
+        )
+        assert estimator.calls == 0
+
+
+class TestFastOracleTraceModes:
+    def _fresh(self, seed, n=10, m=48, kind="dense", **oracle_kw):
+        coll = _collection(seed, n=n, m=m, kind=kind)
+        return FastDotExpOracle(coll, eps=0.1, rng=0, **oracle_kw), n
+
+    @pytest.mark.parametrize("kind", ["dense", "sparse", "concentrated"])
+    def test_auto_matches_identity_reference(self, kind):
+        oracle_new, n = self._fresh(27, kind=kind, trace_mode="auto")
+        oracle_ref, _ = self._fresh(27, kind=kind, trace_mode="identity")
+        x = np.random.default_rng(28).random(n) + 0.1
+        out_new = oracle_new(None, x)
+        out_ref = oracle_ref(None, x)
+        np.testing.assert_allclose(out_new.values, out_ref.values, rtol=1e-6)
+        assert out_new.trace == pytest.approx(out_ref.trace, rel=1e-6)
+        # The structured call never pushed the identity; the reference did.
+        assert oracle_new.counters.extra.get("identity_taylor_applies", 0) == 0
+        assert oracle_ref.counters.extra["identity_taylor_applies"] == 1
+        assert oracle_ref.trace_estimator is None
+
+    def test_structured_work_charge_is_smaller(self):
+        oracle_new, n = self._fresh(29, trace_mode="auto")
+        oracle_ref, _ = self._fresh(29, trace_mode="identity")
+        x = np.full(n, 0.2)
+        assert oracle_new(None, x).work < oracle_ref(None, x).work
+
+    def test_hutchinson_mode_consumes_no_oracle_rng(self):
+        # Same rng seed, estimator on/off: the sketch/norm stream must be
+        # identical, so the drawn norm-estimate vectors coincide.
+        oracle_a, n = self._fresh(31, trace_mode="hutchinson")
+        oracle_b, _ = self._fresh(31, trace_mode="identity")
+        x = np.full(n, 0.2)
+        oracle_a(None, x)
+        oracle_b(None, x)
+        np.testing.assert_allclose(
+            oracle_a._norm_vector, oracle_b._norm_vector, rtol=0, atol=0
+        )
+
+    def test_estimator_stats_surface_mode(self):
+        oracle, n = self._fresh(33, trace_mode="auto")
+        oracle(None, np.full(n, 0.2))
+        stats = oracle.trace_estimator.stats()
+        assert stats["mode"] == "gram"
+        assert stats["calls"] == 1
+        assert stats["identity_fallbacks"] == 0

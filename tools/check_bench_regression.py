@@ -3,7 +3,8 @@
 
 Every perf PR commits a ``BENCH_*.json`` payload whose speedup columns are
 the PR's acceptance evidence (E11 packed kernels, E12 blocked Taylor, E13
-Gram engine, E14 matrix-free core).  Nothing previously stopped a later PR
+Gram engine, E14 matrix-free core, E15 structured trace estimation).
+Nothing previously stopped a later PR
 from re-running a benchmark, measuring a slower result, and committing the
 worse numbers without anyone noticing — this gate does.  For each committed
 payload it checks:
@@ -50,6 +51,20 @@ CHECKS = [
         3.0,
     ),
     ("BENCH_matrixfree.json", "phased", None, "max", 1.5),
+    (
+        "BENCH_trace.json",
+        "oracle",
+        lambda row: row["factor_kind"] == "lowrank" and row["m"] >= 1024,
+        "min",
+        2.0,
+    ),
+    (
+        "BENCH_trace.json",
+        "decision",
+        lambda row: row["factor_kind"] == "lowrank" and row["m"] >= 1024,
+        "max",
+        2.0,
+    ),
 ]
 
 

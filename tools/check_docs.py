@@ -16,6 +16,9 @@ Four checks, any failure exits non-zero:
    ``tools/*.py`` script must carry a module docstring and docstrings on
    its public top-level functions and classes — checked via ``ast`` so the
    gate never executes (or even imports) the scripts.
+5. **Examples run.**  Every ``examples/*.py`` script is executed in its
+   ``--smoke`` mode (a tiny-instance variant each example must provide),
+   so the worked examples can never drift away from the library API.
 
 Run from the repository root::
 
@@ -32,6 +35,7 @@ import io
 import os
 import pkgutil
 import re
+import subprocess
 import sys
 import traceback
 
@@ -173,6 +177,54 @@ def check_script_docstrings() -> list[str]:
     return failures
 
 
+#: Per-example wall-clock budget for the --smoke runs (generous: the smoke
+#: instances finish in ~1-2s; the timeout only catches hangs).
+EXAMPLE_SMOKE_TIMEOUT = 120
+
+
+def check_example_smoke_runs() -> list[str]:
+    """Execute every ``examples/*.py`` in ``--smoke`` mode, collecting failures.
+
+    Each example must accept a ``--smoke`` flag that shrinks its instances
+    to CI scale; a missing flag, a non-zero exit, or a hang past
+    :data:`EXAMPLE_SMOKE_TIMEOUT` seconds is a failure.
+    """
+    failures = []
+    root = os.path.join(REPO_ROOT, "examples")
+    if not os.path.isdir(root):
+        return ["examples/ directory is missing"]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    scripts = [e for e in sorted(os.listdir(root)) if e.endswith(".py")]
+    if not scripts:
+        return ["examples/ contains no scripts to smoke-run"]
+    for entry in scripts:
+        path = os.path.join(root, entry)
+        try:
+            proc = subprocess.run(
+                [sys.executable, path, "--smoke"],
+                capture_output=True,
+                text=True,
+                env=env,
+                timeout=EXAMPLE_SMOKE_TIMEOUT,
+                cwd=REPO_ROOT,
+            )
+        except subprocess.TimeoutExpired:
+            failures.append(
+                f"examples/{entry} --smoke exceeded {EXAMPLE_SMOKE_TIMEOUT}s"
+            )
+            continue
+        if proc.returncode != 0:
+            tail = (proc.stderr or proc.stdout or "").strip().splitlines()[-8:]
+            failures.append(
+                f"examples/{entry} --smoke exited {proc.returncode}:\n    "
+                + "\n    ".join(tail)
+            )
+    return failures
+
+
 def main() -> int:
     """Run every documentation check and return the process exit code."""
     sections = (
@@ -180,6 +232,7 @@ def main() -> int:
         ("doctests", check_doctests),
         ("docstring coverage", check_docstrings),
         ("script docstring coverage", check_script_docstrings),
+        ("example --smoke runs", check_example_smoke_runs),
     )
     any_failed = False
     for title, check in sections:
