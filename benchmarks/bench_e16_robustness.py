@@ -1,0 +1,216 @@
+"""E16 — happy-path cost of fault supervision, and recovery latency.
+
+PR 6 threads a :class:`~repro.robustness.supervisor.FastPathSupervisor`
+through both decision solvers: every oracle call and ``lambda_max`` runs
+inside a recovery loop that can demote a failing kernel one rung down its
+ladder.  The supervision contract says the happy path — no faults, no
+demotions — must stay within **2%** of the unsupervised solver
+(``supervise=False``), because the only added work is a finiteness scan of
+the oracle output and a handful of budget checks per iteration.  This
+benchmark measures that overhead and proves the contract:
+
+* end-to-end ``decision_psdp`` / ``decision_psdp_phased`` wall clock,
+  ``supervise=True`` vs ``supervise=False``, best-of-``repeats`` on the
+  instrumented configuration (history + certificate checks), checking the
+  certified decisions are identical and no recovery events fired;
+* a recovery-latency section: the same solve with a one-shot injected
+  Taylor-kernel fault, measuring the cost of one full demotion
+  (detect → demote → re-run iteration) relative to the clean solve.
+
+Results are printed as a table and emitted machine-readably to
+``BENCH_robustness.json`` at the repository root (override with
+``--output``).  Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_e16_robustness.py [--quick]
+
+The non-quick run enforces the acceptance gate: happy-path overhead
+(``supervised_seconds / unsupervised_seconds``) <= 1.02x on every row
+(``tools/check_bench_regression.py`` re-checks the committed payload).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
+
+from common import (  # noqa: E402
+    emit_payload,
+    environment_info,
+    fresh_collection,
+    make_argparser,
+    make_operators,
+    report_failures,
+    DEFAULT_RANK,
+)
+from repro.core.decision import decision_psdp  # noqa: E402
+from repro.core.decision_phased import decision_psdp_phased  # noqa: E402
+from repro.core.dotexp import FastDotExpOracle  # noqa: E402
+from repro.robustness import NaN, inject  # noqa: E402
+
+DEFAULT_OUTPUT = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_robustness.json"
+)
+
+# (n, m, factor_kind) happy-path grid: the same families as E14, spanning
+# the gram / dense-psi engine regimes and the implicit/dense PsiState split.
+FULL_GRID = [
+    (16, 512, "lowrank"),
+    (16, 1024, "lowrank"),
+    (200, 1024, "sparse"),
+]
+QUICK_GRID = [
+    (8, 96, "lowrank"),
+]
+
+ORACLE_EPS = 0.1
+DECISION_CAP = 30
+CHECK_EVERY = 5
+#: Best-of repeats for the happy-path timing (overhead gates need low noise:
+#: the fast-path solves are tens of milliseconds, so a single scheduler
+#: hiccup is several percent — the gate compares best-of-7).
+REPEATS = 7
+
+
+def _solve(solver, ops, seed, cap, supervise):
+    """One end-to-end solve on a fresh collection; returns (seconds, result)."""
+    coll = fresh_collection(ops)
+    oracle = FastDotExpOracle(coll, eps=ORACLE_EPS, rng=seed)
+    start = time.perf_counter()
+    result = solver(
+        coll,
+        epsilon=0.2,
+        oracle=oracle,
+        rng=seed,
+        max_iterations=cap,
+        collect_history=True,
+        certificate_check_every=CHECK_EVERY,
+        supervise=supervise,
+    )
+    return time.perf_counter() - start, result
+
+
+def bench_overhead(solver, ops, seed, cap, repeats) -> dict:
+    """Supervised vs unsupervised wall clock for one solver on one row."""
+    sup_best = unsup_best = float("inf")
+    sup_result = unsup_result = None
+    # Interleave the repeats so cache/turbo drift hits both arms equally.
+    for _ in range(repeats):
+        seconds, unsup_result = _solve(solver, ops, seed, cap, supervise=False)
+        unsup_best = min(unsup_best, seconds)
+        seconds, sup_result = _solve(solver, ops, seed, cap, supervise=True)
+        sup_best = min(sup_best, seconds)
+    return {
+        "unsupervised_seconds": unsup_best,
+        "supervised_seconds": sup_best,
+        "overhead": sup_best / max(unsup_best, 1e-12),
+        "outcome_unsupervised": unsup_result.outcome.name,
+        "outcome_supervised": sup_result.outcome.name,
+        "iterations": sup_result.iterations,
+        "status": sup_result.metadata["solve_status"],
+        "recoveries": sup_result.metadata["supervisor"]["recoveries"],
+    }
+
+
+def bench_recovery(ops, seed, cap) -> dict:
+    """Latency of one injected-fault demotion relative to the clean solve."""
+    clean_seconds, clean = _solve(decision_psdp, ops, seed, cap, supervise=True)
+    site = (
+        "taylor_gram.apply"
+        if clean.metadata.get("taylor_engine", {}).get("mode") == "gram"
+        else "taylor_blocked.apply"
+    )
+    with inject(site, NaN, at_call=2):
+        faulty_seconds, faulty = _solve(decision_psdp, ops, seed, cap, supervise=True)
+    return {
+        "site": site,
+        "clean_seconds": clean_seconds,
+        "faulty_seconds": faulty_seconds,
+        "recovery_ratio": faulty_seconds / max(clean_seconds, 1e-12),
+        "status": faulty.metadata["solve_status"],
+        "recoveries": faulty.metadata["supervisor"]["recoveries"],
+        "outcomes_match": faulty.outcome == clean.outcome,
+    }
+
+
+def main(argv=None) -> int:
+    """Run the E16 grid and return the process exit code."""
+    args = make_argparser(__doc__.splitlines()[0], DEFAULT_OUTPUT).parse_args(argv)
+
+    grid = QUICK_GRID if args.quick else FULL_GRID
+    cap = 10 if args.quick else DECISION_CAP
+
+    overhead_rows = []
+    for solver, label in ((decision_psdp, "decision"), (decision_psdp_phased, "phased")):
+        for n, m, kind in grid:
+            ops = make_operators(n, m, kind, args.seed)
+            row = {
+                "solver": label,
+                "n": n,
+                "m": m,
+                "factor_kind": kind,
+                "rank": DEFAULT_RANK,
+                **bench_overhead(solver, ops, args.seed, cap, REPEATS),
+            }
+            overhead_rows.append(row)
+            print(
+                f"[{label:8s}] n={n:4d} m={m:5d} {kind:8s} "
+                f"unsup={row['unsupervised_seconds']:7.3f}s "
+                f"sup={row['supervised_seconds']:7.3f}s "
+                f"overhead={row['overhead']:6.3f}x "
+                f"status={row['status']} recoveries={row['recoveries']}"
+            )
+
+    recovery_rows = []
+    for n, m, kind in grid[:2]:
+        ops = make_operators(n, m, kind, args.seed)
+        row = {"n": n, "m": m, "factor_kind": kind, **bench_recovery(ops, args.seed, cap)}
+        recovery_rows.append(row)
+        print(
+            f"[recovery] n={n:4d} m={m:5d} {kind:8s} site={row['site']:20s} "
+            f"clean={row['clean_seconds']:7.3f}s faulty={row['faulty_seconds']:7.3f}s "
+            f"ratio={row['recovery_ratio']:5.2f}x recoveries={row['recoveries']}"
+        )
+
+    payload = {
+        "experiment": "E16-robustness",
+        "description": "happy-path supervision overhead and injected-fault recovery latency",
+        "quick": args.quick,
+        "config": {
+            "rank": DEFAULT_RANK,
+            "oracle_eps": ORACLE_EPS,
+            "decision_iteration_cap": cap,
+            "certificate_check_every": CHECK_EVERY,
+            "collect_history": True,
+            "repeats": REPEATS,
+            "seed": args.seed,
+        },
+        "environment": environment_info(),
+        "overhead": overhead_rows,
+        "recovery": recovery_rows,
+    }
+    emit_payload(payload, args.output)
+
+    failures = []
+    for row in overhead_rows:
+        where = f"{row['solver']} n={row['n']}, m={row['m']}, {row['factor_kind']}"
+        if row["outcome_unsupervised"] != row["outcome_supervised"]:
+            failures.append(f"outcome diverged under supervision at {where}")
+        if row["status"] != "certified" or row["recoveries"] != 0:
+            failures.append(f"happy path was not a clean certified solve at {where}")
+        if not args.quick and row["overhead"] > 1.02:
+            failures.append(
+                f"happy-path supervision overhead {row['overhead']:.3f}x > 1.02x at {where}"
+            )
+    for row in recovery_rows:
+        if row["status"] != "degraded" or row["recoveries"] < 1 or not row["outcomes_match"]:
+            failures.append(
+                f"injected fault did not recover cleanly at n={row['n']}, m={row['m']}"
+            )
+    return report_failures(failures)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -37,6 +37,7 @@ from repro.core import (
     NormalizedPackingSDP,
     PositiveSDP,
     SolveResult,
+    SolveStatus,
     SolverOptions,
     approx_psdp,
     big_dot_exp,
@@ -47,7 +48,9 @@ from repro.core import (
     verify_primal,
 )
 from repro.exceptions import (
+    BudgetExhaustedError,
     CertificateError,
+    FaultInjected,
     InfeasibleError,
     InvalidProblemError,
     NotPositiveSemidefiniteError,
@@ -68,6 +71,7 @@ __all__ = [
     "NormalizedPackingSDP",
     "PositiveSDP",
     "SolveResult",
+    "SolveStatus",
     "SolverOptions",
     "approx_psdp",
     "big_dot_exp",
@@ -76,7 +80,9 @@ __all__ = [
     "normalize_sdp",
     "verify_dual",
     "verify_primal",
+    "BudgetExhaustedError",
     "CertificateError",
+    "FaultInjected",
     "InfeasibleError",
     "InvalidProblemError",
     "NotPositiveSemidefiniteError",

@@ -49,6 +49,11 @@ class ReproConfig:
     certificate_check_every:
         Default cadence (in iterations) at which the decision solver checks
         for an early primal/dual certificate; ``0`` disables early exit.
+    max_recoveries:
+        Default cap on fault-recovery (kernel demotion) events per solve
+        before the supervisor gives up and the solver returns a
+        ``SolveStatus.FAILED`` best-effort result.  Per-solve override via
+        ``DecisionOptions.max_recoveries``.
     """
 
     psd_tol: float = 1e-9
@@ -60,6 +65,7 @@ class ReproConfig:
     default_seed: int = 20120101
     max_dense_dimension: int = 2000
     certificate_check_every: int = 25
+    max_recoveries: int = 8
     extra: dict[str, Any] = field(default_factory=dict)
 
     def replace(self, **kwargs: Any) -> "ReproConfig":

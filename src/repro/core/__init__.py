@@ -14,7 +14,7 @@ Public entry points:
 
 from repro.core.problem import PositiveSDP, NormalizedPackingSDP
 from repro.core.normalize import normalize_sdp, apply_trace_cap, NormalizationMap, TraceCapResult
-from repro.core.result import DecisionOutcome, DecisionResult, SolveResult
+from repro.core.result import DecisionOutcome, DecisionResult, SolveResult, SolveStatus
 from repro.core.mmw import MatrixMultiplicativeWeights
 from repro.core.decision import DecisionOptions, DecisionParameters, decision_psdp
 from repro.core.decision_phased import decision_psdp_phased
@@ -50,6 +50,7 @@ __all__ = [
     "DecisionOutcome",
     "DecisionResult",
     "SolveResult",
+    "SolveStatus",
     "MatrixMultiplicativeWeights",
     "DecisionOptions",
     "DecisionParameters",

@@ -69,7 +69,7 @@ from typing import Any
 import numpy as np
 
 from repro.config import get_config
-from repro.exceptions import InvalidProblemError, SolverError
+from repro.exceptions import BudgetExhaustedError, InvalidProblemError, SolverError
 from repro.instrumentation.history import ConvergenceHistory, IterationRecord
 from repro.linalg.expm import expm_normalized
 from repro.operators.collection import ConstraintCollection
@@ -79,7 +79,8 @@ from repro.parallel.workdepth import WorkDepthTracker
 from repro.core.dotexp import DotExpOracle, make_oracle, oracle_engine_metadata
 from repro.core.problem import NormalizedPackingSDP
 from repro.core.psi_state import make_psi_state
-from repro.core.result import DecisionOutcome, DecisionResult
+from repro.core.result import DecisionOutcome, DecisionResult, SolveStatus
+from repro.robustness.supervisor import FastPathSupervisor
 from repro.utils.random_utils import RandomState
 
 
@@ -134,6 +135,29 @@ class DecisionOptions:
         collection's factors are exact, falling back to the dense seed
         semantics otherwise; ``"dense"``/``"implicit"`` force one (the
         latter raises on inexact-factor collections).
+    supervise:
+        Run the solve under a :class:`~repro.robustness.FastPathSupervisor`
+        (default).  Numerical breakdowns in the fast-path kernels then
+        demote one ladder rung and retry instead of raising, budgets are
+        enforced, and ``result.status`` /
+        ``result.metadata["recovery_events"]`` report what happened.
+        ``False`` runs the raw pre-supervision call paths — the reference
+        for the happy-path overhead benchmark
+        (``benchmarks/bench_e16_robustness.py``); budgets are then ignored.
+    wall_clock_budget:
+        Optional seconds cap on the solve.  Checked at every iteration
+        boundary: when it trips, the solver returns a best-effort result
+        with ``status = SolveStatus.BUDGET_EXHAUSTED`` and the current
+        (exactly rescaled, genuinely feasible) partial dual — it never
+        raises and never reports an unverified certificate.
+    iteration_budget:
+        Optional iteration cap tighter than the paper's ``R``; same
+        exhaustion contract as ``wall_clock_budget``.
+    max_recoveries:
+        Cap on fault-recovery demotions per solve (``None`` uses
+        ``ReproConfig.max_recoveries``).  On exhaustion the solver returns
+        ``status = SolveStatus.FAILED`` with whatever could still be
+        verified exactly (``nan`` elsewhere).
     """
 
     epsilon: float = 0.2
@@ -147,6 +171,10 @@ class DecisionOptions:
     backend: ExecutionBackend | None = None
     rng: RandomState = None
     psi_state: str = "auto"
+    supervise: bool = True
+    wall_clock_budget: float | None = None
+    iteration_budget: int | None = None
+    max_recoveries: int | None = None
     metadata: dict[str, Any] = field(default_factory=dict)
 
 
@@ -311,6 +339,30 @@ def decision_psdp(
     x = state.x
     tracker.charge(state.init_work, log_depth, label="init-psi")
 
+    # Fault supervision (robustness subsystem): kernel-demotion ladders,
+    # budgets, and the structured recovery log.  The supervisor owns the
+    # mutable PsiState reference — the loop re-reads it after every
+    # supervised call because an implicit-state matvec failure rebuilds the
+    # state densely mid-run.  The primal-tracking branch choice (`implicit`)
+    # stays frozen at its start-of-run value: the dots-vector accumulators
+    # remain valid after a demotion, only lambda_max/densify follow the
+    # demoted state.
+    supervisor = (
+        FastPathSupervisor(
+            oracle=oracle,
+            state=state,
+            constraints=constraints,
+            tracker=tracker,
+            log_depth=log_depth,
+            eig_rng=eig_rng,
+            wall_clock_budget=opts.wall_clock_budget,
+            iteration_budget=opts.iteration_budget,
+            max_recoveries=opts.max_recoveries,
+        )
+        if opts.supervise
+        else None
+    )
+
     primal_sum = None if implicit else np.zeros((m, m), dtype=np.float64)
     primal_rounds = 0
     last_density: np.ndarray | None = None
@@ -333,18 +385,36 @@ def decision_psdp(
         early: bool,
         dual_candidate: np.ndarray,
         primal_final: bool = False,
+        status: SolveStatus | None = None,
     ) -> DecisionResult:
+        nonlocal state
         # Always report a *feasible* dual candidate by rescaling with the
         # measured lambda_max: if lambda_max(sum_i x_i A_i) = lam > 0 then
         # x / lam is feasible with value ||x||_1 / lam.  Lemma 3.2 bounds lam
         # by (1 + 10 eps) K, so this is never worse than the paper's scaling,
         # and scaling *up* when lam < 1 only strengthens the certificate.
-        lam, eig_work = state.lambda_max(final=True)
+        # This holds for budget-exhausted partial duals too: x / lam is
+        # exactly verified feasible, merely with a sub-target value — the
+        # certificate is measured on the returned object, never extrapolated.
+        try:
+            if supervisor is not None:
+                lam, eig_work = supervisor.lambda_max(final=True, iteration=iterations)
+                state = supervisor.state
+            else:
+                lam, eig_work = state.lambda_max(final=True)
+        except BudgetExhaustedError:
+            # Even the exact eigvalsh rung failed (or recoveries ran out):
+            # the dual side cannot be verified — report nan, never a guess.
+            lam, eig_work = float("nan"), 0.0
+            status = SolveStatus.FAILED
+            if supervisor is not None:
+                state = supervisor.state
         tracker.charge(eig_work, log_depth, label="dual-rescale")
+        verified = bool(np.isfinite(lam))
         scale = lam if lam > 0 else 1.0
         dual_x = dual_candidate / scale
-        dual_value = float(dual_x.sum())
-        dual_lam = lam / scale
+        dual_value = float(dual_x.sum()) if verified else float("nan")
+        dual_lam = lam / scale if verified else float("nan")
 
         if implicit:
             # No (m, m) matrix exists; primal_y is attached as a deferred
@@ -365,6 +435,15 @@ def decision_psdp(
             else:
                 min_dot = float("nan")
 
+        if status is None:
+            # Demotions occurred but the certificate was still exactly
+            # verified: the run is DEGRADED, not failed — same guarantee,
+            # slower rungs.
+            status = (
+                SolveStatus.DEGRADED
+                if supervisor is not None and supervisor.recovery_events
+                else SolveStatus.CERTIFIED
+            )
         result = DecisionResult(
             outcome=outcome,
             dual_x=dual_x,
@@ -376,6 +455,7 @@ def decision_psdp(
             max_iterations=max_iterations,
             epsilon=eps,
             early_exit=early,
+            status=status,
             history=history,
             counters=oracle.counters,
             work_depth=tracker.report(),
@@ -385,11 +465,23 @@ def decision_psdp(
                 "R": params.R,
                 "oracle": oracle_kind,
                 "strict": opts.strict,
+                "solve_status": status.value,
+                # Partial-dual mass before rescaling: budget-exhaustion
+                # tests assert this grows monotonically with the budget.
+                "x_l1": float(dual_candidate.sum()),
                 # Matrix-free discipline counters (snapshot at result build:
                 # a deferred primal build afterwards is *meant* to densify).
                 "psi_state": state.stats(),
                 # Rank-adaptive Taylor-engine counters (fast oracle only).
                 **oracle_engine_metadata(oracle),
+                **(
+                    {
+                        "recovery_events": supervisor.event_dicts(),
+                        "supervisor": supervisor.stats(),
+                    }
+                    if supervisor is not None
+                    else {}
+                ),
                 **opts.metadata,
             },
         )
@@ -410,9 +502,27 @@ def decision_psdp(
     # --- main loop (Algorithm 3.1) --------------------------------------------
     t = 0
     while float(x.sum()) <= params.K and t < max_iterations:
+        if supervisor is not None and supervisor.budget_exhausted(t) is not None:
+            # Budgets never raise from the public entry point: return the
+            # exactly-verified partial dual with an explicit status.
+            return build_result(
+                DecisionOutcome.DUAL, t, early=True, dual_candidate=x,
+                status=SolveStatus.BUDGET_EXHAUSTED,
+            )
         t += 1
 
-        output = oracle(state.oracle_psi(), x)
+        if supervisor is not None:
+            try:
+                output = supervisor.oracle_call(iteration=t)
+            except BudgetExhaustedError:
+                return build_result(
+                    DecisionOutcome.DUAL, t, early=True, dual_candidate=x,
+                    status=SolveStatus.FAILED,
+                )
+            state = supervisor.state
+            x = state.x
+        else:
+            output = oracle(state.oracle_psi(), x)
         values = np.asarray(output.values, dtype=np.float64)
         tracker.charge(output.work, log_depth, label="oracle")
 
@@ -432,7 +542,17 @@ def decision_psdp(
         tracker.charge(float(n), math.log2(max(n, 2)), label="select")
 
         if history is not None:
-            lam_hist, _ = state.lambda_max()
+            if supervisor is not None:
+                try:
+                    lam_hist, _ = supervisor.lambda_max(iteration=t)
+                except BudgetExhaustedError:
+                    return build_result(
+                        DecisionOutcome.DUAL, t, early=True, dual_candidate=x,
+                        status=SolveStatus.FAILED,
+                    )
+                state = supervisor.state
+            else:
+                lam_hist, _ = state.lambda_max()
             history.append(
                 IterationRecord(
                     iteration=t,
@@ -470,7 +590,17 @@ def decision_psdp(
 
         # Early certificate checks (non-strict mode only).
         if check_every and t % check_every == 0:
-            lam, eig_work = state.lambda_max()
+            if supervisor is not None:
+                try:
+                    lam, eig_work = supervisor.lambda_max(iteration=t)
+                except BudgetExhaustedError:
+                    return build_result(
+                        DecisionOutcome.DUAL, t, early=True, dual_candidate=x,
+                        status=SolveStatus.FAILED,
+                    )
+                state = supervisor.state
+            else:
+                lam, eig_work = state.lambda_max()
             tracker.charge(eig_work, log_depth, label="certificate-check")
             if lam > 0 and float(x.sum()) / lam >= 1.0 - eps:
                 return build_result(DecisionOutcome.DUAL, t, early=True, dual_candidate=x)

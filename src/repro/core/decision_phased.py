@@ -44,7 +44,7 @@ from typing import Any
 
 import numpy as np
 
-from repro.exceptions import InvalidProblemError
+from repro.exceptions import BudgetExhaustedError, InvalidProblemError
 from repro.instrumentation.history import ConvergenceHistory, IterationRecord
 from repro.linalg.expm import expm_normalized
 from repro.operators.collection import ConstraintCollection
@@ -54,7 +54,8 @@ from repro.core.decision import DecisionOptions, DecisionParameters, _resolve_co
 from repro.core.dotexp import make_oracle, oracle_engine_metadata
 from repro.core.problem import NormalizedPackingSDP
 from repro.core.psi_state import make_psi_state
-from repro.core.result import DecisionOutcome, DecisionResult
+from repro.core.result import DecisionOutcome, DecisionResult, SolveStatus
+from repro.robustness.supervisor import FastPathSupervisor
 from repro.utils.random_utils import spawn_generators
 
 
@@ -142,6 +143,26 @@ def decision_psdp_phased(
     x = state.x
     tracker.charge(state.init_work, log_depth, label="init-psi")
 
+    # Fault supervision: same contract as the phase-less solver — the
+    # supervisor owns the mutable PsiState reference (an implicit-state
+    # matvec failure rebuilds it densely mid-run), and the `implicit`
+    # primal-tracking branch choice stays frozen at its start-of-run value.
+    supervisor = (
+        FastPathSupervisor(
+            oracle=oracle,
+            state=state,
+            constraints=constraints,
+            tracker=tracker,
+            log_depth=log_depth,
+            eig_rng=eig_rng,
+            wall_clock_budget=opts.wall_clock_budget,
+            iteration_budget=opts.iteration_budget,
+            max_recoveries=opts.max_recoveries,
+        )
+        if opts.supervise
+        else None
+    )
+
     primal_sum = None if implicit else np.zeros((m, m), dtype=np.float64)
     primal_rounds = 0
     # Matrix-free primal tracking: on the implicit path the candidate is
@@ -156,9 +177,30 @@ def decision_psdp_phased(
             return primal_sum / primal_rounds
         return None
 
-    def build_result(outcome: DecisionOutcome, iterations: int, phases: int, early: bool) -> DecisionResult:
-        lam, eig_work = state.lambda_max(final=True)
+    def build_result(
+        outcome: DecisionOutcome,
+        iterations: int,
+        phases: int,
+        early: bool,
+        status: SolveStatus | None = None,
+    ) -> DecisionResult:
+        nonlocal state
+        # Same feasibility discipline as the phase-less solver: the dual is
+        # rescaled by the *measured* lambda_max, so even a budget-exhausted
+        # partial dual is exactly verified, never extrapolated.
+        try:
+            if supervisor is not None:
+                lam, eig_work = supervisor.lambda_max(final=True, iteration=iterations)
+                state = supervisor.state
+            else:
+                lam, eig_work = state.lambda_max(final=True)
+        except BudgetExhaustedError:
+            lam, eig_work = float("nan"), 0.0
+            status = SolveStatus.FAILED
+            if supervisor is not None:
+                state = supervisor.state
         tracker.charge(eig_work, log_depth, label="dual-rescale")
+        verified = bool(np.isfinite(lam))
         scale = lam if lam > 0 else 1.0
         dual_x = x / scale
         if implicit:
@@ -177,17 +219,24 @@ def decision_psdp_phased(
             if primal_y is None:
                 primal_y = expm_normalized(state.densify())
             min_dot = float(constraints.dots(primal_y).min(initial=np.inf))
+        if status is None:
+            status = (
+                SolveStatus.DEGRADED
+                if supervisor is not None and supervisor.recovery_events
+                else SolveStatus.CERTIFIED
+            )
         result = DecisionResult(
             outcome=outcome,
             dual_x=dual_x,
             primal_y=primal_y,
-            dual_value=float(dual_x.sum()),
+            dual_value=float(dual_x.sum()) if verified else float("nan"),
             primal_min_dot=min_dot,
-            dual_lambda_max=lam / scale,
+            dual_lambda_max=lam / scale if verified else float("nan"),
             iterations=iterations,
             max_iterations=max_iterations,
             epsilon=eps,
             early_exit=early,
+            status=status,
             history=history,
             counters=oracle.counters,
             work_depth=tracker.report(),
@@ -198,10 +247,20 @@ def decision_psdp_phased(
                 "phases": phases,
                 "phase_growth": growth,
                 "variant": "phased",
+                "solve_status": status.value,
+                "x_l1": float(x.sum()),
                 # Matrix-free discipline counters (snapshot at result build).
                 "psi_state": state.stats(),
                 # Rank-adaptive Taylor-engine counters (fast oracle only).
                 **oracle_engine_metadata(oracle),
+                **(
+                    {
+                        "recovery_events": supervisor.event_dicts(),
+                        "supervisor": supervisor.stats(),
+                    }
+                    if supervisor is not None
+                    else {}
+                ),
                 **opts.metadata,
             },
         )
@@ -222,8 +281,24 @@ def decision_psdp_phased(
     t = 0
     phases = 0
     while float(x.sum()) <= params.K and t < max_iterations:
+        if supervisor is not None and supervisor.budget_exhausted(t) is not None:
+            return build_result(
+                DecisionOutcome.DUAL, t, phases, early=True,
+                status=SolveStatus.BUDGET_EXHAUSTED,
+            )
         phases += 1
-        output = oracle(state.oracle_psi(), x)
+        if supervisor is not None:
+            try:
+                output = supervisor.oracle_call(iteration=t)
+            except BudgetExhaustedError:
+                return build_result(
+                    DecisionOutcome.DUAL, t, phases, early=True,
+                    status=SolveStatus.FAILED,
+                )
+            state = supervisor.state
+            x = state.x
+        else:
+            output = oracle(state.oracle_psi(), x)
         values = np.asarray(output.values, dtype=np.float64)
         tracker.charge(output.work, log_depth, label="oracle")
 
@@ -247,12 +322,18 @@ def decision_psdp_phased(
 
         phase_start_norm = float(x.sum())
         # Inner loop: reuse the stale qualifying set until the phase budget
-        # is spent or the loop conditions trip.
+        # is spent or the loop conditions trip.  Solve budgets are checked
+        # per inner iteration, not just per phase — a long phase must not
+        # overshoot a wall-clock budget.
+        budget_hit = False
         while (
             float(x.sum()) <= params.K
             and t < max_iterations
             and float(x.sum()) < growth * phase_start_norm
         ):
+            if supervisor is not None and supervisor.budget_exhausted(t) is not None:
+                budget_hit = True
+                break
             t += 1
             delta = np.where(mask, params.alpha * x, 0.0)
             # The dense state also maintains psi + weighted_sum(delta)
@@ -274,12 +355,28 @@ def decision_psdp_phased(
                     )
                 )
 
+        if budget_hit:
+            return build_result(
+                DecisionOutcome.DUAL, t, phases, early=True,
+                status=SolveStatus.BUDGET_EXHAUSTED,
+            )
+
         # Optional early dual certificate at phase boundaries (mirrors the
         # phase-less solver's non-strict behaviour).  With the implicit
         # state this runs through the factored matvec — the phase boundary
         # never materialises Psi or a density matrix.
         if not opts.strict:
-            lam, eig_work = state.lambda_max()
+            if supervisor is not None:
+                try:
+                    lam, eig_work = supervisor.lambda_max(iteration=t)
+                except BudgetExhaustedError:
+                    return build_result(
+                        DecisionOutcome.DUAL, t, phases, early=True,
+                        status=SolveStatus.FAILED,
+                    )
+                state = supervisor.state
+            else:
+                lam, eig_work = state.lambda_max()
             tracker.charge(eig_work, log_depth, label="certificate-check")
             if lam > 0 and float(x.sum()) / lam >= 1.0 - eps:
                 return build_result(DecisionOutcome.DUAL, t, phases, early=True)

@@ -95,6 +95,11 @@ class MatrixMultiplicativeWeights:
             raise InvalidProblemError(
                 f"gain must have shape {(self.dim, self.dim)}, got {gain.shape}"
             )
+        if not np.all(np.isfinite(gain)):
+            # Checked unconditionally: a NaN entry slips through the
+            # lam_max > 1 + 1e-8 comparison below (NaN compares False) and
+            # would silently poison the accumulated gain sum.
+            raise InvalidProblemError("gain contains non-finite entries")
         if self.validate_gains:
             gain = check_psd(gain, "gain")
             lam_max = float(np.linalg.eigvalsh(gain)[-1])

@@ -39,8 +39,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.exceptions import InvalidProblemError
+from repro.exceptions import InvalidProblemError, NumericalError
 from repro.linalg.norms import top_eigenvalue
+from repro.robustness.faultinject import fault_hook_array
 from repro.operators.collection import ConstraintCollection
 from repro.utils.random_utils import RandomState, as_generator
 
@@ -113,6 +114,32 @@ class PsiState:
     def densify(self) -> np.ndarray:
         """The dense ``(m, m)`` matrix ``Psi`` (lazy and cached when implicit)."""
         raise NotImplementedError  # pragma: no cover - subclasses implement
+
+    def reset_warm_start(self) -> None:
+        """Drop any cross-iteration eigenvector warm start.
+
+        The middle rung of the Lanczos demotion ladder
+        (:class:`~repro.robustness.FastPathSupervisor`): a non-converged
+        warm-started call is retried cold before falling back to the exact
+        ``eigvalsh`` rung.  No-op for states without a warm start.
+        """
+
+    def lambda_max_exact(self, final: bool = False) -> tuple[float, float]:
+        """Exact ``lambda_max`` via dense ``eigvalsh`` — the ladder's bottom rung.
+
+        Returns ``(value, model_work)`` with the work charged at the dense
+        ``O(m^3)`` eigendecomposition cost.  Always converges (up to LAPACK
+        failure on non-finite input, which the supervisor treats as
+        unrecoverable for this site).  ``final=True`` recomputes ``Psi``
+        fresh from ``x``, matching :meth:`lambda_max`'s final semantics.
+        """
+        if self.dim == 0:
+            return 0.0, 0.0
+        self.lambda_max_calls += 1
+        matrix = self.constraints.weighted_sum(self.x) if final else self.densify()
+        value = float(np.linalg.eigvalsh(matrix)[-1])
+        self.lambda_max_matvecs += self.dim
+        return value, float(self.dim) ** 3
 
     def oracle_psi(self) -> np.ndarray | None:
         """The ``psi`` argument for the oracle call (``None`` when implicit)."""
@@ -280,7 +307,16 @@ class ImplicitPsiState(PsiState):
 
             def counting(block: np.ndarray) -> np.ndarray:
                 self.matvec_count += 1
-                return base(block)
+                out = base(block)
+                fault_hook_array("psi_state.matvec", out)
+                if not np.all(np.isfinite(out)):
+                    # Catch the corruption here, attributed, before ARPACK
+                    # turns it into an opaque convergence failure.
+                    raise NumericalError(
+                        "implicit Psi matvec produced non-finite output",
+                        site="psi_state.matvec",
+                    )
+                return out
 
             self._matvec_fn = counting
         return self._matvec_fn
@@ -322,6 +358,10 @@ class ImplicitPsiState(PsiState):
         matvecs = int(info.get("matvecs", 0))
         self.lambda_max_matvecs += matvecs
         return float(value), float(matvecs) * self._matvec_work
+
+    def reset_warm_start(self) -> None:
+        """Forget the carried eigenvector so the next Lanczos call starts cold."""
+        self._eig_vector = None
 
     def densify(self) -> np.ndarray:
         """Materialise ``Psi`` once, on demand (cached until ``add_delta``)."""

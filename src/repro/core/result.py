@@ -25,6 +25,41 @@ class DecisionOutcome(str, enum.Enum):
     the measured slack) was found: the scaled optimum is at most ~1."""
 
 
+class SolveStatus(str, enum.Enum):
+    """How much of the paper's guarantee a :class:`DecisionResult` carries.
+
+    The contract (see ``docs/ROBUSTNESS.md``): a certificate is only ever
+    reported when it was *exactly verified* on the returned object — never
+    extrapolated from a partial run.  Degradation changes which kernel
+    computed the numbers, never what the numbers mean.
+    """
+
+    CERTIFIED = "certified"
+    """The full Algorithm 3.1 guarantee holds and no fast-path kernel had to
+    be demoted during the run."""
+
+    DEGRADED = "degraded"
+    """The certificate is exactly verified, but one or more fast-path
+    kernels failed mid-run and the supervisor demoted them to slower exact
+    rungs (see ``metadata["recovery_events"]``).  The result is as
+    trustworthy as :attr:`CERTIFIED`; the flag records that the happy path
+    did not survive."""
+
+    BUDGET_EXHAUSTED = "budget_exhausted"
+    """A wall-clock or iteration budget ran out before either ε-decision
+    certificate was reached.  The returned dual vector is still *feasible*
+    (``sum_i x_i A_i <= I`` is verified by the final measured
+    ``lambda_max`` rescale) — only its value is smaller than the
+    Algorithm 3.1 target, so the run proves a weaker lower bound rather
+    than deciding the ε-question."""
+
+    FAILED = "failed"
+    """Recovery itself ran out (``max_recoveries`` exceeded, or the bottom
+    ladder rung also failed).  The result carries whatever partial dual
+    could still be exactly verified; unverifiable fields are ``nan``.  The
+    solver returns this instead of raising so batch drivers can triage."""
+
+
 @dataclass
 class DecisionResult:
     """Output of :func:`repro.core.decision.decision_psdp`.
@@ -89,6 +124,11 @@ class DecisionResult:
     max_iterations: int
     epsilon: float
     early_exit: bool = False
+    #: Guarantee level of this result — see :class:`SolveStatus`.  Anything
+    #: other than :attr:`SolveStatus.CERTIFIED` means the run was supervised
+    #: through faults or budgets; ``metadata["recovery_events"]`` has the
+    #: per-event detail.
+    status: SolveStatus = SolveStatus.CERTIFIED
     history: ConvergenceHistory | None = None
     counters: OracleCounters = field(default_factory=OracleCounters)
     work_depth: WorkDepthReport | None = None

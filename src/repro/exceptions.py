@@ -43,11 +43,82 @@ class NumericalError(ReproError, ArithmeticError):
     the error target, a power iteration that fails to converge, or a
     Cholesky/eigen factorization that breaks down on an ill-conditioned
     matrix.
+
+    When the failure happens inside one of the supervised fast-path kernels
+    the raising site attaches structured attributes so that
+    :class:`repro.robustness.FastPathSupervisor` can dispatch a targeted
+    demotion instead of pattern-matching on the message:
+
+    Attributes
+    ----------
+    site:
+        Stable dotted identifier of the failing computation (e.g.
+        ``"taylor_gram.apply"``, ``"lanczos"``, ``"hutchinson"``), or
+        ``None`` when the failure predates the supervision layer.
+    kernel_mode:
+        The kernel/estimator mode that was active when the failure occurred
+        (e.g. ``"gram"``, ``"sparse-psi"``, ``"deflated"``), when known.
     """
+
+    def __init__(
+        self,
+        message: str,
+        site: str | None = None,
+        kernel_mode: str | None = None,
+    ):
+        super().__init__(message)
+        self.site = site
+        self.kernel_mode = kernel_mode
+
+
+class FaultInjected(NumericalError):
+    """A deterministic fault planted by :mod:`repro.robustness.faultinject`.
+
+    Subclasses :class:`NumericalError` so the supervision layer handles
+    injected faults through exactly the same recovery path as organic
+    numerical breakdowns — chaos tests therefore exercise the production
+    dispatch logic, not a parallel test-only code path.
+
+    Attributes
+    ----------
+    site:
+        The instrumented site the fault fired at (inherited).
+    kind:
+        The :mod:`~repro.robustness.faultinject` fault kind that was
+        injected (e.g. ``NonConvergent``, ``BoundViolation``).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        site: str | None = None,
+        kernel_mode: str | None = None,
+        kind: object | None = None,
+    ):
+        super().__init__(message, site=site, kernel_mode=kernel_mode)
+        self.kind = kind
 
 
 class SolverError(ReproError, RuntimeError):
     """A solver failed to produce a solution within its resource limits."""
+
+
+class BudgetExhaustedError(SolverError):
+    """A wall-clock / iteration / recovery budget ran out mid-solve.
+
+    The public solvers never let this escape: budget exhaustion is converted
+    into a best-effort :class:`~repro.core.result.DecisionResult` with
+    ``status`` :attr:`~repro.core.result.SolveStatus.BUDGET_EXHAUSTED` (or
+    ``FAILED`` when recoveries ran out).  The exception exists as the
+    internal control-flow signal between the supervisor and the solver loop,
+    and for callers that drive the supervisor directly.
+    """
+
+    def __init__(self, message: str, budget: str | None = None):
+        super().__init__(message)
+        #: Which budget ran out: ``"wall_clock"``, ``"iterations"``, or
+        #: ``"recoveries"``.
+        self.budget = budget
 
 
 class InfeasibleError(SolverError):

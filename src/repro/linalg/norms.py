@@ -18,6 +18,7 @@ import scipy.sparse.linalg as spla
 
 from repro.config import get_config
 from repro.exceptions import NumericalError
+from repro.robustness.faultinject import fault_hook
 from repro.utils.random_utils import RandomState, as_generator
 from repro.utils.validation import check_symmetric
 
@@ -260,6 +261,7 @@ def top_eigenvalue(
             raise ValueError(f"v0 must have length {dim}, got {v0.shape[0]}")
         if not np.isfinite(v0).all() or float(np.linalg.norm(v0)) <= 1e-300:
             v0 = None
+    fault_hook("lanczos")
     try:
         vals, vecs = spla.eigsh(operator, k=1, which="LA", tol=tol, v0=v0)
         # Clamp at 0 per the PSD contract: ARPACK can return a -1e-16-ish

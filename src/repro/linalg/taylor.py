@@ -92,7 +92,8 @@ def taylor_expm_apply(
         if not np.all(np.isfinite(acc)):
             raise NumericalError(
                 "Taylor expm evaluation overflowed; reduce the spectral norm "
-                "of phi (e.g. by splitting exp(phi) = exp(phi/2)^2) or the degree"
+                "of phi (e.g. by splitting exp(phi) = exp(phi/2)^2) or the degree",
+                site="taylor.reference",
             )
     return acc[:, 0] if single else acc
 

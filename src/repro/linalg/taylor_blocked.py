@@ -55,6 +55,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.exceptions import InvalidProblemError, NumericalError
+from repro.robustness.faultinject import fault_hook_array
 
 __all__ = ["BlockedTaylorKernel", "blocked_taylor_apply", "densified_psi"]
 
@@ -96,6 +97,10 @@ class _FusedTaylorApplyBase:
     dim: int
     chunk_columns: int | None
     matvec_count: int
+
+    #: Fault-injection / error-attribution site identifier; Gram-space
+    #: subclasses override it so supervisors can tell the kernels apart.
+    fault_site = "taylor_blocked.apply"
 
     def apply(
         self,
@@ -143,10 +148,13 @@ class _FusedTaylorApplyBase:
         else:
             out = self._apply_chunk(block, degree, scale)
         self.matvec_count += s * (degree - 1)
+        fault_hook_array(self.fault_site, out)
         if not np.all(np.isfinite(out)):
             raise NumericalError(
                 "fused Taylor expm evaluation overflowed; reduce the spectral "
-                "norm of psi (e.g. by splitting exp(psi) = exp(psi/2)^2) or the degree"
+                "norm of psi (e.g. by splitting exp(psi) = exp(psi/2)^2) or the degree",
+                site=self.fault_site,
+                kernel_mode=getattr(self, "mode", None),
             )
         return out[:, 0] if single else out
 
@@ -317,6 +325,17 @@ class BlockedTaylorKernel(_FusedTaylorApplyBase):
         """Whether the kernel runs the recurrence on a materialised ``Psi``."""
         return self._psi is not None
 
+    @property
+    def mode(self) -> str:
+        """Representation tag in the engine's vocabulary (for error attribution)."""
+        if self._psi is not None:
+            return "dense-psi"
+        if self._psi_sparse is not None:
+            return "sparse-psi"
+        if sp.issparse(self._q):
+            return "sparse-factors"
+        return "dense-factors"
+
     # ------------------------------------------------------------------ matvec
     def matvec(self, block: np.ndarray) -> np.ndarray:
         """``Psi @ block`` (unscaled) — used for spectral-norm estimation.
@@ -388,17 +407,8 @@ class BlockedTaylorKernel(_FusedTaylorApplyBase):
         return acc
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        mode = (
-            "dense-psi"
-            if self._psi is not None
-            else "sparse-psi"
-            if self._psi_sparse is not None
-            else "sparse-factors"
-            if sp.issparse(self._q)
-            else "dense-factors"
-        )
         return (
-            f"BlockedTaylorKernel(dim={self.dim}, R={self.total_rank}, mode={mode})"
+            f"BlockedTaylorKernel(dim={self.dim}, R={self.total_rank}, mode={self.mode})"
         )
 
 

@@ -303,6 +303,10 @@ class GramTaylorKernel(_FusedTaylorApplyBase):
         """Representation tag (always ``"gram"``; mirrors the engine's vocabulary)."""
         return "gram"
 
+    #: Gram-space apply failures are attributed to their own site so the
+    #: supervisor can demote the Gram recurrence specifically.
+    fault_site = "taylor_gram.apply"
+
     def matvec(self, block: np.ndarray) -> np.ndarray:
         """``Psi @ block`` (unscaled) through the factors — two projections."""
         inner = self._q.T @ block

@@ -77,6 +77,7 @@ import scipy.sparse as sp
 
 from repro.exceptions import InvalidProblemError, NumericalError
 from repro.linalg.taylor_gram import GRAM_HYSTERESIS
+from repro.robustness.faultinject import fault_hook
 
 __all__ = [
     "TraceEstimate",
@@ -243,7 +244,9 @@ def gram_exp_trace(
     if not np.isfinite(trace):
         raise NumericalError(
             "Gram-spectrum trace evaluation overflowed; reduce the spectral "
-            "norm of psi or the degree"
+            "norm of psi or the degree",
+            site="trace_estimation",
+            kernel_mode="gram",
         )
     return trace
 
@@ -389,6 +392,19 @@ class TraceEstimator:
             "mode_counts": dict(self._mode_counts),
         }
 
+    def demote_to_identity(self) -> None:
+        """Drop to the exact legacy identity push — the trace ladder's floor.
+
+        Called by :class:`~repro.robustness.FastPathSupervisor` when a
+        structured mode breaks (overflow, injected bound violation).  After
+        demotion :attr:`structured` is ``False``, so
+        :func:`~repro.core.dotexp.big_dot_exp` performs the identity push
+        itself and this estimator is never consulted again; counters (and
+        :attr:`identity_fallbacks`) are preserved for the run's metadata.
+        """
+        self.mode = "identity"
+        self.identity_fallbacks += 1
+
     def bind(self, weights: np.ndarray) -> "TraceEstimator":
         """Bind the per-constraint weights of the current oracle call.
 
@@ -454,7 +470,9 @@ class TraceEstimator:
         if not np.isfinite(value):
             raise NumericalError(
                 "deflated trace evaluation overflowed; reduce the spectral "
-                "norm of psi or the degree"
+                "norm of psi or the degree",
+                site="trace_estimation",
+                kernel_mode="deflated",
             )
         r = self.total_rank
         return TraceEstimate(
@@ -471,6 +489,7 @@ class TraceEstimator:
     def _hutchinson_estimate(
         self, kernel, degree: int, scale: float
     ) -> TraceEstimate:
+        fault_hook("hutchinson", kernel_mode="hutchinson")
         if self._col_w is None:
             raise InvalidProblemError(
                 "bind(weights) must be called before a Hutchinson trace estimate"
@@ -503,7 +522,9 @@ class TraceEstimator:
             if not np.isfinite(estimate):
                 raise NumericalError(
                     "Hutchinson trace evaluation overflowed; reduce the "
-                    "spectral norm of psi or the degree"
+                    "spectral norm of psi or the degree",
+                    site="hutchinson",
+                    kernel_mode="hutchinson",
                 )
             if estimate > 0 and bound <= self.eps * estimate:
                 self.probes_drawn += drawn

@@ -79,6 +79,19 @@ class ConstraintCollection:
         dims = {op.dim for op in ops}
         if len(dims) != 1:
             raise InvalidProblemError(f"all constraint matrices must share one dimension, got {sorted(dims)}")
+        if validate:
+            for i, op in enumerate(ops):
+                # A zero-rank factor stack makes the normalized problem
+                # ill-posed: A_i . W = 0 keeps constraint i in the
+                # qualifying set forever while x_i grows against a zero
+                # matrix.  (Zero-rank *blocks* inside a hand-built
+                # PackedGramFactors remain supported; this guards solver
+                # inputs.)
+                if getattr(op, "rank", None) == 0:
+                    raise InvalidProblemError(
+                        f"constraint {i} has a zero-rank factor (A_i = 0); "
+                        "remove zero constraints before solving"
+                    )
         self._operators: list[PSDOperator] = ops
         self.dim = ops[0].dim
         self.size = len(ops)
@@ -214,6 +227,10 @@ class ConstraintCollection:
             raise InvalidProblemError(
                 f"expected {self.size} weights, got {weights.shape[0]}"
             )
+        if not np.all(np.isfinite(weights)):
+            # NaN slips through the sign check below (NaN compares False
+            # to everything), so non-finiteness is rejected explicitly.
+            raise InvalidProblemError("weights contain non-finite entries")
         if np.any(weights < 0):
             raise InvalidProblemError("weights must be non-negative")
         packed = self.packed_fast_path
@@ -287,6 +304,8 @@ class ConstraintCollection:
         coeffs = np.asarray(coeffs, dtype=np.float64).ravel()
         if coeffs.shape[0] != self.size:
             raise InvalidProblemError(f"expected {self.size} coefficients, got {coeffs.shape[0]}")
+        if not np.all(np.isfinite(coeffs)) or np.any(coeffs < 0):
+            raise InvalidProblemError("scaling coefficients must be finite and non-negative")
         return ConstraintCollection(
             [op.scaled(float(c)) for op, c in zip(self._operators, coeffs)], validate=False
         )

@@ -32,6 +32,8 @@ class FactorizedPSDOperator(PSDOperator):
             factor = sp.csr_matrix(factor, dtype=np.float64)
             if factor.ndim != 2:
                 raise InvalidProblemError("factor must be 2-dimensional")
+            if not np.all(np.isfinite(factor.data)):
+                raise InvalidProblemError("factor contains NaN or infinite entries")
             self._sparse = True
         else:
             factor = np.asarray(factor, dtype=np.float64)

@@ -1,0 +1,201 @@
+"""Deterministic, site-addressable fault injection for the fast paths.
+
+The chaos suite (``tests/test_robustness_faultinject.py``) needs to prove
+that every rung of the kernel-demotion ladder actually recovers — which
+requires *causing* each failure class on demand, reproducibly.  This module
+provides that: a seeded plan of :class:`FaultSpec` entries, armed through
+the :func:`inject` context manager, and two cheap hooks compiled into the
+production kernels:
+
+* :func:`fault_hook_array` — corrupts a freshly computed array in place
+  (NaN / infinity at a seed-deterministic position) so the kernel's *own*
+  organic finiteness check fires.  The chaos tests therefore exercise the
+  real detection code, not a parallel test-only branch.
+* :func:`fault_hook` — raises :class:`~repro.exceptions.FaultInjected`
+  (a :class:`~repro.exceptions.NumericalError`) for failure classes that
+  manifest as exceptions rather than bad data: Lanczos non-convergence and
+  Hutchinson certified-bound violations.
+
+Happy-path cost is one module-global truthiness check per instrumented
+site (the plan list is empty outside ``inject`` blocks), measured at well
+under the 2% supervision-overhead ceiling in ``docs/PERFORMANCE.md``.
+
+Example
+-------
+>>> from repro.robustness import inject, NaN
+>>> with inject("taylor_gram.apply", NaN):
+...     result = decision_psdp(problem, epsilon=0.25)   # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.exceptions import FaultInjected
+
+
+class FaultKind:
+    """Base marker for injectable failure classes.
+
+    Subclasses declare ``name`` (human-readable tag recorded on the raised
+    :class:`~repro.exceptions.FaultInjected` and in recovery events) and
+    ``corrupts``: corrupting kinds poison an output array so the kernel's
+    organic finiteness check detects them; non-corrupting kinds raise
+    directly at the hook.
+    """
+
+    name = "fault"
+    corrupts = False
+    fill = float("nan")
+
+
+class NaN(FaultKind):
+    """Poison one entry of a kernel's output with ``nan`` (silent data fault)."""
+
+    name = "nan"
+    corrupts = True
+    fill = float("nan")
+
+
+class Overflow(FaultKind):
+    """Poison one entry of a kernel's output with ``inf`` (overflow fault)."""
+
+    name = "overflow"
+    corrupts = True
+    fill = float("inf")
+
+
+class NonConvergent(FaultKind):
+    """An iterative eigensolver (Lanczos / power iteration) fails to converge."""
+
+    name = "non-convergent"
+    corrupts = False
+
+
+class BoundViolation(FaultKind):
+    """A Hutchinson trace estimate violates its certified error bound."""
+
+    name = "bound-violation"
+    corrupts = False
+
+
+@dataclass
+class FaultSpec:
+    """One armed fault: fire ``times`` times starting at call ``at_call``.
+
+    Calls are counted per spec at the matching site, starting from 1, so
+    ``at_call=3`` leaves the first two kernel invocations clean.  ``seed``
+    determines which entry of the output array a corrupting fault poisons.
+    """
+
+    site: str
+    kind: type[FaultKind]
+    at_call: int = 1
+    times: int = 1
+    seed: int = 0
+    calls_seen: int = 0
+    fires: int = 0
+
+
+#: Active fault plan.  Empty outside :func:`inject` blocks, which is what
+#: keeps the production hooks nearly free on the happy path.
+_PLAN: list[FaultSpec] = []
+
+
+@contextlib.contextmanager
+def inject(
+    site: str,
+    kind: type[FaultKind],
+    at_call: int = 1,
+    times: int = 1,
+    seed: int = 0,
+) -> Iterator[FaultSpec]:
+    """Arm one deterministic fault for the duration of the ``with`` block.
+
+    Parameters
+    ----------
+    site:
+        Instrumented site identifier — see :data:`SITES` for the list.
+    kind:
+        One of :class:`NaN`, :class:`Overflow`, :class:`NonConvergent`,
+        :class:`BoundViolation`.
+    at_call / times:
+        Fire on calls ``at_call .. at_call + times - 1`` (1-based) of the
+        site, counted within this block.
+    seed:
+        Seeds the corrupted-entry position for array faults.
+
+    Yields the live :class:`FaultSpec`; its ``fires`` counter lets tests
+    assert the fault actually triggered.
+    """
+    spec = FaultSpec(site=site, kind=kind, at_call=at_call, times=times, seed=seed)
+    _PLAN.append(spec)
+    try:
+        yield spec
+    finally:
+        # clear_faults() may already have disarmed the spec.
+        if spec in _PLAN:
+            _PLAN.remove(spec)
+
+
+def clear_faults() -> None:
+    """Disarm every active fault (safety net for test teardown)."""
+    _PLAN.clear()
+
+
+#: Instrumented production sites and the failure classes they accept.
+SITES = {
+    "taylor_gram.apply": "Gram-space fused Taylor kernel output (NaN / Overflow)",
+    "taylor_blocked.apply": "blocked fused Taylor kernel output (NaN / Overflow)",
+    "taylor.reference": "reference per-term Taylor apply output (NaN / Overflow)",
+    "lanczos": "ARPACK top-eigenvalue call (NonConvergent)",
+    "hutchinson": "Hutchinson trace estimator (BoundViolation / NonConvergent)",
+    "psi_state.matvec": "implicit PsiState packed matvec output (NaN / Overflow)",
+}
+
+
+def _armed(site: str, corrupts: bool) -> FaultSpec | None:
+    """Return the first armed spec due to fire at ``site``, advancing counters."""
+    for spec in _PLAN:
+        if spec.site != site or spec.kind.corrupts is not corrupts:
+            continue
+        spec.calls_seen += 1
+        if spec.at_call <= spec.calls_seen < spec.at_call + spec.times:
+            spec.fires += 1
+            return spec
+    return None
+
+
+def fault_hook(site: str, kernel_mode: str | None = None) -> None:
+    """Raise :class:`FaultInjected` if a non-corrupting fault is due at ``site``."""
+    if not _PLAN:
+        return
+    spec = _armed(site, corrupts=False)
+    if spec is not None:
+        raise FaultInjected(
+            f"injected {spec.kind.name} fault at site {site!r}",
+            site=site,
+            kernel_mode=kernel_mode,
+            kind=spec.kind,
+        )
+
+
+def fault_hook_array(site: str, array: np.ndarray) -> np.ndarray:
+    """Poison ``array`` in place if a corrupting fault is due at ``site``.
+
+    Returns ``array`` (always the same object) so call sites can stay
+    expression-shaped.  The poisoned position is drawn from
+    ``default_rng((seed, fire_index))`` — fixed seeds give bit-identical
+    corruption across runs.
+    """
+    if not _PLAN:
+        return array
+    spec = _armed(site, corrupts=True)
+    if spec is not None and array.size:
+        rng = np.random.default_rng((spec.seed, spec.fires))
+        array.flat[int(rng.integers(0, array.size))] = spec.kind.fill
+    return array

@@ -67,6 +67,15 @@ CHECKS = [
     ),
 ]
 
+#: (file, section, row filter or None, metric, ceiling).  Ceiling checks are
+#: the inverse gate: *every* (filtered) row's ``metric`` must stay at or
+#: below the ceiling.  PR 6 uses this for the robustness contract — the
+#: happy-path cost of fault supervision must stay within 2% of the
+#: unsupervised solver on the committed payload.
+CEILING_CHECKS = [
+    ("BENCH_robustness.json", "overhead", None, "overhead", 1.02),
+]
+
 
 def check_payload(path: str, section: str, row_filter, aggregate: str, floor: float) -> list[str]:
     """Return failure messages for one (file, section) floor check."""
@@ -92,8 +101,32 @@ def check_payload(path: str, section: str, row_filter, aggregate: str, floor: fl
     return []
 
 
+def check_ceiling(path: str, section: str, row_filter, metric: str, ceiling: float) -> list[str]:
+    """Return failure messages for one (file, section) ceiling check."""
+    name = os.path.basename(path)
+    if not os.path.exists(path):
+        return [f"{name}: committed payload is missing"]
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("quick"):
+        return [f"{name}: committed payload is a --quick smoke run, not a full grid"]
+    rows = payload.get(section)
+    if not rows:
+        return [f"{name}: section {section!r} is missing or empty"]
+    values = [float(row[metric]) for row in rows if row_filter is None or row_filter(row)]
+    if not values:
+        return [f"{name}: no {section!r} rows match the gate's filter"]
+    worst = max(values)
+    if worst > ceiling:
+        return [
+            f"{name}: max({section}.{metric}) = {worst:.3f}x "
+            f"exceeded the {ceiling:.2f}x ceiling"
+        ]
+    return []
+
+
 def main() -> int:
-    """Run every floor check; print results and return the exit code."""
+    """Run every floor and ceiling check; print results and return the exit code."""
     failures: list[str] = []
     for filename, section, row_filter, aggregate, floor in CHECKS:
         path = os.path.join(REPO_ROOT, filename)
@@ -102,6 +135,13 @@ def main() -> int:
             failures.extend(problems)
         else:
             print(f"[ok] {filename}:{section} ({aggregate} >= {floor:.1f}x)")
+    for filename, section, row_filter, metric, ceiling in CEILING_CHECKS:
+        path = os.path.join(REPO_ROOT, filename)
+        problems = check_ceiling(path, section, row_filter, metric, ceiling)
+        if problems:
+            failures.extend(problems)
+        else:
+            print(f"[ok] {filename}:{section} (max {metric} <= {ceiling:.2f}x)")
     for line in failures:
         print(f"[FAIL] {line}")
     return 1 if failures else 0
