@@ -43,7 +43,9 @@ from repro.core import (
     big_dot_exp,
     decision_psdp,
     decision_psdp_phased,
+    instance_rng,
     normalize_sdp,
+    solve_many,
     verify_dual,
     verify_primal,
 )
@@ -77,7 +79,9 @@ __all__ = [
     "big_dot_exp",
     "decision_psdp",
     "decision_psdp_phased",
+    "instance_rng",
     "normalize_sdp",
+    "solve_many",
     "verify_dual",
     "verify_primal",
     "BudgetExhaustedError",

@@ -17,6 +17,7 @@ from repro.core.normalize import normalize_sdp, apply_trace_cap, NormalizationMa
 from repro.core.result import DecisionOutcome, DecisionResult, SolveResult, SolveStatus
 from repro.core.mmw import MatrixMultiplicativeWeights
 from repro.core.decision import DecisionOptions, DecisionParameters, decision_psdp
+from repro.core.batch import instance_rng, solve_many
 from repro.core.decision_phased import decision_psdp_phased
 from repro.core.dotexp import (
     ExactDotExpOracle,
@@ -56,6 +57,8 @@ __all__ = [
     "DecisionParameters",
     "decision_psdp",
     "decision_psdp_phased",
+    "instance_rng",
+    "solve_many",
     "ExactDotExpOracle",
     "FastDotExpOracle",
     "OracleOutput",

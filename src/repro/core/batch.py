@@ -1,0 +1,705 @@
+"""Batched multi-instance decision solving (``solve_many``).
+
+The paper's algorithm is pitched at parallel throughput, but the engine
+built across PRs 1-6 is a deep *single-instance* pipeline.  This module is
+the serving primitive on top of it: :func:`solve_many` takes ``B``
+independent packing-SDP instances and runs them in lockstep, so the
+per-iteration heavy kernels — the oracle's power-iteration matvecs, the
+Gram-recurrence Taylor apply, the squared-column-norm estimate pass and
+the segment sums — execute as single batched GEMMs over a ``(B, m, R)``
+factor super-stack instead of ``B`` separate small-matrix calls.
+
+Equivalence contract
+--------------------
+``solve_many(problems, options)[i]`` certifies **exactly** the result of::
+
+    decision_psdp(problems[i],
+                  options=replace(options, rng=instance_rng(options.rng, i)))
+
+bit-for-bit: same outcome, dual vector, counters, work-depth charges and
+metadata (up to the supervisor's wall-clock ``elapsed`` reading).  Each
+instance's randomness is a :func:`instance_rng` stream derived from the
+instance *index*, never from batch position or a shared spawning sequence,
+so results are invariant to batch composition and to the order in which
+batchmates terminate.
+
+Fusion gate and lockstep layout
+-------------------------------
+Instances are grouped by ``(m, n, ranks)``; each shape-homogeneous group
+runs the fused loop when the options and the instance land on the fast
+oracle's degenerate-sketch Gram path (see ``_fused_key``).  Everything
+else — exact oracles, history collection, custom backends, sparse stacks,
+shapes past the dense-eigensolver cutoff — transparently falls back to
+per-instance :func:`~repro.core.decision.decision_psdp` calls with the
+same per-index rng streams, so the contract above holds unconditionally.
+
+Inside a fused group every instance keeps its **own** oracle, Taylor
+engine, trace estimator, psi state, supervisor and work-depth tracker;
+only the shape-uniform numeric kernels are batched.  Per-instance
+termination masks let instances exit as they certify (primal/dual early
+exits, budget exhaustion, loop-condition exits); the surviving rows are
+recompacted so the batched GEMMs never carry dead instances.
+
+Fault isolation
+---------------
+Supervision demotes only the faulted instance, never the batch: any
+per-instance numerical failure inside the fused kernels ejects that one
+instance, which is re-solved sequentially from its own rng stream.
+Organic failures deterministically replay under the sequential
+supervisor's demotion ladder, reproducing the sequential result exactly;
+an injected fault that was consumed by the discarded batched attempt
+leaves a clean re-solve, which is then reported as ``DEGRADED`` with a
+synthetic ``batched -> sequential`` recovery event so chaos runs can see
+the ejection.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.config import get_config
+from repro.exceptions import BudgetExhaustedError, InvalidProblemError
+from repro.linalg.expm import expm_normalized
+from repro.linalg.norms import batched_spectral_norm_power
+from repro.linalg.sketching import jl_dimension
+from repro.linalg.taylor import taylor_degree
+from repro.linalg.taylor_gram import batched_gram_taylor_apply
+from repro.linalg.trace_estimation import batched_gram_exp_trace, select_trace_mode
+from repro.operators.collection import ConstraintCollection
+from repro.operators.packed import PackedGramFactors, batched_segment_sums
+from repro.parallel.backends import SerialBackend
+from repro.parallel.workdepth import WorkDepthTracker
+from repro.robustness.faultinject import fault_hook_array
+from repro.robustness.supervisor import FastPathSupervisor
+from repro.core.decision import (
+    DecisionOptions,
+    DecisionParameters,
+    _resolve_constraints,
+    decision_psdp,
+    resolve_decision_options,
+)
+from repro.core.dotexp import make_oracle, oracle_engine_metadata
+from repro.core.psi_state import make_psi_state
+from repro.core.result import DecisionOutcome, DecisionResult, SolveStatus
+from repro.utils.random_utils import RandomState, spawn_generators
+
+__all__ = ["instance_rng", "solve_many"]
+
+#: ``top_eigenvalue``'s dense-eigensolver cutoff: at ``m`` at or below it
+#: every ``lambda_max`` goes through the deterministic dense path
+#: (materialise + ``eigvalsh``).  Above it ARPACK's process-global starting
+#: residual makes eigenvalue calls depend on cross-instance call order, so
+#: lockstep would break the bitwise equivalence contract — those instances
+#: take the sequential fallback instead.
+_DENSE_EIG_CUTOFF = 64
+
+
+def instance_rng(rng: RandomState, index: int) -> np.random.SeedSequence:
+    """The rng stream of instance ``index`` under :func:`solve_many`.
+
+    Resolves ``rng`` to its base :class:`numpy.random.SeedSequence` exactly
+    like :func:`~repro.utils.random_utils.spawn_generators` (a ``Generator``
+    contributes its own seed sequence, ``None`` the package default seed),
+    then derives the child deterministically by *extending the spawn key*
+    with the instance index — never by calling ``spawn()`` on a shared,
+    stateful object.  Repeated calls with the same arguments therefore
+    return identical streams regardless of how many instances were
+    processed in between, which is what makes batched results independent
+    of batch composition and exit order.
+    """
+    if isinstance(rng, np.random.Generator):
+        base = rng.bit_generator.seed_seq  # type: ignore[attr-defined]
+        if base is None:  # pragma: no cover - exotic bit generators
+            base = np.random.SeedSequence(get_config().default_seed)
+    elif isinstance(rng, np.random.SeedSequence):
+        base = rng
+    else:
+        base = np.random.SeedSequence(
+            get_config().default_seed if rng is None else rng
+        )
+    return np.random.SeedSequence(
+        entropy=base.entropy, spawn_key=tuple(base.spawn_key) + (int(index),)
+    )
+
+
+def _fused_key(
+    opts: DecisionOptions, constraints: ConstraintCollection
+) -> tuple | None:
+    """Group key when (opts, instance) can run the fused lockstep; else ``None``.
+
+    The fused loop reproduces the sequential solver bit-for-bit only on the
+    configuration the batched kernels mirror: the fast oracle's
+    degenerate-sketch Gram path over dense exact-factor stacks, implicit
+    psi state, supervised, no history/primal tracking, no wall clock (the
+    per-iteration elapsed() reads would diverge between lockstep and
+    sequential runs), and small enough ``m`` that every eigenvalue call is
+    the deterministic dense path.
+    """
+    if not (isinstance(opts.oracle, str) and opts.oracle == "fast"):
+        return None
+    if opts.backend is not None:
+        return None
+    if not opts.supervise:
+        return None
+    if opts.collect_history:
+        return None
+    if opts.track_primal_average not in (None, False):
+        return None
+    if opts.psi_state not in ("auto", "implicit"):
+        return None
+    if opts.wall_clock_budget is not None:
+        return None
+    eps = float(opts.epsilon)
+    if not (0.0 < eps < 1.0):
+        return None
+    oracle_eps = opts.oracle_eps if opts.oracle_eps is not None else eps / 4.0
+    if not (0.0 < float(oracle_eps) < 1.0):
+        return None
+    if not constraints.has_exact_factors:
+        return None
+    packed = constraints.packed_view
+    if packed is None:
+        # Probe on a throwaway view.  Caching it on the collection would
+        # reroute ``traces()`` through the packed rounding for instances
+        # that end up on the sequential fallback, perturbing their bits
+        # relative to a fresh ``decision_psdp`` call.
+        packed = PackedGramFactors.from_collection(constraints)
+    if packed.is_sparse:
+        return None
+    m = constraints.dim
+    if not (0 < m <= _DENSE_EIG_CUTOFF):
+        return None
+    if packed.total_rank <= 0:
+        return None
+    if packed.auto_taylor_mode() != "gram":
+        return None
+    if select_trace_mode(m, packed.total_rank) != "gram":
+        return None
+    if min(jl_dimension(m, float(oracle_eps) / 2.0, constant=8.0), m) < m:
+        return None
+    return (m, len(constraints), tuple(int(r) for r in packed.ranks))
+
+
+class _FusedInstance:
+    """One instance's private solver objects inside a fused group.
+
+    Mirrors the sequential solver's setup (same construction order, same
+    rng consumption, same initial charges) so every per-instance object —
+    oracle, engine, trace estimator, psi state, supervisor, tracker —
+    evolves exactly as it would under ``decision_psdp``.
+    """
+
+    def __init__(
+        self, index: int, problem: Any, constraints: ConstraintCollection,
+        opts: DecisionOptions, traces: np.ndarray,
+    ) -> None:
+        self.index = index
+        self.problem = problem
+        self.constraints = constraints
+        self.opts = opts
+        self.result: DecisionResult | None = None
+        self.last_values: np.ndarray | None = None
+
+        child = instance_rng(opts.rng, index)
+        cfg = get_config()
+        self.eps = float(opts.epsilon)
+        self.params = DecisionParameters.from_instance(len(constraints), self.eps)
+        self.n, self.m = len(constraints), constraints.dim
+        self.packed = constraints.packed()
+
+        if np.any(traces <= 0):
+            raise InvalidProblemError(
+                "every constraint matrix must have a positive trace (remove zero matrices)"
+            )
+
+        self.tracker = WorkDepthTracker()
+        self.backend = SerialBackend(tracker=self.tracker)
+        self.oracle = make_oracle(
+            constraints,
+            kind="fast",
+            eps=opts.oracle_eps if opts.oracle_eps is not None else self.eps / 4.0,
+            kappa_bound=None,
+            rng=child,
+            backend=self.backend,
+        )
+        self.oracle_kind = "fast"
+        check_every = opts.certificate_check_every
+        if check_every is None:
+            check_every = 0 if opts.strict else cfg.certificate_check_every
+        self.check_every = check_every
+        self.max_iterations = (
+            opts.max_iterations if opts.max_iterations is not None else self.params.R
+        )
+        self.log_depth = math.log2(max(self.n, 2)) + math.log2(max(self.m, 2))
+        self.select_depth = math.log2(max(self.n, 2))
+        eig_rng = spawn_generators(child, 1)[0]
+        state = make_psi_state(
+            constraints,
+            1.0 / (self.n * traces),
+            oracle=self.oracle,
+            eig_rng=eig_rng,
+            mode=opts.psi_state,
+        )
+        self.implicit = state.mode == "implicit"
+        self.x0 = state.x
+        self.tracker.charge(state.init_work, self.log_depth, label="init-psi")
+        self.supervisor = FastPathSupervisor(
+            oracle=self.oracle,
+            state=state,
+            constraints=constraints,
+            tracker=self.tracker,
+            log_depth=self.log_depth,
+            eig_rng=eig_rng,
+            wall_clock_budget=opts.wall_clock_budget,
+            iteration_budget=opts.iteration_budget,
+            max_recoveries=opts.max_recoveries,
+        )
+
+
+def _sequential_result(problem: Any, opts: DecisionOptions, index: int) -> DecisionResult:
+    """The contract's sequential solve for instance ``index``."""
+    return decision_psdp(
+        problem, options=dataclasses.replace(opts, rng=instance_rng(opts.rng, index))
+    )
+
+
+def _eject(
+    inst: _FusedInstance, opts: DecisionOptions, iteration: int, site: str, detail: str
+) -> None:
+    """Remove one faulted instance from the batch and re-solve it sequentially.
+
+    The re-solve replays the instance's exact rng stream on a *pristine*
+    rebuild of its constraint collection (the batched attempt built the
+    packed view on the original, which would reroute ``traces()`` through
+    the packed rounding and perturb the bits relative to a fresh
+    ``decision_psdp`` call): an *organic* failure recurs at the same point
+    and flows through the sequential supervisor's demotion ladder, so the
+    stored result is exactly what ``decision_psdp`` would have returned.
+    When the re-solve instead comes back pristine (``CERTIFIED``, zero
+    recovery events), the failure was an injected fault consumed by the
+    discarded batched attempt — the result is then marked ``DEGRADED``
+    with a synthetic ``batched -> sequential`` recovery event so chaos
+    harnesses observe the ejection.
+    """
+    fresh = ConstraintCollection(list(inst.constraints.operators), validate=False)
+    result = _sequential_result(fresh, opts, inst.index)
+    events = result.metadata.get("recovery_events") or []
+    if result.status == SolveStatus.CERTIFIED and not events:
+        result.metadata["recovery_events"] = [
+            {
+                "site": site,
+                "kind": "BatchEjection",
+                "from_mode": "batched",
+                "to_mode": "sequential",
+                "iteration": int(iteration),
+                "detail": detail,
+            }
+        ]
+        sup = result.metadata.get("supervisor")
+        if isinstance(sup, dict):
+            sup["recoveries"] = int(sup.get("recoveries", 0)) + 1
+        result.status = SolveStatus.DEGRADED
+        result.metadata["solve_status"] = SolveStatus.DEGRADED.value
+    inst.result = result
+
+
+def _build(
+    inst: _FusedInstance,
+    outcome: DecisionOutcome,
+    iterations: int,
+    early: bool,
+    dual_candidate: np.ndarray,
+    primal_final: bool = False,
+    status: SolveStatus | None = None,
+) -> DecisionResult:
+    """Mirror of the sequential solver's ``build_result`` for one instance."""
+    supervisor = inst.supervisor
+    try:
+        lam, eig_work = supervisor.lambda_max(final=True, iteration=iterations)
+        state = supervisor.state
+    except BudgetExhaustedError:
+        lam, eig_work = float("nan"), 0.0
+        status = SolveStatus.FAILED
+        state = supervisor.state
+    inst.tracker.charge(eig_work, inst.log_depth, label="dual-rescale")
+    verified = bool(np.isfinite(lam))
+    scale = lam if lam > 0 else 1.0
+    dual_x = dual_candidate / scale
+    dual_value = float(dual_x.sum()) if verified else float("nan")
+    dual_lam = lam / scale if verified else float("nan")
+
+    # The fused loop only runs on the implicit state with primal tracking
+    # off, so the primal branch is the matrix-free one with zero tracked
+    # rounds: the certificate's trace products are the oracle's last
+    # estimates, and primal_y is attached as a deferred build below.
+    if primal_final and inst.last_values is not None:
+        min_dot = float(inst.last_values.min(initial=np.inf))
+    else:
+        min_dot = float("nan")
+
+    if status is None:
+        status = (
+            SolveStatus.DEGRADED
+            if supervisor.recovery_events
+            else SolveStatus.CERTIFIED
+        )
+    result = DecisionResult(
+        outcome=outcome,
+        dual_x=dual_x,
+        primal_y=None,
+        dual_value=dual_value,
+        primal_min_dot=min_dot,
+        dual_lambda_max=dual_lam,
+        iterations=iterations,
+        max_iterations=inst.max_iterations,
+        epsilon=inst.eps,
+        early_exit=early,
+        status=status,
+        history=None,
+        counters=inst.oracle.counters,
+        work_depth=inst.tracker.report(),
+        metadata={
+            "K": inst.params.K,
+            "alpha": inst.params.alpha,
+            "R": inst.params.R,
+            "oracle": inst.oracle_kind,
+            "strict": inst.opts.strict,
+            "solve_status": status.value,
+            "x_l1": float(dual_candidate.sum()),
+            "psi_state": state.stats(),
+            **oracle_engine_metadata(inst.oracle),
+            "recovery_events": supervisor.event_dicts(),
+            "supervisor": supervisor.stats(),
+            **inst.opts.metadata,
+        },
+    )
+    if primal_final:
+        constraints = inst.constraints
+
+        def build_primal() -> np.ndarray:
+            y = expm_normalized(state.densify())
+            result.primal_min_dot = float(constraints.dots(y).min(initial=np.inf))
+            return y
+
+        result.primal_builder = build_primal
+    return result
+
+
+def _compact(
+    active: list[_FusedInstance], *stacks: np.ndarray
+) -> tuple[list[_FusedInstance], list[np.ndarray]]:
+    """Drop instances whose result is set; slice the batch stacks to match."""
+    keep = [b for b, inst in enumerate(active) if inst.result is None]
+    if len(keep) == len(active):
+        return active, list(stacks)
+    sel = np.asarray(keep, dtype=np.int64)
+    return [active[b] for b in keep], [stack[sel] for stack in stacks]
+
+
+def _solve_group(instances: list[_FusedInstance], opts: DecisionOptions) -> None:
+    """Run one shape-homogeneous group through the fused lockstep loop.
+
+    Stores each instance's :class:`~repro.core.result.DecisionResult` on
+    ``inst.result``.  The loop mirrors the sequential Algorithm 3.1 body
+    statement-for-statement; only the shape-uniform numeric kernels are
+    batched, and every exit/bookkeeping decision is taken per instance.
+    """
+    inst0 = instances[0]
+    eps = inst0.eps
+    params = inst0.params
+    max_iterations = inst0.max_iterations
+    check_every = inst0.check_every
+    n, m = inst0.n, inst0.m
+    offsets = inst0.packed.offsets
+    ranks = np.asarray(inst0.packed.ranks, dtype=np.int64)
+
+    active = list(instances)
+    x_stack = np.stack([inst.x0 for inst in active])
+    q_stack = np.stack(
+        [np.asarray(inst.packed.dense_columns(), dtype=np.float64) for inst in active]
+    )
+    # The sequential estimate pass recomputes Q^T Q every oracle call (the
+    # apply's down-projection of the factor stack onto itself); the product
+    # is weight-independent, so compute it once per instance with the same
+    # 2-D GEMM expression and reuse the stacked copy.
+    inner0_stack = np.stack([inst.packed.gram_matrix() for inst in active])
+
+    t = 0
+    while active:
+        # --- loop condition (per instance), then post-loop outcomes -------
+        x_sums = np.sum(x_stack, axis=1)
+        for b, inst in enumerate(active):
+            xs = float(x_sums[b])
+            if xs > params.K:
+                inst.result = _build(
+                    inst, DecisionOutcome.DUAL, t, early=False,
+                    dual_candidate=np.array(x_stack[b]),
+                )
+            elif t >= max_iterations:
+                inst.result = _build(
+                    inst, DecisionOutcome.PRIMAL, t, early=False,
+                    dual_candidate=np.array(x_stack[b]), primal_final=True,
+                )
+        active, (x_stack, q_stack, inner0_stack) = _compact(
+            active, x_stack, q_stack, inner0_stack
+        )
+        if not active:
+            break
+
+        # --- budget checks -------------------------------------------------
+        for b, inst in enumerate(active):
+            if inst.supervisor.budget_exhausted(t) is not None:
+                inst.result = _build(
+                    inst, DecisionOutcome.DUAL, t, early=True,
+                    dual_candidate=np.array(x_stack[b]),
+                    status=SolveStatus.BUDGET_EXHAUSTED,
+                )
+        active, (x_stack, q_stack, inner0_stack) = _compact(
+            active, x_stack, q_stack, inner0_stack
+        )
+        if not active:
+            break
+        t += 1
+
+        # --- oracle pass: per-instance engine updates, batched numeric core
+        batch = len(active)
+        negative = np.any(x_stack < 0, axis=1)
+        if negative.any():
+            # expand_weights raises on negative weights sequentially; the
+            # per-instance re-solve reproduces that exact error.
+            for b in np.flatnonzero(negative):
+                _eject(
+                    active[b], opts, t, "expand_weights",
+                    "negative constraint weights in batched solve",
+                )
+            active, (x_stack, q_stack, inner0_stack) = _compact(
+                active, x_stack, q_stack, inner0_stack
+            )
+            if not active:
+                break
+            batch = len(active)
+        colw_stack = np.repeat(x_stack, ranks, axis=1)
+        for b, inst in enumerate(active):
+            inst.oracle.fused_update_weights(colw_stack[b])
+        # Engine invariant: after update_weights the Gram buffer holds
+        # gram0 * col_w column-for-column, so the stacked form is one
+        # elementwise pass instead of a copy of each engine's buffer.
+        g_stack = inner0_stack * colw_stack[:, None, :]
+
+        v0_stack = np.empty((batch, m), dtype=np.float64)
+        for b, inst in enumerate(active):
+            v0_stack[b] = inst.oracle.fused_power_v0()
+        qt_stack = q_stack.transpose(0, 2, 1)
+
+        # The power iteration passes the same `rows` object until another
+        # slice converges, so the subset stacks are re-sliced only on those
+        # compaction events, not every sweep.
+        sub_cache: dict = {"rows": None, "qt": qt_stack, "q": q_stack, "cw": colw_stack}
+
+        def apply_stack(vecs: np.ndarray, rows: np.ndarray | None) -> np.ndarray:
+            if rows is not sub_cache["rows"]:
+                sub_cache["rows"] = rows
+                if rows is None:
+                    sub_cache["qt"], sub_cache["q"] = qt_stack, q_stack
+                    sub_cache["cw"] = colw_stack
+                else:
+                    sub_cache["qt"], sub_cache["q"] = qt_stack[rows], q_stack[rows]
+                    sub_cache["cw"] = colw_stack[rows]
+            inner = np.matmul(sub_cache["qt"], vecs[:, :, None])
+            inner *= sub_cache["cw"][:, :, None]
+            return np.matmul(sub_cache["q"], inner)[:, :, 0]
+
+        estimates, vectors = batched_spectral_norm_power(
+            apply_stack, v0_stack,
+            fallback_rngs=[inst.oracle.rng for inst in active],
+        )
+        degrees = np.empty(batch, dtype=np.int64)
+        for b, inst in enumerate(active):
+            kappa = inst.oracle.fused_norm_result(
+                float(estimates[b]), np.array(vectors[b])
+            )
+            degrees[b] = taylor_degree(kappa / 2.0, inst.oracle.eps / 2.0)
+
+        out_stack = batched_gram_taylor_apply(
+            q_stack, inner0_stack, g_stack, colw_stack, degrees, scale=0.5
+        )
+        fault_hook_array("taylor_gram.apply", out_stack)
+        finite = np.isfinite(out_stack).all(axis=(1, 2))
+        if not finite.all():
+            for b in np.flatnonzero(~finite):
+                _eject(
+                    active[b], opts, t, "taylor_gram.apply",
+                    "non-finite fused Taylor output in batched solve",
+                )
+            active, (x_stack, q_stack, inner0_stack, colw_stack, out_stack, degrees) = (
+                _compact(
+                    active, x_stack, q_stack, inner0_stack, colw_stack,
+                    out_stack, degrees,
+                )
+            )
+            if not active:
+                break
+            batch = len(active)
+
+        col_vals = np.einsum("bij,bij->bj", out_stack, out_stack)
+        results_stack = batched_segment_sums(col_vals, offsets)
+
+        # Batched Gram-spectrum traces: one stacked eigendecomposition for
+        # the whole group.  Rows on which the scalar path would have raised
+        # come back nan and are ejected — the sequential re-solve reproduces
+        # the exact error for that instance alone.
+        traces_stack = batched_gram_exp_trace(
+            inner0_stack, colw_stack, m, degrees, scale=0.5, squared=True
+        )
+        values_stack = np.empty((batch, n), dtype=np.float64)
+        for b, inst in enumerate(active):
+            trace = float(traces_stack[b])
+            if not np.isfinite(trace):
+                _eject(
+                    inst, opts, t, "trace_estimation",
+                    "Gram-spectrum trace evaluation failed in batched solve",
+                )
+                continue
+            estimate = inst.oracle.trace_estimator.record_gram_estimate(
+                trace, int(degrees[b])
+            )
+            if trace <= 0:
+                _eject(
+                    inst, opts, t, "trace_estimation",
+                    "sketched trace estimate is non-positive",
+                )
+                continue
+            work = inst.oracle.record_fused_call(int(degrees[b]), estimate)
+            inst.tracker.charge(work, inst.log_depth, label="oracle")
+            values_stack[b] = results_stack[b] / trace
+        active, (x_stack, q_stack, inner0_stack, values_stack) = _compact(
+            active, x_stack, q_stack, inner0_stack, values_stack
+        )
+        if not active:
+            break
+
+        # --- select + empty-update-set primal exit -------------------------
+        mask_stack = values_stack <= 1.0 + eps
+        updated_counts = mask_stack.sum(axis=1)
+        for b, inst in enumerate(active):
+            inst.last_values = np.array(values_stack[b])
+            inst.tracker.charge(float(n), inst.select_depth, label="select")
+            if int(updated_counts[b]) == 0:
+                inst.result = _build(
+                    inst, DecisionOutcome.PRIMAL, t, early=True,
+                    dual_candidate=np.array(x_stack[b]), primal_final=True,
+                )
+        active, (x_stack, q_stack, inner0_stack, mask_stack) = _compact(
+            active, x_stack, q_stack, inner0_stack, mask_stack
+        )
+        if not active:
+            break
+
+        # --- multiplicative update (batched), per-instance state refresh --
+        delta_stack = np.where(mask_stack, params.alpha * x_stack, 0.0)
+        x_stack = x_stack + delta_stack
+        for b, inst in enumerate(active):
+            update_work = inst.supervisor.state.replace_weights(np.array(x_stack[b]))
+            inst.tracker.charge(update_work, inst.log_depth, label="update")
+
+        # --- early certificate checks -------------------------------------
+        if check_every and t % check_every == 0:
+            x_sums_post = np.sum(x_stack, axis=1)
+            for b, inst in enumerate(active):
+                try:
+                    lam, eig_work = inst.supervisor.lambda_max(iteration=t)
+                except BudgetExhaustedError:
+                    inst.result = _build(
+                        inst, DecisionOutcome.DUAL, t, early=True,
+                        dual_candidate=np.array(x_stack[b]),
+                        status=SolveStatus.FAILED,
+                    )
+                    continue
+                if getattr(inst.supervisor.state, "mode", "dense") != "implicit":
+                    # The check demoted this instance's state to dense; the
+                    # fused loop only mirrors the implicit path, so hand the
+                    # instance back to the sequential solver (which replays
+                    # the same demotion deterministically).
+                    _eject(
+                        inst, opts, t, "psi_state.matvec",
+                        "state demoted to dense during batched certificate check",
+                    )
+                    continue
+                inst.tracker.charge(
+                    eig_work, inst.log_depth, label="certificate-check"
+                )
+                if lam > 0 and float(x_sums_post[b]) / lam >= 1.0 - eps:
+                    inst.result = _build(
+                        inst, DecisionOutcome.DUAL, t, early=True,
+                        dual_candidate=np.array(x_stack[b]),
+                    )
+            active, (x_stack, q_stack, inner0_stack) = _compact(
+                active, x_stack, q_stack, inner0_stack
+            )
+
+
+def solve_many(
+    problems: Sequence[Any],
+    epsilon: float | None = None,
+    options: DecisionOptions | None = None,
+    **overrides: Any,
+) -> list[DecisionResult]:
+    """Solve ``B`` independent ε-decision problems, batched where possible.
+
+    Parameters
+    ----------
+    problems:
+        Sequence of instances, each anything
+        :func:`~repro.core.decision.decision_psdp` accepts (a
+        :class:`~repro.core.problem.NormalizedPackingSDP`, a
+        :class:`~repro.operators.ConstraintCollection`, or a list of PSD
+        matrices).  Shapes may be ragged across the batch; instances are
+        grouped by ``(m, n, ranks)`` and each shape-homogeneous group that
+        clears the fusion gate runs the lockstep batched-GEMM loop, the
+        rest solve sequentially.
+    epsilon:
+        Accuracy parameter; overrides the one in ``options`` (same calling
+        convention as ``decision_psdp``).
+    options:
+        One :class:`~repro.core.decision.DecisionOptions` bundle applied to
+        every instance; fields can be overridden with keyword arguments.
+
+    Returns
+    -------
+    list[DecisionResult]
+        ``results[i]`` is bit-identical to
+        ``decision_psdp(problems[i], options=replace(options,
+        rng=instance_rng(options.rng, i)))`` — same outcome, certified
+        dual, counters and metadata — regardless of batch composition or
+        the order in which batchmates terminate (the supervisor's
+        wall-clock ``elapsed`` metadata reading is the one excluded field).
+    """
+    opts = resolve_decision_options(epsilon, options, overrides)
+    problems = list(problems)
+    results: list[DecisionResult | None] = [None] * len(problems)
+    groups: dict[tuple, list[_FusedInstance]] = {}
+    for index, problem in enumerate(problems):
+        constraints = _resolve_constraints(problem)
+        # Snapshot the traces *before* the fusion gate builds the packed
+        # view: ``traces()`` reroutes through the packed fast path once
+        # that view exists, and the sequential solver reads them before
+        # its oracle builds it — same values, different rounding order.
+        traces = constraints.traces()
+        key = _fused_key(opts, constraints)
+        if key is None:
+            results[index] = _sequential_result(problem, opts, index)
+            continue
+        inst = _FusedInstance(index, problem, constraints, opts, traces)
+        if not inst.implicit:  # pragma: no cover - gate guarantees implicit
+            results[index] = _sequential_result(problem, opts, index)
+            continue
+        groups.setdefault(key, []).append(inst)
+    for group in groups.values():
+        _solve_group(group, opts)
+        for inst in group:
+            results[inst.index] = inst.result
+    return results  # type: ignore[return-value]

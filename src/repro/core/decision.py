@@ -202,6 +202,31 @@ class DecisionParameters:
         return DecisionParameters(n=n, epsilon=epsilon, K=K, alpha=alpha, R=R)
 
 
+def resolve_decision_options(
+    epsilon: float | None,
+    options: DecisionOptions | None,
+    overrides: dict[str, Any],
+) -> DecisionOptions:
+    """Merge the ``(epsilon, options, **overrides)`` calling convention.
+
+    Shared by :func:`decision_psdp` and :func:`repro.core.batch.solve_many`
+    so a batched solve resolves its options (including override validation
+    and the no-mutation copy semantics) exactly like a sequential one.
+    """
+    opts = options or DecisionOptions()
+    if overrides:
+        valid = {f.name for f in opts.__dataclass_fields__.values()}  # type: ignore[attr-defined]
+        unknown = set(overrides) - valid
+        if unknown:
+            raise TypeError(f"unknown decision options: {sorted(unknown)}")
+        opts = DecisionOptions(**{**opts.__dict__, **overrides})
+    if epsilon is not None:
+        # Copy before overriding: the caller's options object must not be
+        # silently mutated across calls.
+        opts = dataclasses.replace(opts, epsilon=float(epsilon))
+    return opts
+
+
 def _resolve_constraints(problem) -> ConstraintCollection:
     if isinstance(problem, NormalizedPackingSDP):
         return problem.constraints
@@ -255,17 +280,7 @@ def decision_psdp(
     All fast-path/reference pairs certify identical decisions on fixed
     seeds (see ``tests/test_decision_packed_regressions.py``).
     """
-    opts = options or DecisionOptions()
-    if overrides:
-        valid = {f.name for f in opts.__dataclass_fields__.values()}  # type: ignore[attr-defined]
-        unknown = set(overrides) - valid
-        if unknown:
-            raise TypeError(f"unknown decision options: {sorted(unknown)}")
-        opts = DecisionOptions(**{**opts.__dict__, **overrides})
-    if epsilon is not None:
-        # Copy before overriding: the caller's options object must not be
-        # silently mutated across calls.
-        opts = dataclasses.replace(opts, epsilon=float(epsilon))
+    opts = resolve_decision_options(epsilon, options, overrides)
 
     constraints = _resolve_constraints(problem)
     cfg = get_config()

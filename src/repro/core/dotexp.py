@@ -844,6 +844,80 @@ class FastDotExpOracle:
         self.counters.flops_estimate += work
         return OracleOutput(values=values, trace=trace_estimate, work=work)
 
+    def fused_update_weights(self, col_w: np.ndarray) -> None:
+        """Advance the engine to one call's expanded weights (batched path).
+
+        Exactly the kernel-construction step of :meth:`__call__` on the
+        default engine path, minus the kernel view the batched solver never
+        needs: ``repro.core.batch.solve_many`` expands and validates the
+        whole group's weight stack in one pass, then advances each
+        instance's engine here so its counters, charges and Gram buffer
+        evolve exactly as they would under sequential solves (the batched
+        GEMMs read the Gram stack directly instead of through a kernel).
+        """
+        if self._engine is None:
+            self._engine = self._packed.taylor_engine(
+                chunk_columns=self.taylor_chunk_columns
+            )
+        self._engine.update_weights(col_w, backend=self.backend)
+
+    def fused_power_v0(self) -> np.ndarray:
+        """Draw one call's warm-started power-iteration start vector.
+
+        Reproduces the kappa chain's rng consumption and warm-start blend
+        from :meth:`__call__` bit-for-bit: one fresh ``standard_normal(m)``
+        draw, blended into the previous call's converged norm vector when
+        one exists.  The batched solver stacks these rows as ``v0`` for
+        :func:`~repro.linalg.norms.batched_spectral_norm_power`.
+        """
+        m = self.constraints.dim
+        fresh = self.rng.standard_normal(m)
+        if self._norm_vector is not None and m > 0:
+            fresh_norm = float(np.linalg.norm(fresh))
+            if fresh_norm > 0:
+                fresh = self._norm_vector + NORM_RESTART_MIX * (fresh / fresh_norm)
+        return fresh
+
+    def fused_norm_result(self, estimate: float, vector: np.ndarray) -> float:
+        """Record one batched power-iteration result; returns the call's kappa.
+
+        Stores the converged vector as the next call's warm start, books the
+        ``norm_estimates`` counter, and applies the same ``max(1, est *
+        1.05)`` safety margin as :meth:`__call__`.
+        """
+        self._norm_vector = vector
+        kappa = max(1.0, estimate * 1.05)
+        self.counters.add("norm_estimates")
+        return kappa
+
+    def record_fused_call(self, degree: int, trace_estimate) -> float:
+        """Book one batched-solver oracle pass against this oracle's counters.
+
+        ``repro.core.batch.solve_many`` runs the degenerate structured-path
+        estimate (stacked Taylor apply + squared column norms + structured
+        trace) as batched GEMMs outside :meth:`__call__`, but each instance
+        must record exactly the counters and Corollary 1.2 work charge a
+        sequential call would have.  ``trace_estimate`` is the
+        :class:`~repro.linalg.trace_estimation.TraceEstimate` the instance's
+        own estimator returned for this pass (the estimator updates its own
+        call/extra-work tallies inside ``estimate``); the norm-estimate
+        counter is booked separately by the batched kappa chain.  Returns
+        the work charge in model units.
+        """
+        packed = self._packed
+        self.counters.record_call()
+        self.counters.matvecs += packed.total_rank * (degree - 1)
+        self.counters.factor_passes += len(packed)
+        self.counters.add("packed_estimate_gemms")
+        self.counters.matvecs += trace_estimate.probes * (degree - 1)
+        self.counters.add("structured_trace_estimates")
+        q = self.constraints.total_nnz
+        m = self.constraints.dim
+        columns = packed.total_rank + trace_estimate.probes
+        work = float(columns * degree * max(q, m) + q + trace_estimate.extra_work)
+        self.counters.flops_estimate += work
+        return work
+
 
 def oracle_engine_metadata(oracle) -> dict:
     """Result-metadata fragment with the oracle's engine/estimator counters.

@@ -332,6 +332,21 @@ class ImplicitPsiState(PsiState):
         self._dense = None
         return float(len(self.x))
 
+    def replace_weights(self, x: np.ndarray) -> float:
+        """Replace the weight vector wholesale (the batched solver's update).
+
+        Equivalent to :meth:`add_delta` with ``delta = x - self.x`` already
+        applied by the caller: ``solve_many`` performs the multiplicative
+        update for the whole batch in one stacked operation and hands each
+        state its updated row.  Invalidates the matvec closure and the dense
+        cache exactly like :meth:`add_delta` and returns the same ``O(n)``
+        model work charge.
+        """
+        self.x = x
+        self._matvec_fn = None
+        self._dense = None
+        return float(len(self.x))
+
     def lambda_max(self, final: bool = False) -> tuple[float, float]:
         """Warm-started Lanczos through the factored matvec.
 

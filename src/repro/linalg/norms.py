@@ -130,6 +130,106 @@ def spectral_norm_power(
     return result(max(estimate, 0.0))
 
 
+def batched_spectral_norm_power(
+    apply_fn: Callable[[np.ndarray], np.ndarray],
+    v0: np.ndarray,
+    tol: float | None = None,
+    maxiter: int | None = None,
+    fallback_rngs: "list | None" = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Run :func:`spectral_norm_power` on a batch of operators in lockstep.
+
+    The batched counterpart used by :func:`repro.core.batch.solve_many`:
+    every slice follows the sequential estimator's exact update sequence
+    (norm, Rayleigh quotient, normalisation, relative-change stop), but the
+    matvec and both inner products run as stacked GEMMs over the
+    still-active slices, so each slice's trajectory — and therefore its
+    estimate, its converged vector, and its sweep count — is bit-identical
+    to a sequential :func:`spectral_norm_power` call on that slice alone.
+
+    Parameters
+    ----------
+    apply_fn:
+        Batched matvec ``apply_fn(vecs, rows)``: maps an ``(A, m)`` stack of
+        vectors to the ``(A, m)`` stack of per-slice products ``Psi_b v_b``.
+        ``rows`` is ``None`` while every slice is still iterating, and an
+        index array selecting the still-active slices once some have
+        converged — converged slices drop out of the GEMMs entirely instead
+        of riding along as dead weight.
+    v0:
+        ``(B, m)`` stack of start vectors (normalised internally, exactly
+        like the sequential ``v0`` path; ``fallback_rngs`` is only consumed
+        for rows whose start vector is degenerate).
+    tol, maxiter:
+        As in :func:`spectral_norm_power` (config defaults when ``None``).
+    fallback_rngs:
+        Optional per-slice generators for the degenerate-``v0`` cold start
+        (sequentially a fresh Gaussian draw); ``None`` raises on a
+        degenerate row instead.
+
+    Returns
+    -------
+    (numpy.ndarray, numpy.ndarray)
+        ``(estimates, vectors)``: the ``(B,)`` norm estimates and the
+        ``(B, m)`` stack of last normalised iterates (the warm starts for
+        the next call).
+    """
+    cfg = get_config()
+    tol = cfg.power_iteration_tol if tol is None else tol
+    maxiter = cfg.power_iteration_maxiter if maxiter is None else maxiter
+    vecs = np.asarray(v0, dtype=np.float64)
+    if vecs.ndim != 2:
+        raise ValueError(f"v0 must be a (B, m) stack, got ndim={vecs.ndim}")
+    batch, dim = vecs.shape
+    out_est = np.zeros(batch, dtype=np.float64)
+    out_vec = np.array(vecs, copy=True)
+    if batch == 0 or dim == 0:
+        return out_est, out_vec
+    norms0 = np.sqrt(np.matmul(vecs[:, None, :], vecs[:, :, None])[:, 0, 0])
+    degenerate = norms0 <= 1e-300
+    vecs = vecs / np.where(degenerate, 1.0, norms0)[:, None]
+    for b in np.flatnonzero(degenerate):
+        if fallback_rngs is None:
+            raise ValueError("degenerate v0 row and no fallback rng given")
+        fresh = as_generator(fallback_rngs[b]).standard_normal(dim)
+        fresh /= np.linalg.norm(fresh)
+        vecs[b] = fresh
+    estimates = np.zeros(batch, dtype=np.float64)
+    rows = np.arange(batch)
+    for _ in range(maxiter):
+        new_vecs = apply_fn(vecs, None if rows.shape[0] == batch else rows)
+        norms = np.sqrt(np.matmul(new_vecs[:, None, :], new_vecs[:, :, None])[:, 0, 0])
+        dead = norms <= 1e-300
+        new_estimates = np.matmul(vecs[:, None, :], new_vecs[:, :, None])[:, 0, 0]
+        divided = new_vecs / np.where(dead, 1.0, norms)[:, None]
+        converged = np.abs(new_estimates - estimates) <= tol * np.maximum(
+            np.abs(new_estimates), 1e-300
+        )
+        finishing = dead | converged
+        if finishing.any():
+            # Sequential semantics: a vanishing iterate returns estimate 0
+            # with the *previous* normalised vector.
+            if dead.any():
+                out_est[rows[dead]] = 0.0
+                out_vec[rows[dead]] = vecs[dead]
+            settled = converged & ~dead
+            if settled.any():
+                out_est[rows[settled]] = np.maximum(new_estimates[settled], 0.0)
+                out_vec[rows[settled]] = divided[settled]
+            keep = ~finishing
+            rows = rows[keep]
+            if rows.shape[0] == 0:
+                return out_est, out_vec
+            vecs = divided[keep]
+            estimates = new_estimates[keep]
+        else:
+            vecs = divided
+            estimates = new_estimates
+    out_est[rows] = np.maximum(estimates, 0.0)
+    out_vec[rows] = vecs
+    return out_est, out_vec
+
+
 def top_eigenvalue(
     matrix: np.ndarray | sp.spmatrix | Callable[[np.ndarray], np.ndarray],
     dim: int | None = None,

@@ -65,6 +65,7 @@ __all__ = [
     "GramTaylorKernel",
     "SparsePsiAccumulator",
     "TaylorEngine",
+    "batched_gram_taylor_apply",
     "gram_taylor_apply",
     "select_taylor_mode",
     "taylor_mode_cost",
@@ -355,6 +356,56 @@ def gram_taylor_apply(
     return kernel.apply(block, degree, scale=scale, chunk_columns=chunk_columns)
 
 
+def batched_gram_taylor_apply(
+    q_stack: np.ndarray,
+    inner_stack: np.ndarray,
+    gram_stack: np.ndarray,
+    colw_stack: np.ndarray,
+    degrees: np.ndarray,
+    scale: float = 0.5,
+) -> np.ndarray:
+    """Ragged-degree Gram-recurrence Taylor apply over a batch of instances.
+
+    Runs the same accumulation as :meth:`GramTaylorKernel._apply_chunk` for
+    ``B`` shape-homogeneous instances at once, with every multiply a single
+    stacked GEMM.  ``q_stack`` is the ``(B, m, R)`` factor super-stack,
+    ``inner_stack`` the precomputed ``(B, R, R)`` block of ``Q^T Q`` products
+    (the sequential path's ``self._q.T @ block`` for ``block =
+    dense_columns()``), ``gram_stack`` the per-instance weighted Gram matrices
+    ``G = (Q^T Q) * w`` and ``colw_stack`` the ``(B, R)`` expanded column
+    weights.  ``degrees`` holds each instance's Taylor degree; instances with
+    shorter series simply stop accumulating while the shared ping-pong keeps
+    rolling for the longest one, so the per-instance results match
+    ``kernel.apply(dense_columns(), degree, scale)`` bitwise.
+
+    Returns the ``(B, m, R)`` batch of transformed factor stacks.
+    """
+    degrees = np.asarray(degrees, dtype=np.int64)
+    if q_stack.ndim != 3 or inner_stack.ndim != 3 or gram_stack.ndim != 3:
+        raise InvalidProblemError("batched Taylor apply expects 3-D stacks")
+    if degrees.shape[0] != q_stack.shape[0]:
+        raise InvalidProblemError("one Taylor degree per batched instance required")
+    if q_stack.shape[2] < 1:
+        raise InvalidProblemError("batched Taylor apply requires total rank >= 1")
+    if degrees.size == 0 or int(degrees.min()) < 2:
+        raise InvalidProblemError("batched Taylor apply requires degree >= 2")
+    max_degree = int(degrees.max())
+    term = scale * inner_stack
+    acc = term.copy()
+    buf = np.empty_like(term)
+    for i in range(2, max_degree):
+        np.matmul(gram_stack, term, out=buf)
+        buf *= scale / i
+        idx = np.flatnonzero(degrees > i)
+        if idx.size == degrees.size:
+            acc += buf
+        elif idx.size:
+            acc[idx] += buf[idx]
+        term, buf = buf, term
+    acc *= colw_stack[:, :, None]
+    return q_stack + np.matmul(q_stack, acc)
+
+
 class SparsePsiAccumulator:
     """Weight-to-CSR-values map for ``Psi = Q diag(w) Q^T`` with a fixed pattern.
 
@@ -622,6 +673,31 @@ class TaylorEngine:
         self._qw[:, active] = self.packed.matrix[:, active] * col_w[active]
         return float(m) * a
 
+    def update_weights(self, col_w: np.ndarray, backend=None) -> None:
+        """Advance the weight-dependent state to ``col_w`` — no kernel built.
+
+        The build/update bookkeeping of :meth:`kernel_for` factored out for
+        callers that already hold the expanded column weights: the batched
+        solver (:func:`repro.core.batch.solve_many`) expands and validates a
+        whole instance group's weight stack in one pass, then advances each
+        engine here and reads the Gram buffers as a stack, so counters and
+        ``taylor-engine-update`` charges evolve exactly as under
+        :meth:`kernel_for`.
+        """
+        if self._w_cols is None:
+            cost = self._full_build(col_w)
+            self.full_builds += 1
+            self._charge(cost, backend)
+        else:
+            delta = col_w - self._w_cols
+            active = np.flatnonzero(delta)
+            if active.shape[0]:
+                cost = self._update(col_w, active, delta[active])
+                self.incremental_updates += 1
+                self.columns_updated += int(active.shape[0])
+                self._charge(cost, backend)
+        self._w_cols = col_w
+
     # ------------------------------------------------------------------ kernels
     def kernel_for(self, weights: np.ndarray, backend=None, chunk_columns=...):
         """A Taylor kernel for ``Psi = sum_i weights[i] Q_i Q_i^T``.
@@ -638,19 +714,7 @@ class TaylorEngine:
 
         col_w = self.packed.expand_weights(weights)
         chunk = self.chunk_columns if chunk_columns is ... else chunk_columns
-        if self._w_cols is None:
-            cost = self._full_build(col_w)
-            self.full_builds += 1
-            self._charge(cost, backend)
-        else:
-            delta = col_w - self._w_cols
-            active = np.flatnonzero(delta)
-            if active.shape[0]:
-                cost = self._update(col_w, active, delta[active])
-                self.incremental_updates += 1
-                self.columns_updated += int(active.shape[0])
-                self._charge(cost, backend)
-        self._w_cols = col_w
+        self.update_weights(col_w, backend=backend)
 
         if self.mode == "gram":
             return GramTaylorKernel(

@@ -82,6 +82,7 @@ from repro.robustness.faultinject import fault_hook
 __all__ = [
     "TraceEstimate",
     "TraceEstimator",
+    "batched_gram_exp_trace",
     "gram_exp_trace",
     "select_trace_mode",
     "truncated_exp_values",
@@ -249,6 +250,100 @@ def gram_exp_trace(
             kernel_mode="gram",
         )
     return trace
+
+
+def batched_gram_exp_trace(
+    gram_stack: np.ndarray,
+    colw_stack: np.ndarray,
+    dim: int,
+    degrees: np.ndarray,
+    scale: float = 1.0,
+    squared: bool = True,
+) -> np.ndarray:
+    """Vectorised :func:`gram_exp_trace` over a batch of weight vectors.
+
+    Each row ``b`` of the result equals ``gram_exp_trace(gram_stack[b],
+    colw_stack[b], dim, degrees[b], scale, squared)`` bitwise: the weighting
+    and truncated-exponential evaluations are elementwise (identical
+    floating-point sequences per row), ``np.linalg.eigvalsh`` on a stack
+    runs the same LAPACK routine per slice, and the per-row reduction
+    matches the 1-D sum.  Rows on which the scalar form would raise
+    (negative weights, non-finite spectra, overflowed traces) come back as
+    ``nan`` instead of raising, so one bad instance cannot poison its
+    batchmates — the caller re-solves those rows sequentially to reproduce
+    the exact error.
+    """
+    gram_stack = np.asarray(gram_stack, dtype=np.float64)
+    colw_stack = np.asarray(colw_stack, dtype=np.float64)
+    degrees = np.asarray(degrees, dtype=np.int64)
+    if gram_stack.ndim != 3 or colw_stack.ndim != 2 or degrees.ndim != 1:
+        raise InvalidProblemError(
+            "batched_gram_exp_trace expects a (B, R, R) gram stack, a (B, R) "
+            "weight stack and a (B,) degree vector"
+        )
+    batch, r = colw_stack.shape
+    if gram_stack.shape != (batch, r, r) or degrees.shape[0] != batch:
+        raise InvalidProblemError(
+            f"inconsistent batch shapes: gram {gram_stack.shape}, "
+            f"weights {colw_stack.shape}, degrees {degrees.shape}"
+        )
+    if r > dim:
+        raise InvalidProblemError(
+            f"the Gram-spectrum trace requires R <= m, got R={r}, m={dim}"
+        )
+    if np.any(degrees < 1):
+        raise InvalidProblemError("every degree must be >= 1")
+    if r == 0:
+        return np.full(batch, float(dim))
+    traces = np.full(batch, np.nan)
+    bad = np.any(colw_stack < 0, axis=1)
+    with np.errstate(invalid="ignore", over="ignore"):
+        root = np.sqrt(colw_stack)
+        weighted = gram_stack * root[:, None, :] * root[:, :, None]
+    bad |= ~np.isfinite(weighted).all(axis=(1, 2))
+    good = np.flatnonzero(~bad)
+    if good.size == 0:
+        return traces
+    sym = 0.5 * (weighted[good] + weighted[good].transpose(0, 2, 1))
+    try:
+        eigenvalues = np.linalg.eigvalsh(sym)
+    except np.linalg.LinAlgError:
+        # Isolate non-converging slices so the rest of the batch survives.
+        eigenvalues = np.zeros((good.size, r))
+        keep = np.ones(good.size, dtype=bool)
+        for j in range(good.size):
+            try:
+                eigenvalues[j] = np.linalg.eigvalsh(sym[j])
+            except np.linalg.LinAlgError:
+                keep[j] = False
+        good = good[keep]
+        eigenvalues = eigenvalues[keep]
+        if good.size == 0:
+            return traces
+    np.clip(eigenvalues, 0.0, None, out=eigenvalues)
+    # truncated_exp_values with per-row degrees: run the shared recurrence
+    # to the largest degree, snapshotting each row at its own truncation
+    # point (the elementwise term/acc updates are row-independent).
+    deg_good = degrees[good]
+    with np.errstate(invalid="ignore", over="ignore"):
+        x = eigenvalues * float(scale)
+        acc = np.ones_like(x)
+        term = np.ones_like(x)
+        values = np.empty_like(x)
+        sel = np.flatnonzero(deg_good == 1)
+        if sel.size:
+            values[sel] = acc[sel]
+        for i in range(1, int(deg_good.max())):
+            term = term * x / i
+            acc = acc + term
+            sel = np.flatnonzero(deg_good == i + 1)
+            if sel.size:
+                values[sel] = acc[sel]
+        if squared:
+            values = values * values
+        traces[good] = float(dim - r) + values.sum(axis=1)
+    traces[~np.isfinite(traces)] = np.nan
+    return traces
 
 
 @dataclass
@@ -593,6 +688,33 @@ class TraceEstimator:
             result = self._deflated_estimate(kernel, degree, scale, transformed_factors)
         else:
             result = self._hutchinson_estimate(kernel, degree, scale)
+        self.extra_work += result.extra_work
+        self.max_error_bound = max(self.max_error_bound, result.error_bound)
+        self._mode_counts[result.mode] = self._mode_counts.get(result.mode, 0) + 1
+        self.last = result
+        return result
+
+    def record_gram_estimate(self, value: float, degree: int) -> TraceEstimate:
+        """Account a Gram-mode trace computed externally (the batched path).
+
+        :func:`~repro.core.batch.solve_many` evaluates
+        :func:`batched_gram_exp_trace` across a whole instance group in one
+        stacked eigendecomposition, then books each row here so counters,
+        work charges and :attr:`last` advance exactly as a
+        :meth:`estimate` call in mode ``"gram"`` would have.
+        """
+        if self.mode != "gram":
+            raise InvalidProblemError(
+                f"record_gram_estimate requires trace mode 'gram', got {self.mode!r}"
+            )
+        self.calls += 1
+        r = self.total_rank
+        result = TraceEstimate(
+            value=float(value),
+            error_bound=0.0,
+            mode="gram",
+            extra_work=float(r) ** 3 + float(r) * degree,
+        )
         self.extra_work += result.extra_work
         self.max_error_bound = max(self.max_error_bound, result.error_bound)
         self._mode_counts[result.mode] = self._mode_counts.get(result.mode, 0) + 1

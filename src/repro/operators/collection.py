@@ -100,6 +100,7 @@ class ConstraintCollection:
         self._dense_stack: np.ndarray | None = None
         self._dense_stack_checked = False
         self._op_work: list[float] | None = None
+        self._total_nnz: int | None = None
 
     # ------------------------------------------------------------------ dunder
     def __len__(self) -> int:
@@ -123,8 +124,13 @@ class ConstraintCollection:
     @property
     def total_nnz(self) -> int:
         """Total stored nonzeros across the collection (the ``q`` of Cor. 1.2
-        when operators are factorized, and the input-size proxy otherwise)."""
-        return int(sum(op.nnz for op in self._operators))
+        when operators are factorized, and the input-size proxy otherwise).
+
+        Cached on first access — the collection is immutable and the fast
+        oracle reads ``q`` for its work charge on every call."""
+        if self._total_nnz is None:
+            self._total_nnz = int(sum(op.nnz for op in self._operators))
+        return self._total_nnz
 
     @property
     def operator_work(self) -> list[float]:

@@ -75,6 +75,38 @@ def segment_sums(values: np.ndarray, offsets: np.ndarray) -> np.ndarray:
     return csum[offsets[1:]] - csum[offsets[:-1]]
 
 
+def batched_segment_sums(values: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+    """Row-wise :func:`segment_sums` over a ``(B, R)`` batch of value rows.
+
+    All ``B`` instances share one segment layout (``offsets``), so the
+    reduction is a single ``np.add.reduceat`` along ``axis=1`` (or one
+    cumulative-sum difference when some segment is empty).  Each output row
+    matches ``segment_sums(values[b], offsets)`` bitwise.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    offsets = np.asarray(offsets, dtype=np.int64)
+    if values.ndim != 2:
+        raise InvalidProblemError(
+            f"batched values must be 2-dimensional, got ndim={values.ndim}"
+        )
+    if offsets.ndim != 1:
+        raise InvalidProblemError(
+            f"offsets must be 1-dimensional, got ndim={offsets.ndim}"
+        )
+    batch = values.shape[0]
+    if offsets.shape[0] < 2:
+        return np.zeros((batch, max(offsets.shape[0] - 1, 0)), dtype=np.float64)
+    widths = np.diff(offsets)
+    if values.shape[1] == 0:
+        return np.zeros((batch, widths.shape[0]), dtype=np.float64)
+    if np.all(widths > 0):
+        return np.add.reduceat(values, offsets[:-1], axis=1)
+    csum = np.concatenate(
+        [np.zeros((batch, 1), dtype=np.float64), np.cumsum(values, axis=1)], axis=1
+    )
+    return csum[:, offsets[1:]] - csum[:, offsets[:-1]]
+
+
 class PackedGramFactors:
     """All constraint Gram factors stacked into one column-blocked matrix.
 

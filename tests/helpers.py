@@ -1,0 +1,89 @@
+"""Shared instance-family factories and result-equivalence assertions.
+
+Every suite that needs "a few random factorized PSD constraints" used to
+carry its own copy of the same four-line factory; they now share
+:func:`factorized_family` (same generator seeding, same draw order, so all
+fixed-seed regressions keep their random streams bit-for-bit).
+
+:func:`assert_results_identical` is the batched-equivalence contract of
+``repro.core.batch.solve_many``: a batched solve must reproduce its
+sequential counterpart field-for-field, bitwise on arrays, with only the
+wall-clock ``supervisor.elapsed`` metadata entry exempt.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.operators import ConstraintCollection, FactorizedPSDOperator
+
+
+def factorized_family(
+    seed, n=8, m=24, rank=2, scale=0.35, validate=True
+) -> ConstraintCollection:
+    """The canonical Gaussian factorized constraint family.
+
+    One seeded ``default_rng``, one ``standard_normal((m, rank))`` draw per
+    constraint, in constraint order — exactly the construction (and
+    therefore the random stream) of the per-suite fixtures this factory
+    replaced.
+    """
+    rng = np.random.default_rng(seed)
+    return ConstraintCollection(
+        [
+            FactorizedPSDOperator(scale * rng.standard_normal((m, rank)))
+            for _ in range(n)
+        ],
+        validate=validate,
+    )
+
+
+def _scalars_equal(a, b) -> bool:
+    """Exact equality with ``nan == nan`` (both-missing counts as equal)."""
+    if isinstance(a, float) and isinstance(b, float):
+        if math.isnan(a) and math.isnan(b):
+            return True
+    return a == b
+
+
+def _strip_elapsed(metadata: dict) -> dict:
+    """A metadata copy without the wall-clock ``supervisor.elapsed`` entry."""
+    out = dict(metadata)
+    supervisor = out.get("supervisor")
+    if isinstance(supervisor, dict):
+        out["supervisor"] = {k: v for k, v in supervisor.items() if k != "elapsed"}
+    return out
+
+
+def assert_results_identical(actual, expected, label="result") -> None:
+    """Assert two ``DecisionResult`` objects are identical.
+
+    Discrete fields compare with ``==``, float fields treat ``nan == nan``
+    as equal, arrays compare bitwise via ``np.array_equal``, and the
+    counters and metadata dicts compare exactly (metadata minus the
+    ``supervisor.elapsed`` timing).  ``label`` prefixes failure messages so
+    sweep loops can name the offending instance.
+    """
+    for field in (
+        "outcome",
+        "iterations",
+        "early_exit",
+        "status",
+        "epsilon",
+        "max_iterations",
+    ):
+        va, vb = getattr(actual, field), getattr(expected, field)
+        assert va == vb, f"{label}: {field} differs: {va!r} != {vb!r}"
+    for field in ("dual_value", "primal_min_dot", "dual_lambda_max"):
+        va, vb = getattr(actual, field), getattr(expected, field)
+        assert _scalars_equal(va, vb), f"{label}: {field} differs: {va!r} != {vb!r}"
+    assert np.array_equal(actual.dual_x, expected.dual_x), (
+        f"{label}: dual_x differs (max abs delta "
+        f"{np.max(np.abs(actual.dual_x - expected.dual_x))})"
+    )
+    ca, cb = actual.counters.as_dict(), expected.counters.as_dict()
+    assert ca == cb, f"{label}: counters differ: {ca} != {cb}"
+    ma, mb = _strip_elapsed(actual.metadata), _strip_elapsed(expected.metadata)
+    assert ma == mb, f"{label}: metadata differs: {ma} != {mb}"

@@ -23,12 +23,11 @@ from repro.core.psi_state import (
     make_psi_state,
 )
 
+from helpers import factorized_family
+
 
 def _collection(seed=0, n=8, m=24, rank=2, scale=0.4):
-    rng = np.random.default_rng(seed)
-    return ConstraintCollection(
-        [FactorizedPSDOperator(scale * rng.standard_normal((m, rank))) for _ in range(n)]
-    )
+    return factorized_family(seed, n=n, m=m, rank=rank, scale=scale)
 
 
 def _dense_collection(seed=1, n=4, m=10):

@@ -20,12 +20,11 @@ from repro.core.dotexp import ExactDotExpOracle, FastDotExpOracle
 from repro.core.solver import SolverOptions, approx_psdp
 from repro.problems.random_instances import random_packing_sdp
 
+from helpers import factorized_family
+
 
 def _factorized_collection(seed, m=12, n=8, scale=0.35):
-    rng = np.random.default_rng(seed)
-    return ConstraintCollection(
-        [FactorizedPSDOperator(scale * rng.standard_normal((m, 2))) for _ in range(n)]
-    )
+    return factorized_family(seed, n=n, m=m, rank=2, scale=scale)
 
 
 class TestHistoryNaNRegression:

@@ -29,17 +29,19 @@ from repro.linalg.trace_estimation import (
 )
 from repro.operators import ConstraintCollection, FactorizedPSDOperator
 
+from helpers import factorized_family
+
 
 def _collection(seed, n=10, m=48, rank=2, kind="dense", density=0.1, support=None):
     """Random factorized constraints across the low-rank/sparse/concentrated
     families the estimator must cover."""
-    rng = np.random.default_rng(seed)
     scale = 1.0 / np.sqrt(m)
+    if kind == "dense":
+        return factorized_family(seed, n=n, m=m, rank=rank, scale=scale, validate=False)
+    rng = np.random.default_rng(seed)
     ops = []
     for _ in range(n):
-        if kind == "dense":
-            ops.append(FactorizedPSDOperator(scale * rng.standard_normal((m, rank))))
-        elif kind == "sparse":
+        if kind == "sparse":
             factor = sp.random(m, rank, density=density, random_state=rng, format="csr")
             if factor.nnz == 0:
                 factor = sp.csr_matrix(

@@ -23,6 +23,7 @@ import numpy as np
 import pytest
 import scipy.sparse as sp
 
+from repro.core.batch import instance_rng, solve_many
 from repro.core.decision import decision_psdp
 from repro.core.decision_phased import decision_psdp_phased
 from repro.core.dotexp import make_oracle
@@ -41,6 +42,8 @@ from repro.robustness import (
 )
 from repro.robustness.faultinject import _PLAN, fault_hook, fault_hook_array
 
+from helpers import factorized_family
+
 CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "0"))
 
 
@@ -53,26 +56,17 @@ def _no_leftover_faults():
 
 def gram_collection(m=24, n=6, rank=1, scale=0.3, seed=7):
     """Low total rank (< m) so the Taylor engine auto-selects gram mode."""
-    rng = np.random.default_rng(seed + CHAOS_SEED)
-    return ConstraintCollection(
-        [FactorizedPSDOperator(scale * rng.standard_normal((m, rank))) for _ in range(n)]
-    )
+    return factorized_family(seed + CHAOS_SEED, n=n, m=m, rank=rank, scale=scale)
 
 
 def dense_psi_collection(m=12, n=8, rank=2, scale=0.4, seed=7):
     """Total rank > m so the engine auto-selects dense-psi (blocked site)."""
-    rng = np.random.default_rng(seed + CHAOS_SEED)
-    return ConstraintCollection(
-        [FactorizedPSDOperator(scale * rng.standard_normal((m, rank))) for _ in range(n)]
-    )
+    return factorized_family(seed + CHAOS_SEED, n=n, m=m, rank=rank, scale=scale)
 
 
 def big_collection(m=80, n=10, rank=2, scale=0.2, seed=7):
     """m above the dense cutoff (64) so lambda_max runs warm-started Lanczos."""
-    rng = np.random.default_rng(seed + CHAOS_SEED)
-    return ConstraintCollection(
-        [FactorizedPSDOperator(scale * rng.standard_normal((m, rank))) for _ in range(n)]
-    )
+    return factorized_family(seed + CHAOS_SEED, n=n, m=m, rank=rank, scale=scale)
 
 
 def assert_recovered(clean, faulty, site):
@@ -266,6 +260,70 @@ class TestBudgets:
         assert result.status == SolveStatus.CERTIFIED
         assert "recovery_events" not in result.metadata
         assert "supervisor" not in result.metadata
+
+
+class TestChaosBatch:
+    """Fault supervision composed with the batched lockstep solver.
+
+    A fault that lands inside a ``solve_many`` group must demote *only*
+    the instance whose stack slice it corrupted — the batchmates keep
+    their pristine certified results — and budget exhaustion must come
+    back as a per-instance :class:`SolveStatus`, exactly as sequential.
+    """
+
+    def _batch(self, size=4):
+        return [gram_collection(seed=7 + 11 * i) for i in range(size)]
+
+    def _sequential(self, size=4, **overrides):
+        return [
+            decision_psdp(
+                coll, epsilon=0.25, oracle="fast", rng=instance_rng(3, i), **overrides
+            )
+            for i, coll in enumerate(self._batch(size))
+        ]
+
+    def test_mid_batch_fault_ejects_only_the_faulted_instance(self):
+        clean = self._sequential()
+        assert all(r.status == SolveStatus.CERTIFIED for r in clean)
+        with inject("taylor_gram.apply", NaN, at_call=2, seed=CHAOS_SEED) as spec:
+            faulty = solve_many(self._batch(), epsilon=0.25, oracle="fast", rng=3)
+        assert spec.fires == 1
+        degraded = [i for i, r in enumerate(faulty) if r.status == SolveStatus.DEGRADED]
+        assert len(degraded) == 1
+        hit = degraded[0]
+        events = faulty[hit].metadata["recovery_events"]
+        assert len(events) == 1
+        assert events[0]["kind"] == "BatchEjection"
+        assert (events[0]["from_mode"], events[0]["to_mode"]) == ("batched", "sequential")
+        assert events[0]["site"] == "taylor_gram.apply"
+        assert faulty[hit].metadata["supervisor"]["recoveries"] == 1
+        # The ejection re-solve replays the instance's own rng stream and
+        # the one-shot fault was consumed by the discarded batched attempt,
+        # so the decision itself is the clean sequential one.
+        assert faulty[hit].outcome == clean[hit].outcome
+        assert faulty[hit].dual_value == clean[hit].dual_value
+        np.testing.assert_array_equal(faulty[hit].dual_x, clean[hit].dual_x)
+        for i, result in enumerate(faulty):
+            if i == hit:
+                continue
+            assert result.status == SolveStatus.CERTIFIED
+            assert result.metadata["recovery_events"] == []
+            assert result.metadata["supervisor"]["recoveries"] == 0
+            assert result.dual_value == clean[i].dual_value
+            np.testing.assert_array_equal(result.dual_x, clean[i].dual_x)
+
+    def test_batch_budget_exhaustion_is_per_instance(self):
+        clean = self._sequential(size=3, iteration_budget=3)
+        batched = solve_many(
+            self._batch(size=3), epsilon=0.25, oracle="fast", rng=3,
+            iteration_budget=3,
+        )
+        for sequential, result in zip(clean, batched):
+            assert result.status == SolveStatus.BUDGET_EXHAUSTED
+            assert result.iterations == 3
+            assert result.metadata["solve_status"] == "budget_exhausted"
+            assert result.dual_value == sequential.dual_value
+            np.testing.assert_array_equal(result.dual_x, sequential.dual_x)
 
 
 class TestFaultInjector:

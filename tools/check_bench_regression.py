@@ -65,6 +65,13 @@ CHECKS = [
         "max",
         2.0,
     ),
+    (
+        "BENCH_batched.json",
+        "batched",
+        lambda row: row["batch"] >= 32,
+        "max",
+        3.0,
+    ),
 ]
 
 #: (file, section, row filter or None, metric, ceiling).  Ceiling checks are
