@@ -43,6 +43,7 @@ from repro.core import (
     big_dot_exp,
     decision_psdp,
     decision_psdp_phased,
+    SolverCheckpoint,
     instance_rng,
     normalize_sdp,
     solve_many,
@@ -52,15 +53,18 @@ from repro.core import (
 from repro.exceptions import (
     BudgetExhaustedError,
     CertificateError,
+    CheckpointError,
     FaultInjected,
     InfeasibleError,
     InvalidProblemError,
     NotPositiveSemidefiniteError,
     NumericalError,
     ReproError,
+    SerializationError,
     SolverError,
 )
 from repro.operators import ConstraintCollection, as_operator
+from repro.service import RequestOutcome, ServiceResponse, SolveService, VirtualClock
 
 __all__ = [
     "ReproConfig",
@@ -74,6 +78,7 @@ __all__ = [
     "PositiveSDP",
     "SolveResult",
     "SolveStatus",
+    "SolverCheckpoint",
     "SolverOptions",
     "approx_psdp",
     "big_dot_exp",
@@ -86,15 +91,21 @@ __all__ = [
     "verify_primal",
     "BudgetExhaustedError",
     "CertificateError",
+    "CheckpointError",
     "FaultInjected",
     "InfeasibleError",
     "InvalidProblemError",
     "NotPositiveSemidefiniteError",
     "NumericalError",
     "ReproError",
+    "SerializationError",
     "SolverError",
     "ConstraintCollection",
     "as_operator",
+    "RequestOutcome",
+    "ServiceResponse",
+    "SolveService",
+    "VirtualClock",
 ]
 
 __version__ = "1.0.0"

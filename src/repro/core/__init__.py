@@ -18,6 +18,7 @@ from repro.core.result import DecisionOutcome, DecisionResult, SolveResult, Solv
 from repro.core.mmw import MatrixMultiplicativeWeights
 from repro.core.decision import DecisionOptions, DecisionParameters, decision_psdp
 from repro.core.batch import instance_rng, solve_many
+from repro.core.checkpoint import SolverCheckpoint, capture_checkpoint, restore_checkpoint
 from repro.core.decision_phased import decision_psdp_phased
 from repro.core.dotexp import (
     ExactDotExpOracle,
@@ -59,6 +60,9 @@ __all__ = [
     "decision_psdp_phased",
     "instance_rng",
     "solve_many",
+    "SolverCheckpoint",
+    "capture_checkpoint",
+    "restore_checkpoint",
     "ExactDotExpOracle",
     "FastDotExpOracle",
     "OracleOutput",

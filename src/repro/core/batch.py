@@ -75,6 +75,7 @@ from repro.parallel.backends import SerialBackend
 from repro.parallel.workdepth import WorkDepthTracker
 from repro.robustness.faultinject import fault_hook_array
 from repro.robustness.supervisor import FastPathSupervisor
+from repro.core.checkpoint import capture_checkpoint
 from repro.core.decision import (
     DecisionOptions,
     DecisionParameters,
@@ -195,16 +196,21 @@ class _FusedInstance:
 
     def __init__(
         self, index: int, problem: Any, constraints: ConstraintCollection,
-        opts: DecisionOptions, traces: np.ndarray,
+        opts: DecisionOptions, traces: np.ndarray, rng_index: int | None = None,
     ) -> None:
         self.index = index
+        # The rng stream is keyed by ``rng_index`` (defaults to the batch
+        # position): callers that re-batch the same logical request across
+        # calls (the solve service) pin it so the stream follows the
+        # request, not its position in whatever batch it lands in.
+        self.rng_index = index if rng_index is None else rng_index
         self.problem = problem
         self.constraints = constraints
         self.opts = opts
         self.result: DecisionResult | None = None
         self.last_values: np.ndarray | None = None
 
-        child = instance_rng(opts.rng, index)
+        child = instance_rng(opts.rng, self.rng_index)
         cfg = get_config()
         self.eps = float(opts.epsilon)
         self.params = DecisionParameters.from_instance(len(constraints), self.eps)
@@ -237,6 +243,7 @@ class _FusedInstance:
         self.log_depth = math.log2(max(self.n, 2)) + math.log2(max(self.m, 2))
         self.select_depth = math.log2(max(self.n, 2))
         eig_rng = spawn_generators(child, 1)[0]
+        self.eig_rng = eig_rng
         state = make_psi_state(
             constraints,
             1.0 / (self.n * traces),
@@ -286,7 +293,7 @@ def _eject(
     harnesses observe the ejection.
     """
     fresh = ConstraintCollection(list(inst.constraints.operators), validate=False)
-    result = _sequential_result(fresh, opts, inst.index)
+    result = _sequential_result(fresh, opts, inst.rng_index)
     events = result.metadata.get("recovery_events") or []
     if result.status == SolveStatus.CERTIFIED and not events:
         result.metadata["recovery_events"] = [
@@ -453,11 +460,37 @@ def _solve_group(instances: list[_FusedInstance], opts: DecisionOptions) -> None
         # --- budget checks -------------------------------------------------
         for b, inst in enumerate(active):
             if inst.supervisor.budget_exhausted(t) is not None:
+                # Same continuation contract as the sequential solver: the
+                # checkpoint is captured *before* _build (whose final
+                # lambda_max mutates the state and counters), and resuming
+                # it through decision_psdp continues the run bit-identically
+                # to the sequential solve on the instance's spawned stream.
+                checkpoint = capture_checkpoint(
+                    solver="psdp",
+                    iteration=t,
+                    eps=inst.eps,
+                    oracle_kind=inst.oracle_kind,
+                    strict=inst.opts.strict,
+                    n=inst.n,
+                    m=inst.m,
+                    oracle=inst.oracle,
+                    state=inst.supervisor.state,
+                    supervisor=inst.supervisor,
+                    eig_rng=inst.eig_rng,
+                    tracker=inst.tracker,
+                    history=None,
+                    primal_sum=None,
+                    primal_rounds=0,
+                    last_density=None,
+                    dots_sum=np.zeros(inst.n, dtype=np.float64),
+                    last_values=inst.last_values,
+                )
                 inst.result = _build(
                     inst, DecisionOutcome.DUAL, t, early=True,
                     dual_candidate=np.array(x_stack[b]),
                     status=SolveStatus.BUDGET_EXHAUSTED,
                 )
+                inst.result.metadata["checkpoint"] = checkpoint
         active, (x_stack, q_stack, inner0_stack) = _compact(
             active, x_stack, q_stack, inner0_stack
         )
@@ -646,6 +679,8 @@ def solve_many(
     problems: Sequence[Any],
     epsilon: float | None = None,
     options: DecisionOptions | None = None,
+    *,
+    rng_indices: Sequence[int] | None = None,
     **overrides: Any,
 ) -> list[DecisionResult]:
     """Solve ``B`` independent ε-decision problems, batched where possible.
@@ -667,6 +702,13 @@ def solve_many(
     options:
         One :class:`~repro.core.decision.DecisionOptions` bundle applied to
         every instance; fields can be overridden with keyword arguments.
+    rng_indices:
+        Optional per-instance rng stream indices (default ``0..B-1``, the
+        batch positions).  ``results[i]`` then matches
+        ``decision_psdp(problems[i], rng=instance_rng(options.rng,
+        rng_indices[i]))``: a caller that re-submits the same logical
+        instance across differently-composed batches (the solve service's
+        retry path) pins its stream by passing the same index every time.
 
     Returns
     -------
@@ -680,9 +722,14 @@ def solve_many(
     """
     opts = resolve_decision_options(epsilon, options, overrides)
     problems = list(problems)
+    if rng_indices is not None and len(rng_indices) != len(problems):
+        raise InvalidProblemError(
+            f"rng_indices has {len(rng_indices)} entries for {len(problems)} problems"
+        )
     results: list[DecisionResult | None] = [None] * len(problems)
     groups: dict[tuple, list[_FusedInstance]] = {}
     for index, problem in enumerate(problems):
+        rng_index = index if rng_indices is None else int(rng_indices[index])
         constraints = _resolve_constraints(problem)
         # Snapshot the traces *before* the fusion gate builds the packed
         # view: ``traces()`` reroutes through the packed fast path once
@@ -691,11 +738,11 @@ def solve_many(
         traces = constraints.traces()
         key = _fused_key(opts, constraints)
         if key is None:
-            results[index] = _sequential_result(problem, opts, index)
+            results[index] = _sequential_result(problem, opts, rng_index)
             continue
-        inst = _FusedInstance(index, problem, constraints, opts, traces)
+        inst = _FusedInstance(index, problem, constraints, opts, traces, rng_index=rng_index)
         if not inst.implicit:  # pragma: no cover - gate guarantees implicit
-            results[index] = _sequential_result(problem, opts, index)
+            results[index] = _sequential_result(problem, opts, rng_index)
             continue
         groups.setdefault(key, []).append(inst)
     for group in groups.values():

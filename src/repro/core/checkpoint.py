@@ -1,0 +1,417 @@
+"""Checkpoint/resume for the decision solvers.
+
+A :class:`SolverCheckpoint` captures everything a decision solve needs to
+continue **bit-identically**: the weight vector and iteration index, the
+solver's loop accumulators (primal averages, last oracle values, the phased
+solver's mid-phase mask), the psi-state's incrementally-maintained buffers
+and warm-start vectors, the fast oracle's sketch rng / norm warm start /
+Taylor-engine buffers / trace-estimator stream position, the supervisor's
+ladder position and recovery-event trail, and the work–depth totals.  The
+contract — certified by the chaos suite — is::
+
+    interrupt at iteration k  +  resume_from=checkpoint
+        ==  the uninterrupted run        (same seeds, same options)
+
+field for field: same certified decision, same dual witness bitwise, same
+history records, same counters, same recovery events.
+
+Checkpoints are produced automatically by :func:`~repro.core.decision.decision_psdp`
+and :func:`~repro.core.decision_phased.decision_psdp_phased` when a
+``wall_clock_budget``/``iteration_budget`` exhausts (attached to
+``result.metadata["checkpoint"]``) and, on demand, every
+``DecisionOptions.checkpoint_every`` iterations (the latest one rides on a
+``FAILED`` result so even a crashed solve is resumable).  They round-trip
+to disk through :func:`repro.io.serialization.save_checkpoint` /
+``load_checkpoint`` (versioned header, shape validation, checksum — a
+truncated or corrupted file raises
+:class:`~repro.exceptions.CheckpointError`, never garbage results).
+
+Resume reconstructs the solver's plumbing exactly as a fresh run would
+(same construction order, hence the same spawned rng streams), then applies
+the checkpoint: structural ladder position first (rebuild a demoted dense
+state or Taylor engine), then buffers, counters and rng states.  Any draws
+consumed during construction are overwritten by the import, so the resumed
+stream position equals the interrupted one.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import CheckpointError
+from repro.instrumentation.history import ConvergenceHistory, IterationRecord
+
+__all__ = ["CHECKPOINT_VERSION", "SolverCheckpoint", "capture_checkpoint", "restore_checkpoint"]
+
+#: Format version stamped into every checkpoint (and its on-disk header).
+CHECKPOINT_VERSION = 1
+
+
+def _copy_or_none(array: np.ndarray | None) -> np.ndarray | None:
+    return None if array is None else np.array(array)
+
+
+def _tree_equal(a: Any, b: Any) -> bool:
+    """Recursive exact equality over dict/list/array/scalar trees.
+
+    Arrays compare with :func:`numpy.array_equal` (bitwise for the float
+    payloads captured here); floats compare with ``nan == nan`` true so a
+    checkpointed ``nan`` statistic does not break equality.
+    """
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        if not (isinstance(a, np.ndarray) and isinstance(b, np.ndarray)):
+            return False
+        return a.shape == b.shape and a.dtype == b.dtype and np.array_equal(a, b)
+    if isinstance(a, dict) and isinstance(b, dict):
+        if set(a) != set(b):
+            return False
+        return all(_tree_equal(a[k], b[k]) for k in a)
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        return len(a) == len(b) and all(_tree_equal(x, y) for x, y in zip(a, b))
+    if isinstance(a, float) and isinstance(b, float):
+        return (a != a and b != b) or a == b
+    return type(a) is type(b) and a == b
+
+
+@dataclass
+class SolverCheckpoint:
+    """Complete resumable state of one decision solve at an iteration boundary.
+
+    Attributes
+    ----------
+    solver:
+        Which solver captured it — ``"psdp"`` or ``"phased"``.  A resume
+        validates this against the resuming entry point.
+    iteration:
+        The loop-top iteration index ``t`` the capture happened at.
+    meta:
+        Validation fingerprint: ``n``, ``m``, ``epsilon``, ``oracle`` kind,
+        ``strict`` flag, whether the run was supervised and collected
+        history.  A resume refuses (typed :class:`~repro.exceptions.CheckpointError`)
+        when any of these mismatch the resuming call.
+    loop:
+        The solver-loop accumulators (weight vector ``x``, primal tracking
+        sums, last oracle values).
+    phase:
+        The phased solver's outer/inner position (``None`` for ``psdp``):
+        phase count, and — for mid-phase captures — the active update mask,
+        the phase-start norm and the phase's oracle values.
+    oracle / psi / supervisor / tracker:
+        The component snapshots (each component's ``export_state()``).
+    eig_rng:
+        ``bit_generator.state`` of the spawned eigenvalue generator.
+    history:
+        Recorded :class:`~repro.instrumentation.history.IterationRecord`
+        dicts up to the capture point (``None`` when history was off).
+    version:
+        :data:`CHECKPOINT_VERSION` at capture.
+
+    Equality compares every field *except* the supervisor's wall-clock
+    ``elapsed`` entry, array-aware — so two captures of the same logical
+    state (e.g. batched vs. sequential) compare equal, and results whose
+    metadata carries a checkpoint still support the test suite's plain
+    ``metadata == metadata`` comparisons.
+    """
+
+    solver: str
+    iteration: int
+    meta: dict[str, Any]
+    loop: dict[str, Any]
+    phase: dict[str, Any] | None
+    oracle: dict[str, Any]
+    psi: dict[str, Any]
+    supervisor: dict[str, Any] | None
+    eig_rng: dict[str, Any] | None
+    tracker: dict[str, Any]
+    history: list[dict[str, Any]] | None
+    version: int = CHECKPOINT_VERSION
+
+    def _eq_payload(self) -> dict[str, Any]:
+        supervisor = self.supervisor
+        if isinstance(supervisor, dict):
+            supervisor = {k: v for k, v in supervisor.items() if k != "elapsed"}
+        return {
+            "solver": self.solver,
+            "iteration": self.iteration,
+            "meta": self.meta,
+            "loop": self.loop,
+            "phase": self.phase,
+            "oracle": self.oracle,
+            "psi": self.psi,
+            "supervisor": supervisor,
+            "eig_rng": self.eig_rng,
+            "tracker": self.tracker,
+            "history": self.history,
+            "version": self.version,
+        }
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SolverCheckpoint):
+            return NotImplemented
+        return _tree_equal(self._eq_payload(), other._eq_payload())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SolverCheckpoint(solver={self.solver!r}, iteration={self.iteration}, "
+            f"n={self.meta.get('n')}, m={self.meta.get('m')})"
+        )
+
+    # ------------------------------------------------------------------ disk
+    def save(self, path) -> None:
+        """Write the checkpoint to ``path`` (versioned ``.npz`` with checksum)."""
+        from repro.io.serialization import save_checkpoint
+
+        save_checkpoint(path, self)
+
+    @staticmethod
+    def load(path) -> "SolverCheckpoint":
+        """Read a checkpoint written by :meth:`save`; validates the checksum."""
+        from repro.io.serialization import load_checkpoint
+
+        return load_checkpoint(path)
+
+    def to_payload(self) -> dict[str, Any]:
+        """The checkpoint as one nested dict (the serialization layer's input)."""
+        return {
+            "version": self.version,
+            "solver": self.solver,
+            "iteration": self.iteration,
+            "meta": self.meta,
+            "loop": self.loop,
+            "phase": self.phase,
+            "oracle": self.oracle,
+            "psi": self.psi,
+            "supervisor": self.supervisor,
+            "eig_rng": self.eig_rng,
+            "tracker": self.tracker,
+            "history": self.history,
+        }
+
+    @staticmethod
+    def from_payload(payload: dict[str, Any]) -> "SolverCheckpoint":
+        """Rebuild a checkpoint from :meth:`to_payload` output.
+
+        Raises :class:`~repro.exceptions.CheckpointError` on missing fields
+        or an unknown format version.
+        """
+        try:
+            version = int(payload["version"])
+            if version != CHECKPOINT_VERSION:
+                raise CheckpointError(
+                    f"unsupported checkpoint version {version} "
+                    f"(this build reads version {CHECKPOINT_VERSION})"
+                )
+            return SolverCheckpoint(
+                solver=str(payload["solver"]),
+                iteration=int(payload["iteration"]),
+                meta=dict(payload["meta"]),
+                loop=dict(payload["loop"]),
+                phase=None if payload["phase"] is None else dict(payload["phase"]),
+                oracle=dict(payload["oracle"]),
+                psi=dict(payload["psi"]),
+                supervisor=(
+                    None if payload["supervisor"] is None else dict(payload["supervisor"])
+                ),
+                eig_rng=None if payload["eig_rng"] is None else dict(payload["eig_rng"]),
+                tracker=dict(payload["tracker"]),
+                history=(
+                    None
+                    if payload["history"] is None
+                    else [dict(rec) for rec in payload["history"]]
+                ),
+                version=version,
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            if isinstance(exc, CheckpointError):
+                raise
+            raise CheckpointError(f"malformed checkpoint payload: {exc}") from exc
+
+
+def capture_checkpoint(
+    *,
+    solver: str,
+    iteration: int,
+    eps: float,
+    oracle_kind: str,
+    strict: bool,
+    n: int,
+    m: int,
+    oracle,
+    state,
+    supervisor,
+    eig_rng,
+    tracker,
+    history: ConvergenceHistory | None,
+    primal_sum: np.ndarray | None = None,
+    primal_rounds: int = 0,
+    last_density: np.ndarray | None = None,
+    dots_sum: np.ndarray | None = None,
+    last_values: np.ndarray | None = None,
+    phase: dict[str, Any] | None = None,
+) -> SolverCheckpoint:
+    """Snapshot a running decision solve at an iteration boundary.
+
+    Called by the solvers with their live loop variables; every array is
+    copied so the solve can continue mutating its state without disturbing
+    the captured checkpoint.
+    """
+    return SolverCheckpoint(
+        solver=solver,
+        iteration=int(iteration),
+        meta={
+            "n": int(n),
+            "m": int(m),
+            "epsilon": float(eps),
+            "oracle": oracle_kind,
+            "strict": bool(strict),
+            "supervised": supervisor is not None,
+            "collect_history": history is not None,
+        },
+        loop={
+            "primal_sum": _copy_or_none(primal_sum),
+            "primal_rounds": int(primal_rounds),
+            "last_density": _copy_or_none(last_density),
+            "dots_sum": _copy_or_none(dots_sum),
+            "last_values": _copy_or_none(last_values),
+        },
+        phase=None if phase is None else {
+            "phases": int(phase.get("phases", 0)),
+            "mask": _copy_or_none(phase.get("mask")),
+            "phase_start_norm": phase.get("phase_start_norm"),
+            "values": _copy_or_none(phase.get("values")),
+        },
+        oracle=oracle.export_state(),
+        psi=state.export_state(),
+        supervisor=None if supervisor is None else supervisor.export_state(),
+        eig_rng=(
+            copy.deepcopy(dict(eig_rng.bit_generator.state))
+            if isinstance(eig_rng, np.random.Generator)
+            else None
+        ),
+        tracker=tracker.export_state(),
+        history=None if history is None else [rec.as_dict() for rec in history],
+    )
+
+
+@dataclass
+class ResumedLoop:
+    """The loop variables a solver reinstates after :func:`restore_checkpoint`."""
+
+    iteration: int
+    primal_sum: np.ndarray | None
+    primal_rounds: int
+    last_density: np.ndarray | None
+    dots_sum: np.ndarray | None
+    last_values: np.ndarray | None
+    phase: dict[str, Any] | None = field(default=None)
+
+
+def restore_checkpoint(
+    ckpt: SolverCheckpoint,
+    *,
+    solver: str,
+    eps: float,
+    oracle_kind: str,
+    strict: bool,
+    n: int,
+    m: int,
+    constraints,
+    oracle,
+    state,
+    supervisor,
+    eig_rng,
+    tracker,
+    history: ConvergenceHistory | None,
+):
+    """Apply a checkpoint to freshly-constructed solver plumbing.
+
+    Validates the checkpoint against the resuming call (typed
+    :class:`~repro.exceptions.CheckpointError` on any mismatch), rebuilds a
+    demoted-dense psi state when the capture happened mid-ladder, imports
+    every component snapshot, and returns ``(state, ResumedLoop)`` — the
+    (possibly rebound) psi state plus the loop accumulators to reinstate.
+    """
+    if not isinstance(ckpt, SolverCheckpoint):
+        raise CheckpointError(
+            f"resume_from must be a SolverCheckpoint, got {type(ckpt).__name__}"
+        )
+    if ckpt.version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"unsupported checkpoint version {ckpt.version} "
+            f"(this build reads version {CHECKPOINT_VERSION})"
+        )
+    if ckpt.solver != solver:
+        raise CheckpointError(
+            f"checkpoint was captured by the {ckpt.solver!r} solver; "
+            f"cannot resume it with {solver!r}"
+        )
+    expect = {"n": n, "m": m, "epsilon": float(eps), "oracle": oracle_kind, "strict": strict}
+    for key, value in expect.items():
+        have = ckpt.meta.get(key)
+        if have != value:
+            raise CheckpointError(
+                f"checkpoint/options mismatch on {key!r}: "
+                f"checkpoint has {have!r}, resuming call has {value!r}"
+            )
+    if ckpt.meta.get("supervised") != (supervisor is not None):
+        raise CheckpointError(
+            "checkpoint/options mismatch on 'supervise': resume with the "
+            "same supervision setting the checkpoint was captured under"
+        )
+    if ckpt.meta.get("collect_history") != (history is not None):
+        raise CheckpointError(
+            "checkpoint/options mismatch on 'collect_history': resume with "
+            "the same history setting the checkpoint was captured under"
+        )
+
+    # Ladder position first: a capture after an implicit→dense demotion
+    # resumes on a dense state even though the fresh construction picked
+    # the implicit one.  The reverse direction is an options mismatch.
+    psi_mode = ckpt.psi.get("mode")
+    if psi_mode != state.mode:
+        if psi_mode == "dense" and state.mode == "implicit":
+            from repro.core.psi_state import DensePsiState
+
+            state = DensePsiState(constraints, state.x, eig_rng=eig_rng)
+            if supervisor is not None:
+                supervisor.state = state
+        else:
+            raise CheckpointError(
+                f"checkpoint psi-state mode {psi_mode!r} cannot be resumed "
+                f"on a {state.mode!r} state (options mismatch)"
+            )
+    state.import_state(ckpt.psi)
+    try:
+        oracle.import_state(ckpt.oracle)
+    except AttributeError as exc:
+        raise CheckpointError(
+            f"oracle {type(oracle).__name__} does not support checkpoint resume"
+        ) from exc
+    if supervisor is not None:
+        supervisor.import_state(ckpt.supervisor)
+    if ckpt.eig_rng is not None and isinstance(eig_rng, np.random.Generator):
+        eig_rng.bit_generator.state = copy.deepcopy(ckpt.eig_rng)
+    tracker.import_state(ckpt.tracker)
+    if history is not None and ckpt.history is not None:
+        history.records[:] = [IterationRecord(**rec) for rec in ckpt.history]
+
+    loop = ckpt.loop
+    resumed = ResumedLoop(
+        iteration=int(ckpt.iteration),
+        primal_sum=_copy_or_none(loop.get("primal_sum")),
+        primal_rounds=int(loop.get("primal_rounds", 0)),
+        last_density=_copy_or_none(loop.get("last_density")),
+        dots_sum=_copy_or_none(loop.get("dots_sum")),
+        last_values=_copy_or_none(loop.get("last_values")),
+        phase=None if ckpt.phase is None else {
+            "phases": int(ckpt.phase.get("phases", 0)),
+            "mask": _copy_or_none(ckpt.phase.get("mask")),
+            "phase_start_norm": ckpt.phase.get("phase_start_norm"),
+            "values": _copy_or_none(ckpt.phase.get("values")),
+        },
+    )
+    return state, resumed

@@ -76,6 +76,7 @@ from repro.operators.collection import ConstraintCollection
 from repro.utils.random_utils import spawn_generators
 from repro.parallel.backends import ExecutionBackend, SerialBackend
 from repro.parallel.workdepth import WorkDepthTracker
+from repro.core.checkpoint import SolverCheckpoint, capture_checkpoint, restore_checkpoint
 from repro.core.dotexp import DotExpOracle, make_oracle, oracle_engine_metadata
 from repro.core.problem import NormalizedPackingSDP
 from repro.core.psi_state import make_psi_state
@@ -158,6 +159,19 @@ class DecisionOptions:
         ``ReproConfig.max_recoveries``).  On exhaustion the solver returns
         ``status = SolveStatus.FAILED`` with whatever could still be
         verified exactly (``nan`` elsewhere).
+    checkpoint_every:
+        Capture a :class:`~repro.core.checkpoint.SolverCheckpoint` every
+        this many iterations (``None``/unset disables periodic captures).
+        The latest capture rides on a ``FAILED`` result's
+        ``metadata["checkpoint"]`` so even a crashed solve is resumable;
+        budget exhaustion always attaches a fresh capture regardless of
+        this setting.
+
+    Budgets and the checkpoint cadence are validated at construction:
+    negative ``wall_clock_budget``/``iteration_budget``/``max_recoveries``
+    and non-positive ``checkpoint_every`` raise
+    :class:`~repro.exceptions.InvalidProblemError` immediately instead of
+    misbehaving iterations deep into a solve.
     """
 
     epsilon: float = 0.2
@@ -175,7 +189,27 @@ class DecisionOptions:
     wall_clock_budget: float | None = None
     iteration_budget: int | None = None
     max_recoveries: int | None = None
+    checkpoint_every: int | None = None
     metadata: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.wall_clock_budget is not None and self.wall_clock_budget < 0:
+            raise InvalidProblemError(
+                f"wall_clock_budget must be >= 0 seconds, got {self.wall_clock_budget}"
+            )
+        if self.iteration_budget is not None and self.iteration_budget < 0:
+            raise InvalidProblemError(
+                f"iteration_budget must be >= 0 iterations, got {self.iteration_budget}"
+            )
+        if self.max_recoveries is not None and self.max_recoveries < 0:
+            raise InvalidProblemError(
+                f"max_recoveries must be >= 0, got {self.max_recoveries}"
+            )
+        if self.checkpoint_every is not None and self.checkpoint_every <= 0:
+            raise InvalidProblemError(
+                f"checkpoint_every must be a positive iteration count, "
+                f"got {self.checkpoint_every}"
+            )
 
 
 @dataclass(frozen=True)
@@ -239,6 +273,8 @@ def decision_psdp(
     problem: NormalizedPackingSDP | ConstraintCollection | list,
     epsilon: float | None = None,
     options: DecisionOptions | None = None,
+    *,
+    resume_from: "SolverCheckpoint | None" = None,
     **overrides: Any,
 ) -> DecisionResult:
     """Solve the ε-decision problem for a packing SDP (Algorithm 3.1).
@@ -257,6 +293,14 @@ def decision_psdp(
         A :class:`DecisionOptions` bundle; individual fields can also be
         overridden with keyword arguments (e.g. ``oracle="fast"``,
         ``strict=True``, ``collect_history=True``).
+    resume_from:
+        A :class:`~repro.core.checkpoint.SolverCheckpoint` captured by an
+        earlier (interrupted) run of this solver on the *same instance with
+        the same options*.  The solve continues from the checkpointed
+        iteration bit-identically: an interrupt-at-``k``-then-resume run
+        returns the same certified decision, dual witness and history as an
+        uninterrupted run on the same seed.  Mismatched checkpoints raise
+        :class:`~repro.exceptions.CheckpointError`.
 
     Returns
     -------
@@ -389,6 +433,31 @@ def decision_psdp(
     dots_sum = np.zeros(n, dtype=np.float64) if implicit else None
     last_values: np.ndarray | None = None
 
+    checkpoint_every = opts.checkpoint_every or 0
+    latest_checkpoint: SolverCheckpoint | None = None
+
+    def capture(iteration: int) -> SolverCheckpoint:
+        return capture_checkpoint(
+            solver="psdp",
+            iteration=iteration,
+            eps=eps,
+            oracle_kind=oracle_kind,
+            strict=opts.strict,
+            n=n,
+            m=m,
+            oracle=oracle,
+            state=state,
+            supervisor=supervisor,
+            eig_rng=eig_rng,
+            tracker=tracker,
+            history=history,
+            primal_sum=primal_sum,
+            primal_rounds=primal_rounds,
+            last_density=last_density,
+            dots_sum=dots_sum,
+            last_values=last_values,
+        )
+
     def current_primal() -> np.ndarray | None:
         if primal_rounds > 0:
             return primal_sum / primal_rounds
@@ -500,6 +569,11 @@ def decision_psdp(
                 **opts.metadata,
             },
         )
+        if result.status is SolveStatus.FAILED and latest_checkpoint is not None:
+            # A crashed solve is still resumable from the latest periodic
+            # capture (budget exhaustion attaches a fresh one at its own
+            # return site, overriding this).
+            result.metadata["checkpoint"] = latest_checkpoint
         if implicit and primal_final:
             def build_primal() -> np.ndarray:
                 # The one deferred densification + eigendecomposition of the
@@ -516,14 +590,45 @@ def decision_psdp(
 
     # --- main loop (Algorithm 3.1) --------------------------------------------
     t = 0
+    if resume_from is not None:
+        # Reconstruction above followed the exact fresh-run order (so the
+        # spawned rng streams match); now overlay the checkpointed state.
+        state, resumed = restore_checkpoint(
+            resume_from,
+            solver="psdp",
+            eps=eps,
+            oracle_kind=oracle_kind,
+            strict=opts.strict,
+            n=n,
+            m=m,
+            constraints=constraints,
+            oracle=oracle,
+            state=state,
+            supervisor=supervisor,
+            eig_rng=eig_rng,
+            tracker=tracker,
+            history=history,
+        )
+        x = state.x
+        t = resumed.iteration
+        primal_sum = resumed.primal_sum
+        primal_rounds = resumed.primal_rounds
+        last_density = resumed.last_density
+        dots_sum = resumed.dots_sum
+        last_values = resumed.last_values
     while float(x.sum()) <= params.K and t < max_iterations:
         if supervisor is not None and supervisor.budget_exhausted(t) is not None:
             # Budgets never raise from the public entry point: return the
-            # exactly-verified partial dual with an explicit status.
-            return build_result(
+            # exactly-verified partial dual with an explicit status.  The
+            # fresh capture makes the exhausted budget a continuation
+            # point, not wasted work.
+            checkpoint = capture(t)
+            result = build_result(
                 DecisionOutcome.DUAL, t, early=True, dual_candidate=x,
                 status=SolveStatus.BUDGET_EXHAUSTED,
             )
+            result.metadata["checkpoint"] = checkpoint
+            return result
         t += 1
 
         if supervisor is not None:
@@ -624,6 +729,9 @@ def decision_psdp(
                 min_dot = float(constraints.dots(primal_candidate).min(initial=np.inf))
                 if min_dot >= 1.0:
                     return build_result(DecisionOutcome.PRIMAL, t, early=True, dual_candidate=x)
+
+        if checkpoint_every and t % checkpoint_every == 0:
+            latest_checkpoint = capture(t)
 
     if float(x.sum()) > params.K:
         # Lines 7-8: return a dual solution.  The paper rescales by

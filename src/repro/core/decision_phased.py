@@ -50,6 +50,11 @@ from repro.linalg.expm import expm_normalized
 from repro.operators.collection import ConstraintCollection
 from repro.parallel.backends import SerialBackend
 from repro.parallel.workdepth import WorkDepthTracker
+from repro.core.checkpoint import (
+    SolverCheckpoint,
+    capture_checkpoint,
+    restore_checkpoint,
+)
 from repro.core.decision import DecisionOptions, DecisionParameters, _resolve_constraints
 from repro.core.dotexp import make_oracle, oracle_engine_metadata
 from repro.core.problem import NormalizedPackingSDP
@@ -64,6 +69,8 @@ def decision_psdp_phased(
     epsilon: float | None = None,
     options: DecisionOptions | None = None,
     phase_growth: float | None = None,
+    *,
+    resume_from: "SolverCheckpoint | None" = None,
     **overrides: Any,
 ) -> DecisionResult:
     """Phase-based (lazy weight update) variant of :func:`decision_psdp`.
@@ -76,6 +83,13 @@ def decision_psdp_phased(
         Multiplicative ℓ1-growth budget of a phase (default ``1 + eps``):
         a phase ends when ``||x||_1`` has grown by this factor since the
         last weight-matrix recomputation.
+    resume_from:
+        A :class:`~repro.core.checkpoint.SolverCheckpoint` captured by an
+        earlier (interrupted) run of this solver on the same instance and
+        options.  Mid-phase checkpoints carry the active qualifying mask
+        and the phase's growth position, so the resumed run re-enters the
+        interrupted phase exactly where it stopped — bit-identically to an
+        uninterrupted run on the same seed.
     """
     opts = options or DecisionOptions()
     if overrides:
@@ -122,6 +136,7 @@ def decision_psdp_phased(
         # always honoured these; the phased variant used to silently fall
         # back to a fresh exact oracle).
         oracle = opts.oracle
+    oracle_kind = opts.oracle if isinstance(opts.oracle, str) else type(oracle).__name__
 
     history = ConvergenceHistory() if opts.collect_history else None
     log_depth = math.log2(max(n, 2)) + math.log2(max(m, 2))
@@ -171,6 +186,34 @@ def decision_psdp_phased(
     # trace products — are carried as its dots vector and no (m, m)
     # density is formed at phase boundaries.
     last_values: np.ndarray | None = None
+
+    checkpoint_every = opts.checkpoint_every or 0
+    latest_checkpoint: SolverCheckpoint | None = None
+
+    def capture(iteration: int, phase_state: dict) -> SolverCheckpoint:
+        # ``phase_state`` carries the phase counter plus — for mid-phase
+        # captures — the active qualifying mask, the stale oracle values,
+        # and the phase's starting ℓ1 norm, so a resume can re-enter the
+        # interrupted phase without a fresh oracle call.
+        return capture_checkpoint(
+            solver="phased",
+            iteration=iteration,
+            eps=eps,
+            oracle_kind=oracle_kind,
+            strict=opts.strict,
+            n=n,
+            m=m,
+            oracle=oracle,
+            state=state,
+            supervisor=supervisor,
+            eig_rng=eig_rng,
+            tracker=tracker,
+            history=history,
+            primal_sum=primal_sum,
+            primal_rounds=primal_rounds,
+            last_values=last_values,
+            phase=phase_state,
+        )
 
     def current_primal() -> np.ndarray | None:
         if primal_rounds > 0:
@@ -264,6 +307,11 @@ def decision_psdp_phased(
                 **opts.metadata,
             },
         )
+        if result.status is SolveStatus.FAILED and latest_checkpoint is not None:
+            # A failed solve (budget blown inside a recovery, crash-style
+            # fault) still surfaces the most recent periodic checkpoint so
+            # the caller can resume instead of restarting.
+            result.metadata["checkpoint"] = latest_checkpoint
         if implicit:
             # The phased solver always reports a primal candidate; on the
             # matrix-free path it is the final iterate's density, built at
@@ -280,47 +328,95 @@ def decision_psdp_phased(
 
     t = 0
     phases = 0
+    resume_phase: dict | None = None
+    if resume_from is not None:
+        # Reconstruction above followed the exact fresh-run order (so the
+        # spawned rng streams match); now overlay the checkpointed state.
+        state, resumed = restore_checkpoint(
+            resume_from,
+            solver="phased",
+            eps=eps,
+            oracle_kind=oracle_kind,
+            strict=opts.strict,
+            n=n,
+            m=m,
+            constraints=constraints,
+            oracle=oracle,
+            state=state,
+            supervisor=supervisor,
+            eig_rng=eig_rng,
+            tracker=tracker,
+            history=history,
+        )
+        x = state.x
+        t = resumed.iteration
+        primal_sum = resumed.primal_sum
+        primal_rounds = resumed.primal_rounds
+        last_values = resumed.last_values
+        if resumed.phase is not None:
+            phases = int(resumed.phase["phases"])
+            if resumed.phase.get("mask") is not None:
+                # Mid-phase checkpoint: the first outer pass below must
+                # re-enter the interrupted phase with the stale mask and
+                # values rather than recompute the weight matrix.
+                resume_phase = resumed.phase
     while float(x.sum()) <= params.K and t < max_iterations:
-        if supervisor is not None and supervisor.budget_exhausted(t) is not None:
-            return build_result(
-                DecisionOutcome.DUAL, t, phases, early=True,
-                status=SolveStatus.BUDGET_EXHAUSTED,
-            )
-        phases += 1
-        if supervisor is not None:
-            try:
-                output = supervisor.oracle_call(iteration=t)
-            except BudgetExhaustedError:
-                return build_result(
+        if resume_phase is not None:
+            # Re-enter the interrupted phase: no phase increment, no
+            # oracle call — the qualifying set was fixed before the
+            # interruption and stays fixed until this phase's ℓ1-growth
+            # budget is spent, exactly as in the uninterrupted run.  The
+            # per-inner-iteration budget check below still runs first, so
+            # resuming with an already-exhausted budget re-checkpoints
+            # mid-phase instead of losing the phase position.
+            mask = np.asarray(resume_phase["mask"], dtype=bool)
+            values = np.asarray(resume_phase["values"], dtype=np.float64)
+            phase_start_norm = float(resume_phase["phase_start_norm"])
+            resume_phase = None
+        else:
+            if supervisor is not None and supervisor.budget_exhausted(t) is not None:
+                checkpoint = capture(t, {"phases": phases, "mask": None})
+                result = build_result(
                     DecisionOutcome.DUAL, t, phases, early=True,
-                    status=SolveStatus.FAILED,
+                    status=SolveStatus.BUDGET_EXHAUSTED,
                 )
-            state = supervisor.state
-            x = state.x
-        else:
-            output = oracle(state.oracle_psi(), x)
-        values = np.asarray(output.values, dtype=np.float64)
-        tracker.charge(output.work, log_depth, label="oracle")
+                result.metadata["checkpoint"] = checkpoint
+                return result
+            phases += 1
+            if supervisor is not None:
+                try:
+                    output = supervisor.oracle_call(iteration=t)
+                except BudgetExhaustedError:
+                    return build_result(
+                        DecisionOutcome.DUAL, t, phases, early=True,
+                        status=SolveStatus.FAILED,
+                    )
+                state = supervisor.state
+                x = state.x
+            else:
+                output = oracle(state.oracle_psi(), x)
+            values = np.asarray(output.values, dtype=np.float64)
+            tracker.charge(output.work, log_depth, label="oracle")
 
-        if implicit:
-            last_values = values
-        else:
-            density = expm_normalized(state.densify())
-            primal_sum += density
-            primal_rounds += 1
-
-        mask = values <= 1.0 + eps
-        if not mask.any():
             if implicit:
-                # The certificate is the current density; min_dot reports
-                # its oracle estimates until primal_y's deferred build
-                # replaces them with the exact trace products.
-                return build_result(DecisionOutcome.PRIMAL, t, phases, early=True)
-            primal_sum = density.copy()
-            primal_rounds = 1
-            return build_result(DecisionOutcome.PRIMAL, t, phases, early=True)
+                last_values = values
+            else:
+                density = expm_normalized(state.densify())
+                primal_sum += density
+                primal_rounds += 1
 
-        phase_start_norm = float(x.sum())
+            mask = values <= 1.0 + eps
+            if not mask.any():
+                if implicit:
+                    # The certificate is the current density; min_dot reports
+                    # its oracle estimates until primal_y's deferred build
+                    # replaces them with the exact trace products.
+                    return build_result(DecisionOutcome.PRIMAL, t, phases, early=True)
+                primal_sum = density.copy()
+                primal_rounds = 1
+                return build_result(DecisionOutcome.PRIMAL, t, phases, early=True)
+
+            phase_start_norm = float(x.sum())
         # Inner loop: reuse the stale qualifying set until the phase budget
         # is spent or the loop conditions trip.  Solve budgets are checked
         # per inner iteration, not just per phase — a long phase must not
@@ -354,12 +450,35 @@ def decision_psdp_phased(
                         oracle_work=0.0,
                     )
                 )
+            if checkpoint_every and t % checkpoint_every == 0:
+                latest_checkpoint = capture(
+                    t,
+                    {
+                        "phases": phases,
+                        "mask": mask,
+                        "phase_start_norm": phase_start_norm,
+                        "values": values,
+                    },
+                )
 
         if budget_hit:
-            return build_result(
+            # Mid-phase continuation point: the fresh capture carries the
+            # active mask so the resume skips the weight-matrix recompute.
+            checkpoint = capture(
+                t,
+                {
+                    "phases": phases,
+                    "mask": mask,
+                    "phase_start_norm": phase_start_norm,
+                    "values": values,
+                },
+            )
+            result = build_result(
                 DecisionOutcome.DUAL, t, phases, early=True,
                 status=SolveStatus.BUDGET_EXHAUSTED,
             )
+            result.metadata["checkpoint"] = checkpoint
+            return result
 
         # Optional early dual certificate at phase boundaries (mirrors the
         # phase-less solver's non-strict behaviour).  With the implicit

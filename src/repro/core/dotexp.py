@@ -541,6 +541,19 @@ class ExactDotExpOracle:
         self.counters.flops_estimate += work
         return OracleOutput(values=values, trace=1.0, work=work)
 
+    def export_state(self) -> dict:
+        """Checkpointable snapshot (the exact oracle is stateless bar counters)."""
+        return {"kind": "exact", "counters": self.counters.export_state()}
+
+    def import_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`export_state`."""
+        if state.get("kind") != "exact":
+            raise InvalidProblemError(
+                f"cannot import oracle state of kind {state.get('kind')!r} "
+                "into an ExactDotExpOracle"
+            )
+        self.counters.import_state(state["counters"])
+
 
 class FastDotExpOracle:
     """Theorem 4.1 oracle: truncated Taylor + JL sketch on factorized constraints.
@@ -843,6 +856,82 @@ class FastDotExpOracle:
             work = float(sketch_dim * degree * max(q, m) + q)
         self.counters.flops_estimate += work
         return OracleOutput(values=values, trace=trace_estimate, work=work)
+
+    def export_state(self) -> dict:
+        """Checkpointable snapshot of everything a resumed call sequence reads.
+
+        Captures the sketch rng (``bit_generator.state``), the
+        power-iteration warm-start vector, the counters, and — when built —
+        the Taylor engine's mode/buffers and the trace estimator's state.
+        The ladder flags (``engine``/``blocked``) ride along so a resume
+        lands on the exact demotion rung the checkpoint was captured on.
+        """
+        return {
+            "kind": "fast",
+            "engine_enabled": bool(self.engine),
+            "blocked": bool(self.blocked),
+            "rng": dict(self.rng.bit_generator.state),
+            "norm_vector": (
+                None if self._norm_vector is None
+                else np.array(self._norm_vector, dtype=np.float64)
+            ),
+            "counters": self.counters.export_state(),
+            "engine": (
+                None if self._engine is None else self._engine.export_state()
+            ),
+            "trace": (
+                None if self._trace_estimator is None
+                else self._trace_estimator.export_state()
+            ),
+        }
+
+    def import_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`export_state`.
+
+        The Taylor engine is rebuilt *directly* (not through the packed
+        view's shared engine cache) at the checkpointed mode: an in-process
+        resume must not alias the interrupted run's engine, whose buffers
+        have advanced past the checkpoint.
+        """
+        if state.get("kind") != "fast":
+            raise InvalidProblemError(
+                f"cannot import oracle state of kind {state.get('kind')!r} "
+                "into a FastDotExpOracle"
+            )
+        self.engine = bool(state["engine_enabled"])
+        self.blocked = bool(state["blocked"])
+        self.rng.bit_generator.state = state["rng"]
+        vec = state.get("norm_vector")
+        self._norm_vector = None if vec is None else np.array(vec, dtype=np.float64)
+        self.counters.import_state(state["counters"])
+        engine_state = state.get("engine")
+        if engine_state is None:
+            self._engine = None
+        else:
+            if self._packed is None:
+                raise InvalidProblemError(
+                    "checkpoint carries taylor-engine state but the oracle "
+                    "was built with packed=False"
+                )
+            self._engine = TaylorEngine(
+                self._packed,
+                chunk_columns=self.taylor_chunk_columns,
+                mode=engine_state["mode"],
+            )
+            self._engine.import_state(engine_state)
+        trace_state = state.get("trace")
+        if trace_state is not None:
+            if self._trace_estimator is None:
+                self._trace_estimator = TraceEstimator(
+                    self._packed,
+                    eps=self.eps / 2.0,
+                    mode=trace_state["mode"],
+                )
+            self._trace_estimator.import_state(trace_state)
+        elif self._trace_estimator is not None and state.get("trace") is None:
+            # The checkpointed run had no estimator (identity reference
+            # path); mirror that so the resumed arithmetic matches.
+            self._trace_estimator = None
 
     def fused_update_weights(self, col_w: np.ndarray) -> None:
         """Advance the engine to one call's expanded weights (batched path).

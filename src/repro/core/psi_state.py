@@ -155,6 +155,31 @@ class PsiState:
             "lambda_max_matvecs": self.lambda_max_matvecs,
         }
 
+    def export_state(self) -> dict:
+        """Checkpointable snapshot of the state (weights + counters).
+
+        Subclasses extend this with whatever incrementally-maintained
+        buffers they carry (the dense ``Psi``, the implicit warm-start
+        vectors).  Arrays are copied so later ``add_delta`` calls cannot
+        mutate a captured checkpoint.
+        """
+        return {
+            "mode": self.mode,
+            "x": np.array(self.x, dtype=np.float64),
+            "matvec_count": int(self.matvec_count),
+            "densify_count": int(self.densify_count),
+            "lambda_max_calls": int(self.lambda_max_calls),
+            "lambda_max_matvecs": int(self.lambda_max_matvecs),
+        }
+
+    def import_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`export_state`."""
+        self.x = np.array(state["x"], dtype=np.float64)
+        self.matvec_count = int(state["matvec_count"])
+        self.densify_count = int(state["densify_count"])
+        self.lambda_max_calls = int(state["lambda_max_calls"])
+        self.lambda_max_matvecs = int(state["lambda_max_matvecs"])
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"{type(self).__name__}(dim={self.dim}, n={len(self.x)}, "
@@ -240,6 +265,23 @@ class DensePsiState(PsiState):
     def oracle_psi(self) -> np.ndarray:
         """The dense ``Psi`` the exact oracle consumes."""
         return self._psi
+
+    def export_state(self) -> dict:
+        """Snapshot including the incrementally-maintained dense ``Psi``.
+
+        ``Psi`` accumulates one ``psi + weighted_sum(delta)`` per iteration,
+        so it is floating-point path dependent and must be restored bitwise
+        rather than rebuilt from ``x`` (a rebuild would be the ``final=True``
+        arithmetic, not the running matrix).
+        """
+        out = super().export_state()
+        out["psi"] = np.array(self._psi, dtype=np.float64)
+        return out
+
+    def import_state(self, state: dict) -> None:
+        """Restore weights, counters and the running dense ``Psi``."""
+        super().import_state(state)
+        self._psi = np.array(state["psi"], dtype=np.float64)
 
 
 class ImplicitPsiState(PsiState):
@@ -388,6 +430,36 @@ class ImplicitPsiState(PsiState):
     def oracle_psi(self) -> None:
         """The fast oracle reads ``x`` only — no dense argument is built."""
         return None
+
+    def export_state(self) -> dict:
+        """Snapshot including the Lanczos warm-start vectors.
+
+        ``_eig_vector`` (the carried converged eigenvector) and
+        ``_final_v0`` (the per-run dual-rescale start vector, drawn once at
+        construction) both feed future ``lambda_max`` calls, so a resumed
+        run must replay them exactly.  The matvec closure and dense cache
+        are derived data and are rebuilt on demand.
+        """
+        out = super().export_state()
+        out["eig_vector"] = (
+            None if self._eig_vector is None
+            else np.array(self._eig_vector, dtype=np.float64)
+        )
+        out["final_v0"] = (
+            None if self._final_v0 is None
+            else np.array(self._final_v0, dtype=np.float64)
+        )
+        return out
+
+    def import_state(self, state: dict) -> None:
+        """Restore weights, counters and warm-start vectors; drop caches."""
+        super().import_state(state)
+        vec = state.get("eig_vector")
+        self._eig_vector = None if vec is None else np.array(vec, dtype=np.float64)
+        v0 = state.get("final_v0")
+        self._final_v0 = None if v0 is None else np.array(v0, dtype=np.float64)
+        self._matvec_fn = None
+        self._dense = None
 
 
 def make_psi_state(

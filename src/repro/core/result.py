@@ -137,7 +137,12 @@ class DecisionResult:
     #: fast-path discipline counters: ``psi_state`` (matrix-free
     #: densify/matvec counts), ``taylor_engine`` (incremental-update
     #: counts), and ``trace_estimator`` (structured-trace mode, probes,
-    #: identity fallbacks, certified-bound high-water mark).
+    #: identity fallbacks, certified-bound high-water mark).  A
+    #: ``BUDGET_EXHAUSTED`` result (and a ``FAILED`` one, when periodic
+    #: captures were on via ``DecisionOptions.checkpoint_every``) also
+    #: carries ``metadata["checkpoint"]`` — a
+    #: :class:`~repro.core.checkpoint.SolverCheckpoint` that
+    #: ``decision_psdp(..., resume_from=...)`` continues bit-identically.
     metadata: dict[str, Any] = field(default_factory=dict)
     #: Deferred builder for :attr:`primal_y` (matrix-free path only): called
     #: at most once, on first read, then discarded.  The builder may also

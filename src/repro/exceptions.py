@@ -99,6 +99,27 @@ class FaultInjected(NumericalError):
         self.kind = kind
 
 
+class SerializationError(ReproError, ValueError):
+    """A file produced or consumed by :mod:`repro.io.serialization` is bad.
+
+    Raised when a payload is truncated, has the wrong archive kind or
+    format version, is missing required entries, or carries arrays whose
+    shape/dtype/finiteness fail validation.  The loaders raise this instead
+    of letting ``zipfile``/``KeyError`` internals escape so that callers
+    (and the serving layer) can distinguish "bad file" from "bad code".
+    """
+
+
+class CheckpointError(SerializationError):
+    """A :class:`~repro.core.checkpoint.SolverCheckpoint` is unusable.
+
+    Raised when a checkpoint file is truncated or fails its checksum, when
+    its payload fails shape/dtype validation, or when a checkpoint is
+    resumed against a solver/instance/options combination it was not
+    captured from (wrong solver variant, mismatched dimensions or epsilon).
+    """
+
+
 class SolverError(ReproError, RuntimeError):
     """A solver failed to produce a solution within its resource limits."""
 

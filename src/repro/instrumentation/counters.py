@@ -58,6 +58,31 @@ class OracleCounters:
         for key, amount in other.extra.items():
             self.extra[key] = self.extra.get(key, 0.0) + amount
 
+    def export_state(self) -> dict:
+        """Checkpointable snapshot preserving the integer fields exactly.
+
+        Unlike :meth:`as_dict` (which floats everything for reporting),
+        this keeps ``calls``/``matvecs``/... as ints so a restored counter
+        bundle is indistinguishable from one that ran uninterrupted.
+        """
+        return {
+            "calls": int(self.calls),
+            "matvecs": int(self.matvecs),
+            "factor_passes": int(self.factor_passes),
+            "eigendecompositions": int(self.eigendecompositions),
+            "flops_estimate": float(self.flops_estimate),
+            "extra": dict(self.extra),
+        }
+
+    def import_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`export_state`."""
+        self.calls = int(state["calls"])
+        self.matvecs = int(state["matvecs"])
+        self.factor_passes = int(state["factor_passes"])
+        self.eigendecompositions = int(state["eigendecompositions"])
+        self.flops_estimate = float(state["flops_estimate"])
+        self.extra = dict(state["extra"])
+
     def as_dict(self) -> dict[str, float]:
         """All counters (including free-form ones) as a flat float dict."""
         out = {

@@ -1,4 +1,4 @@
-"""Save/load positive SDP instances to compressed ``.npz`` archives.
+"""Save/load positive SDP instances and solver checkpoints (``.npz``).
 
 The on-disk format is a single ``numpy`` ``.npz`` archive containing the
 dense constraint matrices (stacked into one 3-D array), the objective and
@@ -7,26 +7,120 @@ right-hand sides for general instances, and a small JSON metadata blob
 and reload; factorized/sparse structure is an in-memory optimization and is
 re-derivable (``gram_factor``) after loading, so losing it on a round-trip
 only affects constants, not correctness.
+
+Every loader validates what it reads — array presence, shape, dtype and
+finiteness — and raises a typed
+:class:`~repro.exceptions.SerializationError` on a truncated, corrupted or
+NaN-poisoned payload instead of handing garbage to the solver.
+
+Solver checkpoints (:class:`~repro.core.checkpoint.SolverCheckpoint`)
+round-trip through :func:`save_checkpoint` / :func:`load_checkpoint`: the
+nested payload tree is split into a JSON skeleton (with ``__ndarray__``
+placeholders) plus the raw arrays, stamped with a versioned header and a
+SHA-256 checksum over the canonical skeleton bytes and every array's
+dtype/shape/contents.  A failed checksum, unknown version, or unreadable
+archive raises :class:`~repro.exceptions.CheckpointError` — resume never
+starts from silently-corrupted state.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
+import zipfile
+import zlib
+from typing import Any
 
 import numpy as np
 
-from repro.exceptions import InvalidProblemError
+from repro.exceptions import CheckpointError, InvalidProblemError, SerializationError
 from repro.operators.collection import ConstraintCollection
 from repro.operators.dense import DensePSDOperator
 from repro.core.problem import NormalizedPackingSDP, PositiveSDP
 
 _FORMAT_VERSION = 1
 
+#: Skeleton-dict key marking an extracted array leaf.  Checkpoint payloads
+#: never contain this key themselves, so the marker is unambiguous.
+_ARRAY_MARKER = "__ndarray__"
+
 
 def _stack_constraints(constraints: ConstraintCollection) -> np.ndarray:
     return np.stack([op.to_dense() for op in constraints], axis=0)
 
+
+# --------------------------------------------------------------------------
+# shared read-side validation
+# --------------------------------------------------------------------------
+
+def _open_archive(path: str) -> np.lib.npyio.NpzFile:
+    """``np.load`` with truncation/corruption mapped to a typed error."""
+    try:
+        return np.load(path, allow_pickle=False)
+    except (OSError, ValueError, zipfile.BadZipFile, zlib.error, EOFError) as exc:
+        raise SerializationError(f"cannot read {path}: {exc}") from exc
+
+
+def _read_metadata(data: np.lib.npyio.NpzFile, path: str) -> dict:
+    try:
+        meta = json.loads(str(data["metadata"]))
+    except KeyError as exc:
+        raise SerializationError(f"{path} has no metadata entry (truncated archive?)") from exc
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise SerializationError(f"{path} has a corrupted metadata blob: {exc}") from exc
+    if not isinstance(meta, dict):
+        raise SerializationError(f"{path} metadata is not a JSON object")
+    return meta
+
+
+def _validated_array(
+    data: np.lib.npyio.NpzFile,
+    key: str,
+    path: str,
+    *,
+    ndim: int,
+    require_finite: bool = True,
+) -> np.ndarray:
+    """Fetch ``data[key]`` as float64, validating rank and finiteness."""
+    try:
+        raw = data[key]
+    except KeyError as exc:
+        raise SerializationError(
+            f"{path} is missing the {key!r} array (truncated archive?)"
+        ) from exc
+    except (ValueError, zipfile.BadZipFile, zlib.error, OSError) as exc:
+        raise SerializationError(f"{path}: cannot decode {key!r}: {exc}") from exc
+    if raw.dtype.kind not in "fiu":
+        raise SerializationError(
+            f"{path}: {key!r} has non-numeric dtype {raw.dtype}"
+        )
+    array = np.asarray(raw, dtype=np.float64)
+    if array.ndim != ndim:
+        raise SerializationError(
+            f"{path}: {key!r} must be {ndim}-dimensional, got shape {array.shape}"
+        )
+    if require_finite and not np.isfinite(array).all():
+        raise SerializationError(
+            f"{path}: {key!r} contains non-finite entries (NaN/inf-poisoned payload)"
+        )
+    return array
+
+
+def _validated_constraint_stack(data: np.lib.npyio.NpzFile, path: str) -> np.ndarray:
+    stacked = _validated_array(data, "constraints", path, ndim=3)
+    if stacked.shape[0] == 0:
+        raise SerializationError(f"{path}: constraint stack is empty")
+    if stacked.shape[1] != stacked.shape[2]:
+        raise SerializationError(
+            f"{path}: constraint matrices must be square, got shape {stacked.shape}"
+        )
+    return stacked
+
+
+# --------------------------------------------------------------------------
+# problem instances
+# --------------------------------------------------------------------------
 
 def save_normalized_sdp(path: str | os.PathLike[str], problem: NormalizedPackingSDP) -> str:
     """Write a normalized packing SDP to ``path`` (``.npz``); returns the path."""
@@ -41,12 +135,18 @@ def save_normalized_sdp(path: str | os.PathLike[str], problem: NormalizedPacking
 
 
 def load_normalized_sdp(path: str | os.PathLike[str]) -> NormalizedPackingSDP:
-    """Load a normalized packing SDP previously written by :func:`save_normalized_sdp`."""
-    with np.load(os.fspath(path), allow_pickle=False) as data:
-        meta = json.loads(str(data["metadata"]))
+    """Load a normalized packing SDP previously written by :func:`save_normalized_sdp`.
+
+    Raises :class:`~repro.exceptions.SerializationError` when the archive is
+    truncated, the constraint stack has the wrong rank/shape/dtype, or any
+    entry is non-finite.
+    """
+    path = os.fspath(path)
+    with _open_archive(path) as data:
+        meta = _read_metadata(data, path)
         if meta.get("kind") != "normalized":
             raise InvalidProblemError(f"{path} does not contain a normalized packing SDP")
-        stacked = np.asarray(data["constraints"], dtype=np.float64)
+        stacked = _validated_constraint_stack(data, path)
     operators = [DensePSDOperator(stacked[i], validate=False) for i in range(stacked.shape[0])]
     return NormalizedPackingSDP(
         ConstraintCollection(operators, validate=False), name=meta.get("name", "loaded")
@@ -68,14 +168,29 @@ def save_positive_sdp(path: str | os.PathLike[str], problem: PositiveSDP) -> str
 
 
 def load_positive_sdp(path: str | os.PathLike[str]) -> PositiveSDP:
-    """Load a general positive SDP previously written by :func:`save_positive_sdp`."""
-    with np.load(os.fspath(path), allow_pickle=False) as data:
-        meta = json.loads(str(data["metadata"]))
+    """Load a general positive SDP previously written by :func:`save_positive_sdp`.
+
+    Applies the same typed validation as :func:`load_normalized_sdp`, plus
+    cross-array consistency: the objective must match the constraint
+    dimension and the rhs must have one entry per constraint.
+    """
+    path = os.fspath(path)
+    with _open_archive(path) as data:
+        meta = _read_metadata(data, path)
         if meta.get("kind") != "positive":
             raise InvalidProblemError(f"{path} does not contain a general positive SDP")
-        stacked = np.asarray(data["constraints"], dtype=np.float64)
-        objective = np.asarray(data["objective"], dtype=np.float64)
-        rhs = np.asarray(data["rhs"], dtype=np.float64)
+        stacked = _validated_constraint_stack(data, path)
+        objective = _validated_array(data, "objective", path, ndim=2)
+        rhs = _validated_array(data, "rhs", path, ndim=1)
+    if objective.shape != stacked.shape[1:]:
+        raise SerializationError(
+            f"{path}: objective shape {objective.shape} does not match "
+            f"constraint dimension {stacked.shape[1:]}"
+        )
+    if rhs.shape[0] != stacked.shape[0]:
+        raise SerializationError(
+            f"{path}: rhs has {rhs.shape[0]} entries for {stacked.shape[0]} constraints"
+        )
     operators = [DensePSDOperator(stacked[i], validate=False) for i in range(stacked.shape[0])]
     return PositiveSDP(
         DensePSDOperator(objective, validate=False),
@@ -84,3 +199,145 @@ def load_positive_sdp(path: str | os.PathLike[str]) -> PositiveSDP:
         name=meta.get("name", "loaded"),
         validate=False,
     )
+
+
+# --------------------------------------------------------------------------
+# solver checkpoints
+# --------------------------------------------------------------------------
+
+def _sanitize_scalar(value: Any) -> Any:
+    """JSON ``default`` hook: numpy scalars become native Python scalars."""
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    raise TypeError(f"checkpoint payload contains unserializable {type(value).__name__}")
+
+
+def _flatten_tree(node: Any, arrays: dict[str, np.ndarray]) -> Any:
+    """Replace ndarray leaves with ``{"__ndarray__": key}`` placeholders."""
+    if isinstance(node, np.ndarray):
+        key = f"a{len(arrays)}"
+        arrays[key] = node
+        return {_ARRAY_MARKER: key}
+    if isinstance(node, dict):
+        return {str(k): _flatten_tree(v, arrays) for k, v in node.items()}
+    if isinstance(node, (list, tuple)):
+        return [_flatten_tree(v, arrays) for v in node]
+    return node
+
+
+def _unflatten_tree(node: Any, arrays: dict[str, np.ndarray]) -> Any:
+    if isinstance(node, dict):
+        if set(node) == {_ARRAY_MARKER}:
+            key = node[_ARRAY_MARKER]
+            if key not in arrays:
+                raise CheckpointError(f"checkpoint references missing array {key!r}")
+            return arrays[key]
+        return {k: _unflatten_tree(v, arrays) for k, v in node.items()}
+    if isinstance(node, list):
+        return [_unflatten_tree(v, arrays) for v in node]
+    return node
+
+
+def _checkpoint_digest(skeleton_bytes: bytes, arrays: dict[str, np.ndarray]) -> str:
+    """SHA-256 over the skeleton and every array's key, dtype, shape, bytes."""
+    digest = hashlib.sha256()
+    digest.update(skeleton_bytes)
+    for key in sorted(arrays):
+        array = np.ascontiguousarray(arrays[key])
+        digest.update(key.encode())
+        digest.update(str(array.dtype).encode())
+        digest.update(repr(array.shape).encode())
+        digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+def save_checkpoint(path: str | os.PathLike[str], checkpoint) -> str:
+    """Write a :class:`~repro.core.checkpoint.SolverCheckpoint` to ``path``.
+
+    The archive holds a versioned JSON skeleton (``header`` entry), the
+    extracted arrays, and a SHA-256 ``checksum`` entry computed over the
+    canonical skeleton bytes plus every array's dtype/shape/contents.
+    Returns the path written.
+    """
+    from repro.core.checkpoint import SolverCheckpoint
+
+    if not isinstance(checkpoint, SolverCheckpoint):
+        raise CheckpointError(
+            f"save_checkpoint expects a SolverCheckpoint, got {type(checkpoint).__name__}"
+        )
+    path = os.fspath(path)
+    arrays: dict[str, np.ndarray] = {}
+    skeleton = _flatten_tree(checkpoint.to_payload(), arrays)
+    header = {
+        "kind": "checkpoint",
+        "version": int(checkpoint.version),
+        "payload": skeleton,
+    }
+    try:
+        header_bytes = json.dumps(
+            header, sort_keys=True, default=_sanitize_scalar
+        ).encode()
+    except TypeError as exc:
+        raise CheckpointError(str(exc)) from exc
+    checksum = _checkpoint_digest(header_bytes, arrays)
+    np.savez_compressed(
+        path,
+        header=np.frombuffer(header_bytes, dtype=np.uint8),
+        checksum=np.array(checksum),
+        **arrays,
+    )
+    return path if path.endswith(".npz") else path + ".npz"
+
+
+def load_checkpoint(path: str | os.PathLike[str]):
+    """Read a checkpoint written by :func:`save_checkpoint`.
+
+    Raises :class:`~repro.exceptions.CheckpointError` on a truncated or
+    unreadable archive, a checksum mismatch (bit rot, partial write), an
+    unknown format version, or a malformed payload tree.
+    """
+    from repro.core.checkpoint import CHECKPOINT_VERSION, SolverCheckpoint
+
+    path = os.fspath(path)
+    try:
+        data = np.load(path, allow_pickle=False)
+    except (OSError, ValueError, zipfile.BadZipFile, zlib.error, EOFError) as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+    with data:
+        try:
+            header_bytes = bytes(np.asarray(data["header"], dtype=np.uint8))
+            stored_checksum = str(data["checksum"])
+            arrays = {
+                key: np.asarray(data[key])
+                for key in data.files
+                if key not in ("header", "checksum")
+            }
+        except (KeyError, ValueError, zipfile.BadZipFile, zlib.error, OSError) as exc:
+            raise CheckpointError(
+                f"checkpoint {path} is truncated or corrupted: {exc}"
+            ) from exc
+    if _checkpoint_digest(header_bytes, arrays) != stored_checksum:
+        raise CheckpointError(
+            f"checkpoint {path} failed checksum validation (corrupted or "
+            f"partially-written archive)"
+        )
+    try:
+        header = json.loads(header_bytes.decode())
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise CheckpointError(f"checkpoint {path} has a corrupted header: {exc}") from exc
+    if not isinstance(header, dict) or header.get("kind") != "checkpoint":
+        raise CheckpointError(f"{path} is not a solver checkpoint archive")
+    version = header.get("version")
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"unsupported checkpoint version {version!r} in {path} "
+            f"(this build reads version {CHECKPOINT_VERSION})"
+        )
+    payload = _unflatten_tree(header.get("payload"), arrays)
+    if not isinstance(payload, dict):
+        raise CheckpointError(f"checkpoint {path} has a malformed payload tree")
+    return SolverCheckpoint.from_payload(payload)

@@ -601,6 +601,60 @@ class TaylorEngine:
             "charged_work": self.charged_work,
         }
 
+    # ------------------------------------------------------------------ checkpointing
+    def export_state(self) -> dict:
+        """Checkpointable snapshot of the weight-dependent engine state.
+
+        Only the genuinely path-dependent buffers are captured: the
+        ``dense-psi`` matrix and ``sparse-psi`` value vector accumulate
+        rank-1 bumps per iteration, so their bits depend on the update
+        history and must round-trip exactly.  The ``gram``/factor-mode
+        buffers are elementwise functions of the expanded column weights
+        (full build and incremental update apply the same per-element
+        product), so :meth:`import_state` rebuilds them from ``w_cols``
+        bit-identically instead of storing them.
+        """
+        return {
+            "mode": self.mode,
+            "full_builds": int(self.full_builds),
+            "incremental_updates": int(self.incremental_updates),
+            "columns_updated": int(self.columns_updated),
+            "charged_work": float(self.charged_work),
+            "w_cols": None if self._w_cols is None else np.array(self._w_cols),
+            "psi": (
+                np.array(self._psi)
+                if self.mode == "dense-psi" and self._psi is not None
+                else None
+            ),
+            "psi_values": (
+                np.array(self._psi_values)
+                if self.mode == "sparse-psi" and self._psi_values is not None
+                else None
+            ),
+        }
+
+    def import_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`export_state`."""
+        if state["mode"] != self.mode:
+            raise InvalidProblemError(
+                f"cannot import taylor-engine state for mode {state['mode']!r} "
+                f"into an engine in mode {self.mode!r}"
+            )
+        w_cols = state.get("w_cols")
+        self._w_cols = None if w_cols is None else np.array(w_cols, dtype=np.float64)
+        if self._w_cols is not None:
+            if self.mode == "dense-psi":
+                self._psi = np.array(state["psi"], dtype=np.float64)
+            elif self.mode == "sparse-psi":
+                self._psi_values = np.array(state["psi_values"], dtype=np.float64)
+                self._psi_csr = self.packed.psi_accumulator().psi(self._psi_values)
+            else:
+                self._full_build(self._w_cols)
+        self.full_builds = int(state["full_builds"])
+        self.incremental_updates = int(state["incremental_updates"])
+        self.columns_updated = int(state["columns_updated"])
+        self.charged_work = float(state["charged_work"])
+
     # ------------------------------------------------------------------ charging
     def _charge(self, work: float, backend) -> None:
         self.charged_work += work

@@ -500,6 +500,46 @@ class TraceEstimator:
         self.mode = "identity"
         self.identity_fallbacks += 1
 
+    def export_state(self) -> dict:
+        """Checkpointable snapshot of the estimator's mutable state.
+
+        Restoring :attr:`calls` restores the Hutchinson probe stream — each
+        call draws probes from ``default_rng((seed, call_index))`` — so a
+        resumed solve replays the exact probe sequence an uninterrupted run
+        would have drawn.  ``_col_w`` (rebound per oracle call) and the
+        ``_gram_eig`` cache (a deterministic function of the stack) are
+        derived data and deliberately absent.
+        """
+        return {
+            "mode": self.mode,
+            "calls": int(self.calls),
+            "probes_drawn": int(self.probes_drawn),
+            "identity_fallbacks": int(self.identity_fallbacks),
+            "extra_work": float(self.extra_work),
+            "max_error_bound": float(self.max_error_bound),
+            "mode_counts": dict(self._mode_counts),
+        }
+
+    def import_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`export_state`.
+
+        The mode is restored too: a checkpoint captured after a
+        ``demote_to_identity`` resumes on the identity floor, keeping the
+        resumed run's ladder position (and therefore its arithmetic)
+        identical to the interrupted one.
+        """
+        mode = state["mode"]
+        if mode not in _TRACE_MODES:
+            raise InvalidProblemError(f"unknown trace mode {mode!r} in estimator state")
+        self.mode = mode
+        self.calls = int(state["calls"])
+        self.probes_drawn = int(state["probes_drawn"])
+        self.identity_fallbacks = int(state["identity_fallbacks"])
+        self.extra_work = float(state["extra_work"])
+        self.max_error_bound = float(state["max_error_bound"])
+        self._mode_counts = dict(state["mode_counts"])
+        self.last = None
+
     def bind(self, weights: np.ndarray) -> "TraceEstimator":
         """Bind the per-constraint weights of the current oracle call.
 

@@ -122,6 +122,27 @@ class WorkDepthTracker:
             by_label=dict(self.by_label),
         )
 
+    def export_state(self) -> dict:
+        """Checkpointable snapshot of the accumulated totals.
+
+        Captured only between iterations (never inside an open parallel
+        region), so the region stack is not part of the snapshot.
+        """
+        return {
+            "work": float(self.work),
+            "depth": float(self.depth),
+            "events": int(self.events),
+            "by_label": dict(self.by_label),
+        }
+
+    def import_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`export_state`."""
+        self.work = float(state["work"])
+        self.depth = float(state["depth"])
+        self.events = int(state["events"])
+        self.by_label = dict(state["by_label"])
+        self._region_stack.clear()
+
     def reset(self) -> None:
         """Zero all accumulated work, depth, events, and labels."""
         self.work = 0.0

@@ -21,6 +21,7 @@ See ``docs/ROBUSTNESS.md`` for the ladder diagram and the
 
 from repro.robustness.faultinject import (
     BoundViolation,
+    Crash,
     FaultKind,
     FaultSpec,
     NaN,
@@ -35,6 +36,7 @@ from repro.robustness.supervisor import FastPathSupervisor, RecoveryEvent
 
 __all__ = [
     "BoundViolation",
+    "Crash",
     "FaultKind",
     "FaultSpec",
     "FastPathSupervisor",

@@ -30,8 +30,9 @@ Example
 from __future__ import annotations
 
 import contextlib
-from dataclasses import dataclass
-from typing import Iterator
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
 
 import numpy as np
 
@@ -51,6 +52,10 @@ class FaultKind:
     name = "fault"
     corrupts = False
     fill = float("nan")
+    #: Fatal kinds model a died worker rather than a numerical breakdown:
+    #: no demotion rung can absorb them, so the supervisor fails the solve
+    #: immediately and the serving layer's retry/backoff takes over.
+    fatal = False
 
 
 class NaN(FaultKind):
@@ -83,6 +88,20 @@ class BoundViolation(FaultKind):
     corrupts = False
 
 
+class Crash(FaultKind):
+    """The worker executing the kernel dies mid-call (crash-style fault).
+
+    Unlike the numerical kinds, a crash is *fatal*: the demotion ladder
+    cannot absorb it, the supervised solve fails (``SolveStatus.FAILED``,
+    carrying its latest periodic checkpoint), and recovery belongs to the
+    serving layer (:class:`~repro.service.SolveService` retry/backoff).
+    """
+
+    name = "crash"
+    corrupts = False
+    fatal = True
+
+
 @dataclass
 class FaultSpec:
     """One armed fault: fire ``times`` times starting at call ``at_call``.
@@ -90,6 +109,12 @@ class FaultSpec:
     Calls are counted per spec at the matching site, starting from 1, so
     ``at_call=3`` leaves the first two kernel invocations clean.  ``seed``
     determines which entry of the output array a corrupting fault poisons.
+
+    ``at_time`` arms the fault on the wall clock instead: calls at the
+    site are not even counted until ``clock()`` reaches ``at_time``, after
+    which the ``at_call``/``times`` window applies as usual.  With an
+    injectable ``clock`` (the service's virtual clock in tests) this models
+    "the worker crashes N seconds into the run" deterministically.
     """
 
     site: str
@@ -97,6 +122,8 @@ class FaultSpec:
     at_call: int = 1
     times: int = 1
     seed: int = 0
+    at_time: float | None = None
+    clock: Callable[[], float] = field(default=time.monotonic, repr=False)
     calls_seen: int = 0
     fires: int = 0
 
@@ -113,6 +140,8 @@ def inject(
     at_call: int = 1,
     times: int = 1,
     seed: int = 0,
+    at_time: float | None = None,
+    clock: Callable[[], float] = time.monotonic,
 ) -> Iterator[FaultSpec]:
     """Arm one deterministic fault for the duration of the ``with`` block.
 
@@ -122,17 +151,25 @@ def inject(
         Instrumented site identifier — see :data:`SITES` for the list.
     kind:
         One of :class:`NaN`, :class:`Overflow`, :class:`NonConvergent`,
-        :class:`BoundViolation`.
+        :class:`BoundViolation`, :class:`Crash`.
     at_call / times:
         Fire on calls ``at_call .. at_call + times - 1`` (1-based) of the
         site, counted within this block.
     seed:
         Seeds the corrupted-entry position for array faults.
+    at_time / clock:
+        Clock-based arming: site calls are ignored (not counted) until
+        ``clock()`` reaches ``at_time``; the ``at_call``/``times`` window
+        then applies to the calls that follow.  Pass a virtual clock for
+        deterministic crash-at-time chaos tests.
 
     Yields the live :class:`FaultSpec`; its ``fires`` counter lets tests
     assert the fault actually triggered.
     """
-    spec = FaultSpec(site=site, kind=kind, at_call=at_call, times=times, seed=seed)
+    spec = FaultSpec(
+        site=site, kind=kind, at_call=at_call, times=times, seed=seed,
+        at_time=at_time, clock=clock,
+    )
     _PLAN.append(spec)
     try:
         yield spec
@@ -162,6 +199,8 @@ def _armed(site: str, corrupts: bool) -> FaultSpec | None:
     """Return the first armed spec due to fire at ``site``, advancing counters."""
     for spec in _PLAN:
         if spec.site != site or spec.kind.corrupts is not corrupts:
+            continue
+        if spec.at_time is not None and spec.clock() < spec.at_time:
             continue
         spec.calls_seen += 1
         if spec.at_call <= spec.calls_seen < spec.at_call + spec.times:

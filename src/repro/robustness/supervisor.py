@@ -192,6 +192,32 @@ class FastPathSupervisor:
             "elapsed": self.elapsed(),
         }
 
+    # ------------------------------------------------------------------ checkpointing
+    def export_state(self) -> dict:
+        """Checkpointable snapshot: the recovery log plus elapsed wall clock.
+
+        The ladder *position* (which kernel/trace/psi rung is active) lives
+        on the oracle and state objects and is captured by their own
+        ``export_state`` methods; this snapshot carries the supervisor's
+        bookkeeping so a resumed run reports the full recovery-event trail
+        and keeps charging wall-clock budgets against the total time the
+        solve has consumed across interruptions.
+        """
+        return {
+            "events": self.event_dicts(),
+            "elapsed": float(self.elapsed()),
+        }
+
+    def import_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`export_state`.
+
+        Re-dates ``_start`` so :meth:`elapsed` continues from the
+        checkpointed value — a resumed solve with a ``wall_clock_budget``
+        gets only the *remaining* budget, not a fresh one.
+        """
+        self.recovery_events = [RecoveryEvent(**event) for event in state["events"]]
+        self._start = self._clock() - float(state["elapsed"])
+
     def _record(
         self,
         exc: BaseException,
@@ -294,6 +320,11 @@ class FastPathSupervisor:
 
         Returns ``(site, from_mode, to_mode)`` on success.
         """
+        if getattr(getattr(exc, "kind", None), "fatal", False):
+            # Crash-style injected faults model a died worker, not a
+            # numerical breakdown: no rung can absorb them, so the solve
+            # fails (and the serving layer's retry/backoff takes over).
+            return None
         site = getattr(exc, "site", None)
         if site in _TRACE_SITES:
             action = self._demote_trace()
@@ -362,6 +393,13 @@ class FastPathSupervisor:
                     self.state.reset_warm_start()
                 return self.state.lambda_max(final=final)
             except _RECOVERABLE as exc:
+                if getattr(getattr(exc, "kind", None), "fatal", False):
+                    # Crash-style faults are not absorbed by the rung
+                    # ladder (same policy as _dispatch).
+                    raise BudgetExhaustedError(
+                        f"fatal fault during lambda_max: {exc}",
+                        budget="recoveries",
+                    ) from exc
                 site = getattr(exc, "site", None)
                 if site == "psi_state.matvec":
                     action = self.demote_psi_state()

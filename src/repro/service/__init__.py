@@ -1,0 +1,24 @@
+"""Resilient serving layer for decision solves.
+
+:class:`SolveService` turns the one-shot solvers into a deterministic
+request queue: deadline-aware admission, priority scheduling, batching of
+compatible requests through :func:`~repro.core.batch.solve_many`,
+checkpoint/resume of budget-exhausted work, retry with capped exponential
+backoff for failed solves, an instance-fingerprint result cache, and
+graceful load shedding — every terminal condition is a typed
+:class:`RequestOutcome`, never an exception and never a silent drop.
+"""
+
+from repro.service.solve_service import (
+    RequestOutcome,
+    ServiceResponse,
+    SolveService,
+    VirtualClock,
+)
+
+__all__ = [
+    "RequestOutcome",
+    "ServiceResponse",
+    "SolveService",
+    "VirtualClock",
+]

@@ -1,0 +1,602 @@
+"""Deterministic solve service: queue, deadlines, retries, shedding.
+
+The service wraps the decision solvers in the serving discipline a
+long-running deployment needs, without giving up the repository's
+bit-reproducibility contract:
+
+* **Deterministic streams.**  Every request owns the rng stream
+  ``instance_rng(seed, request_id)`` — the same stream
+  :func:`~repro.core.batch.solve_many` would give it as instance
+  ``request_id`` of one big batch — pinned through the ``rng_indices``
+  parameter, so results do not depend on how requests happen to be
+  batched, retried, or resumed.
+* **Deadline-aware queue.**  Requests carry an absolute ``deadline`` on
+  the service clock plus a ``priority``; expired work is finalized as
+  :attr:`RequestOutcome.DEADLINE_EXCEEDED` (with the last verified
+  partial result attached when one exists), never silently dropped.
+* **Checkpoint/resume.**  A ``BUDGET_EXHAUSTED`` attempt hands its
+  :class:`~repro.core.checkpoint.SolverCheckpoint` back to the queue and
+  the next attempt continues it — no wasted work, bit-identical to an
+  uninterrupted solve.
+* **Retry with backoff.**  ``FAILED`` attempts (crash-style faults,
+  exhausted demotion ladders) retry up to ``max_attempts`` with capped
+  exponential backoff; the jitter is drawn from a per-request,
+  per-attempt ``default_rng((seed, request_id, attempt))`` stream, so the
+  whole retry schedule replays bit-identically under a virtual clock.
+* **Load shedding.**  Past the queue-depth threshold the service answers
+  with a cache hit, a warm-start certificate (a cached dual witness
+  re-verified on the new instance — mathematically sound, merely
+  sub-optimal), or a typed :attr:`RequestOutcome.SHED` rejection.  It
+  never raises and never drops.
+
+All time flows through an injectable clock; :class:`VirtualClock` makes
+the chaos tests fully deterministic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.core.batch import instance_rng, solve_many
+from repro.core.decision import DecisionOptions, decision_psdp, _resolve_constraints
+from repro.core.result import DecisionOutcome, DecisionResult, SolveStatus
+from repro.exceptions import InvalidProblemError
+from repro.operators.collection import ConstraintCollection
+
+__all__ = ["RequestOutcome", "ServiceResponse", "SolveService", "VirtualClock"]
+
+
+class VirtualClock:
+    """A manually-advanced monotonic clock for deterministic tests.
+
+    Callable (returns the current virtual time) so it drops into every
+    ``clock=`` slot in the repository — the service, the supervisor's
+    wall-clock budgets, and fault-injection ``at_time`` arming.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def __call__(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward (never backward); returns the new time."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance a monotonic clock by {seconds}")
+        self._now += float(seconds)
+        return self._now
+
+
+class RequestOutcome(Enum):
+    """Terminal disposition of a service request (always typed, never raised)."""
+
+    #: Solved and certified exactly like a direct ``decision_psdp`` call.
+    COMPLETED = "completed"
+    #: Solved with a verified-but-degraded answer: the solver recovered
+    #: through its demotion ladder, or a warm-start certificate was served
+    #: under load.  ``result`` is still an exactly-verified certificate.
+    DEGRADED = "degraded"
+    #: Rejected at admission or under overload; no solve was attempted.
+    SHED = "shed"
+    #: The deadline passed before the solve finished.  ``result`` carries
+    #: the last verified partial dual when one exists.
+    DEADLINE_EXCEEDED = "deadline-exceeded"
+    #: Every attempt failed and the retry budget is spent.  ``result``
+    #: carries the last failed attempt's result.
+    RETRY_EXHAUSTED = "retry-exhausted"
+
+
+@dataclass
+class ServiceResponse:
+    """What :meth:`SolveService.response` hands back for a finished request."""
+
+    request_id: int
+    outcome: RequestOutcome
+    result: DecisionResult | None
+    attempts: int
+    detail: str = ""
+    from_cache: bool = False
+    warm_started: bool = False
+    #: Number of checkpoint-resume continuations the solve went through.
+    resumes: int = 0
+
+
+@dataclass(eq=False)
+class _Request:
+    """Internal queue entry (requests in flight; identity equality)."""
+
+    request_id: int
+    constraints: ConstraintCollection
+    options: DecisionOptions
+    options_key: str
+    fingerprint: str
+    deadline: float | None
+    priority: int
+    max_attempts: int
+    attempts: int = 0
+    resumes: int = 0
+    next_ready: float = 0.0
+    checkpoint: Any = None
+    last_result: DecisionResult | None = field(default=None, repr=False)
+
+
+def _options_key(opts: DecisionOptions) -> str:
+    """Batching/cache key over every option field that shapes the solve.
+
+    ``rng`` is excluded (the service owns the streams) and ``backend`` is
+    keyed by identity — requests only batch when they share the exact
+    same backend object (or both leave it ``None``).
+    """
+    parts = []
+    for f in dataclasses.fields(opts):
+        value = getattr(opts, f.name)
+        if f.name == "rng":
+            continue
+        if f.name == "backend":
+            parts.append(f"backend=id{id(value)}" if value is not None else "backend=None")
+            continue
+        parts.append(f"{f.name}={value!r}")
+    return ";".join(parts)
+
+
+def _fingerprint(constraints: ConstraintCollection, options_key: str) -> str:
+    """Instance identity: SHA-256 over the dense constraint bytes + options.
+
+    Hashes the operators' dense forms directly (never the packed view —
+    building it on the caller's collection would reroute ``traces()``
+    through the packed rounding and perturb a later sequential solve).
+    """
+    digest = hashlib.sha256()
+    for op in constraints:
+        dense = np.ascontiguousarray(op.to_dense(), dtype=np.float64)
+        digest.update(repr(dense.shape).encode())
+        digest.update(dense.tobytes())
+    digest.update(options_key.encode())
+    return digest.hexdigest()
+
+
+class SolveService:
+    """Deterministic request queue over the decision solvers.
+
+    Parameters
+    ----------
+    options:
+        Default :class:`~repro.core.decision.DecisionOptions` for requests
+        that do not bring their own.  The ``rng`` field is ignored — each
+        request solves on ``instance_rng(seed, request_id)``.
+    seed:
+        Root seed for every per-request stream (solve rng and backoff
+        jitter alike).  Two services with the same seed and the same
+        request sequence produce bit-identical answers.
+    clock:
+        Injectable time source (``time.monotonic`` by default; pass a
+        :class:`VirtualClock` in tests).  Deadlines and backoff are
+        absolute values on this clock.
+    max_queue_depth:
+        Admission threshold: submissions past this depth are answered
+        from the cache, warm-start certified, or shed — never enqueued.
+    attempt_iteration_budget:
+        Optional per-attempt ``iteration_budget``.  Long solves then
+        surface as ``BUDGET_EXHAUSTED`` + checkpoint every so many
+        iterations and continue on the next :meth:`step` — the queue
+        stays responsive without losing work.
+    backoff_base / backoff_cap / backoff_jitter:
+        Failed-attempt backoff: ``min(cap, base * 2**(attempt-1))``
+        stretched by ``1 + jitter * u`` with ``u`` from the request's
+        deterministic jitter stream.
+    batch_size:
+        Maximum number of compatible requests per fused
+        :func:`~repro.core.batch.solve_many` call.
+    cache_size:
+        Entries kept in the instance-fingerprint result cache (LRU).
+    """
+
+    def __init__(
+        self,
+        *,
+        options: DecisionOptions | None = None,
+        seed: int = 0,
+        clock: Callable[[], float] | None = None,
+        max_queue_depth: int = 64,
+        attempt_iteration_budget: int | None = None,
+        backoff_base: float = 0.5,
+        backoff_cap: float = 30.0,
+        backoff_jitter: float = 0.25,
+        batch_size: int = 8,
+        cache_size: int = 128,
+    ) -> None:
+        if max_queue_depth <= 0:
+            raise InvalidProblemError(
+                f"max_queue_depth must be positive, got {max_queue_depth}"
+            )
+        if attempt_iteration_budget is not None and attempt_iteration_budget <= 0:
+            raise InvalidProblemError(
+                f"attempt_iteration_budget must be positive, got {attempt_iteration_budget}"
+            )
+        self.options = options or DecisionOptions()
+        self.seed = int(seed)
+        self._clock = clock if clock is not None else time.monotonic
+        self.max_queue_depth = int(max_queue_depth)
+        self.attempt_iteration_budget = attempt_iteration_budget
+        self.backoff_base = float(backoff_base)
+        self.backoff_cap = float(backoff_cap)
+        self.backoff_jitter = float(backoff_jitter)
+        self.batch_size = int(batch_size)
+        self.cache_size = int(cache_size)
+
+        self._queue: list[_Request] = []
+        self._responses: dict[int, ServiceResponse] = {}
+        self._cache: dict[str, DecisionResult] = {}
+        self._cache_order: list[str] = []
+        self._next_id = 0
+
+    # ------------------------------------------------------------------ admission
+    def submit(
+        self,
+        problem: Any,
+        *,
+        options: DecisionOptions | None = None,
+        deadline: float | None = None,
+        priority: int = 0,
+        max_attempts: int = 3,
+    ) -> int:
+        """Admit one solve request; returns its request id.
+
+        Never raises for load reasons: a full queue or an already-expired
+        deadline produces an immediately-available typed response
+        (:attr:`RequestOutcome.SHED` / ``DEADLINE_EXCEEDED``) instead.
+        Invalid *problems* (not a constraint collection the solvers
+        accept, ``max_attempts < 1``) still raise — those are caller
+        bugs, not load conditions.
+        """
+        if max_attempts < 1:
+            raise InvalidProblemError(f"max_attempts must be >= 1, got {max_attempts}")
+        opts = options or self.options
+        constraints = _resolve_constraints(problem)
+        request_id = self._next_id
+        self._next_id += 1
+        now = self._clock()
+        key = _options_key(opts)
+        fingerprint = _fingerprint(constraints, key)
+
+        cached = self._cache.get(fingerprint)
+        if cached is not None:
+            self._touch_cache(fingerprint)
+            self._responses[request_id] = ServiceResponse(
+                request_id=request_id,
+                outcome=(
+                    RequestOutcome.DEGRADED
+                    if cached.status is SolveStatus.DEGRADED
+                    else RequestOutcome.COMPLETED
+                ),
+                result=cached,
+                attempts=0,
+                detail="instance-fingerprint cache hit",
+                from_cache=True,
+            )
+            return request_id
+
+        if deadline is not None and deadline <= now:
+            self._responses[request_id] = ServiceResponse(
+                request_id=request_id,
+                outcome=RequestOutcome.DEADLINE_EXCEEDED,
+                result=None,
+                attempts=0,
+                detail="deadline expired before admission",
+            )
+            return request_id
+
+        if len(self._queue) >= self.max_queue_depth:
+            response = self._shed(request_id, constraints, opts)
+            self._responses[request_id] = response
+            return request_id
+
+        self._queue.append(
+            _Request(
+                request_id=request_id,
+                constraints=constraints,
+                options=opts,
+                options_key=key,
+                fingerprint=fingerprint,
+                deadline=deadline,
+                priority=int(priority),
+                max_attempts=int(max_attempts),
+                next_ready=now,
+            )
+        )
+        return request_id
+
+    def _shed(
+        self, request_id: int, constraints: ConstraintCollection, opts: DecisionOptions
+    ) -> ServiceResponse:
+        """Overload path: degrade gracefully before rejecting outright."""
+        warm = self._warm_start_certificate(constraints, opts)
+        if warm is not None:
+            return ServiceResponse(
+                request_id=request_id,
+                outcome=RequestOutcome.DEGRADED,
+                result=warm,
+                attempts=0,
+                detail="queue full: served warm-start certificate",
+                warm_started=True,
+            )
+        return ServiceResponse(
+            request_id=request_id,
+            outcome=RequestOutcome.SHED,
+            result=None,
+            attempts=0,
+            detail=f"queue depth {len(self._queue)} at threshold {self.max_queue_depth}",
+        )
+
+    def _warm_start_certificate(
+        self, constraints: ConstraintCollection, opts: DecisionOptions
+    ) -> DecisionResult | None:
+        """Try to certify the new instance with a cached dual witness.
+
+        Takes any cached dual vector of matching length, measures
+        ``lambda_max(sum_i x_i A_i)`` **on the new instance**, and accepts
+        only when the rescaled value clears the ``1 - eps`` target — the
+        certificate is exactly verified on the instance it is returned
+        for, so a stale cache can never produce an unsound answer.
+        """
+        n = len(constraints)
+        eps = float(opts.epsilon)
+        for key in reversed(self._cache_order):
+            cached = self._cache[key]
+            x = cached.dual_x
+            if x is None or len(x) != n or not np.all(np.isfinite(x)):
+                continue
+            summed = constraints.weighted_sum(np.asarray(x, dtype=np.float64))
+            lam = float(np.linalg.eigvalsh(summed)[-1])
+            if not np.isfinite(lam) or lam <= 0:
+                continue
+            value = float(np.sum(x)) / lam
+            if value >= 1.0 - eps:
+                dual_x = np.asarray(x, dtype=np.float64) / lam
+                return DecisionResult(
+                    outcome=DecisionOutcome.DUAL,
+                    dual_x=dual_x,
+                    primal_y=None,
+                    dual_value=float(dual_x.sum()),
+                    primal_min_dot=float("nan"),
+                    dual_lambda_max=1.0,
+                    iterations=0,
+                    max_iterations=0,
+                    epsilon=eps,
+                    early_exit=True,
+                    status=SolveStatus.DEGRADED,
+                    history=None,
+                    work_depth=None,
+                    metadata={
+                        "warm_start": True,
+                        "solve_status": SolveStatus.DEGRADED.value,
+                        "x_l1": float(dual_x.sum()),
+                    },
+                )
+        return None
+
+    # ------------------------------------------------------------------ queries
+    def response(self, request_id: int) -> ServiceResponse | None:
+        """The finished response for ``request_id`` (``None`` while pending)."""
+        return self._responses.get(request_id)
+
+    def pending(self) -> int:
+        """Number of requests still in the queue."""
+        return len(self._queue)
+
+    def next_ready_time(self) -> float | None:
+        """Earliest ``next_ready`` among queued requests (``None`` if idle)."""
+        if not self._queue:
+            return None
+        return min(r.next_ready for r in self._queue)
+
+    # ------------------------------------------------------------------ serving
+    def step(self) -> int:
+        """Serve one scheduling round; returns the number of requests finalized.
+
+        Expires overdue deadlines, picks the highest-priority ready
+        request, batches every compatible ready request with it through
+        ``solve_many`` (checkpointed requests resume solo instead), and
+        folds each result back into the queue state.
+        """
+        now = self._clock()
+        finalized = 0
+
+        for request in list(self._queue):
+            if request.deadline is not None and request.deadline <= now:
+                self._queue.remove(request)
+                self._finalize(
+                    request,
+                    RequestOutcome.DEADLINE_EXCEEDED,
+                    request.last_result,
+                    detail="deadline passed while queued",
+                )
+                finalized += 1
+
+        ready = [r for r in self._queue if r.next_ready <= now]
+        if not ready:
+            return finalized
+        ready.sort(key=lambda r: (-r.priority, r.request_id))
+        lead = ready[0]
+
+        if lead.checkpoint is not None:
+            results = [self._resume_attempt(lead)]
+            batch = [lead]
+        else:
+            batch = [
+                r
+                for r in ready
+                if r.options_key == lead.options_key and r.checkpoint is None
+            ][: self.batch_size]
+            results = solve_many(
+                [r.constraints for r in batch],
+                options=dataclasses.replace(
+                    self._attempt_options(batch[0]), rng=self.seed
+                ),
+                rng_indices=[r.request_id for r in batch],
+            )
+
+        for request, result in zip(batch, results):
+            finalized += self._absorb(request, result)
+        return finalized
+
+    def drain(self, max_steps: int = 100_000) -> dict[int, ServiceResponse]:
+        """Run :meth:`step` until the queue empties; returns all responses.
+
+        Between rounds, idle time (backoff waits) is skipped by advancing
+        a :class:`VirtualClock` or sleeping a real one.
+        """
+        for _ in range(max_steps):
+            if not self._queue:
+                break
+            self.step()
+            if not self._queue:
+                break
+            next_ready = self.next_ready_time()
+            now = self._clock()
+            if next_ready is not None and next_ready > now:
+                wait = next_ready - now
+                if hasattr(self._clock, "advance"):
+                    self._clock.advance(wait)
+                else:  # pragma: no cover - real-clock deployments only
+                    time.sleep(min(wait, 0.05))
+        return dict(self._responses)
+
+    # ------------------------------------------------------------------ internals
+    def _attempt_options(self, request: _Request) -> DecisionOptions:
+        """The request's options with the per-attempt budgets applied."""
+        opts = request.options
+        updates: dict[str, Any] = {}
+        if self.attempt_iteration_budget is not None:
+            budget = self.attempt_iteration_budget * (request.resumes + 1)
+            if opts.iteration_budget is None or budget < opts.iteration_budget:
+                updates["iteration_budget"] = budget
+        if (
+            request.deadline is not None
+            and self._clock is time.monotonic
+            and opts.wall_clock_budget is None
+        ):  # pragma: no cover - real-clock deployments only
+            remaining = request.deadline - self._clock()
+            if remaining > 0:
+                updates["wall_clock_budget"] = remaining
+        return dataclasses.replace(opts, **updates) if updates else opts
+
+    def _resume_attempt(self, request: _Request) -> DecisionResult:
+        """Continue a checkpointed solve on the request's pinned stream."""
+        return decision_psdp(
+            request.constraints,
+            options=dataclasses.replace(
+                self._attempt_options(request),
+                rng=instance_rng(self.seed, request.request_id),
+            ),
+            resume_from=request.checkpoint,
+        )
+
+    def _absorb(self, request: _Request, result: DecisionResult | None, ) -> int:
+        """Fold one attempt's result back into the queue; returns 1 if finalized."""
+        now = self._clock()
+        if result is None:  # pragma: no cover - solve_many never returns None
+            result = request.last_result
+            status = SolveStatus.FAILED
+        else:
+            status = result.status
+        request.last_result = result
+
+        if status is SolveStatus.BUDGET_EXHAUSTED:
+            checkpoint = result.metadata.get("checkpoint") if result is not None else None
+            if request.deadline is not None and request.deadline <= now:
+                self._remove(request)
+                self._finalize(
+                    request,
+                    RequestOutcome.DEADLINE_EXCEEDED,
+                    result,
+                    detail="deadline passed mid-solve; partial dual attached",
+                )
+                return 1
+            if checkpoint is not None:
+                request.checkpoint = checkpoint
+                request.resumes += 1
+                request.next_ready = now
+                return 0
+            status = SolveStatus.FAILED  # no continuation point: treat as failure
+
+        if status in (SolveStatus.CERTIFIED, SolveStatus.DEGRADED):
+            self._remove(request)
+            self._store_cache(request.fingerprint, result)
+            self._finalize(
+                request,
+                (
+                    RequestOutcome.COMPLETED
+                    if status is SolveStatus.CERTIFIED
+                    else RequestOutcome.DEGRADED
+                ),
+                result,
+                detail="",
+            )
+            return 1
+
+        # FAILED: retry with capped exponential backoff.
+        request.attempts += 1
+        checkpoint = result.metadata.get("checkpoint") if result is not None else None
+        if checkpoint is not None:
+            request.checkpoint = checkpoint
+        if request.attempts >= request.max_attempts:
+            self._remove(request)
+            self._finalize(
+                request,
+                RequestOutcome.RETRY_EXHAUSTED,
+                result,
+                detail=f"failed {request.attempts} attempts",
+            )
+            return 1
+        request.next_ready = now + self._backoff(request)
+        return 0
+
+    def _backoff(self, request: _Request) -> float:
+        """Deterministic capped exponential backoff for the next retry."""
+        base = min(self.backoff_cap, self.backoff_base * 2.0 ** (request.attempts - 1))
+        jitter_rng = np.random.default_rng(
+            (self.seed, request.request_id, request.attempts)
+        )
+        return base * (1.0 + self.backoff_jitter * float(jitter_rng.random()))
+
+    def _remove(self, request: _Request) -> None:
+        if request in self._queue:
+            self._queue.remove(request)
+
+    def _finalize(
+        self,
+        request: _Request,
+        outcome: RequestOutcome,
+        result: DecisionResult | None,
+        detail: str,
+    ) -> None:
+        self._responses[request.request_id] = ServiceResponse(
+            request_id=request.request_id,
+            outcome=outcome,
+            result=result,
+            attempts=request.attempts,
+            detail=detail,
+            resumes=request.resumes,
+        )
+
+    def _store_cache(self, fingerprint: str, result: DecisionResult) -> None:
+        if fingerprint not in self._cache:
+            self._cache_order.append(fingerprint)
+        self._cache[fingerprint] = result
+        while len(self._cache_order) > self.cache_size:
+            evicted = self._cache_order.pop(0)
+            self._cache.pop(evicted, None)
+
+    def _touch_cache(self, fingerprint: str) -> None:
+        if fingerprint in self._cache:
+            self._cache_order.remove(fingerprint)
+            self._cache_order.append(fingerprint)

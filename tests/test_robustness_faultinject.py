@@ -34,6 +34,7 @@ from repro.operators.collection import ConstraintCollection
 from repro.operators.factorized import FactorizedPSDOperator
 from repro.robustness import (
     BoundViolation,
+    Crash,
     NaN,
     NonConvergent,
     Overflow,
@@ -42,7 +43,7 @@ from repro.robustness import (
 )
 from repro.robustness.faultinject import _PLAN, fault_hook, fault_hook_array
 
-from helpers import factorized_family
+from helpers import assert_results_identical, factorized_family
 
 CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "0"))
 
@@ -422,3 +423,187 @@ class TestInputHardening:
         coeffs[0] = np.inf
         with pytest.raises(InvalidProblemError, match="finite"):
             coll.scaled(coeffs)
+
+
+class TestCrashFaults:
+    """Crash-style (fatal) faults: not absorbed by the demotion ladder."""
+
+    def test_crash_fails_instead_of_recovering(self):
+        with inject("lanczos", Crash, at_call=1, seed=CHAOS_SEED) as spec:
+            result = decision_psdp(big_collection(), epsilon=0.25, oracle="fast", rng=3)
+        assert spec.fires >= 1
+        assert result.status == SolveStatus.FAILED
+        assert result.metadata["solve_status"] == "failed"
+
+    def test_crash_before_first_capture_has_no_checkpoint(self):
+        with inject("lanczos", Crash, at_call=1, seed=CHAOS_SEED):
+            result = decision_psdp(
+                big_collection(), epsilon=0.25, oracle="fast", rng=3,
+                checkpoint_every=1000,
+            )
+        assert result.status == SolveStatus.FAILED
+        assert "checkpoint" not in result.metadata
+
+    def test_crash_after_periodic_capture_resumes_identically(self):
+        # Crash at the 7th Lanczos call: the periodic capture from an
+        # earlier iteration survives on the FAILED result, and a clean
+        # resume lands on the uninterrupted run's bits.
+        baseline = decision_psdp(
+            big_collection(), epsilon=0.25, oracle="fast", rng=3,
+            collect_history=True,
+        )
+        with inject("lanczos", Crash, at_call=7, seed=CHAOS_SEED):
+            crashed = decision_psdp(
+                big_collection(), epsilon=0.25, oracle="fast", rng=3,
+                checkpoint_every=2, collect_history=True,
+            )
+        assert crashed.status == SolveStatus.FAILED
+        ckpt = crashed.metadata["checkpoint"]
+        resumed = decision_psdp(
+            big_collection(), epsilon=0.25, oracle="fast", rng=3,
+            collect_history=True, resume_from=ckpt,
+        )
+        assert_results_identical(resumed, baseline, label="crash-resume")
+
+    def test_at_time_arming_defers_fault(self):
+        from repro.service import VirtualClock
+
+        clock = VirtualClock()
+        with inject(
+            "chaos.site", NonConvergent, at_call=1, seed=CHAOS_SEED,
+            at_time=5.0, clock=clock,
+        ) as spec:
+            fault_hook("chaos.site")  # before at_time: not even counted
+            assert spec.calls_seen == 0
+            clock.advance(6.0)
+            with pytest.raises(FaultInjected):
+                fault_hook("chaos.site")
+            assert spec.fires == 1
+
+
+class TestCheckpointChaos:
+    """Interrupt/resume bit-equality under the chaos seed."""
+
+    def test_interrupt_every_iteration_resumes_identically(self):
+        baseline = decision_psdp(
+            gram_collection(), epsilon=0.25, oracle="fast", rng=3,
+            collect_history=True,
+        )
+        assert baseline.status == SolveStatus.CERTIFIED
+        for k in range(1, baseline.iterations):
+            partial = decision_psdp(
+                gram_collection(), epsilon=0.25, oracle="fast", rng=3,
+                collect_history=True, iteration_budget=k,
+            )
+            assert partial.status == SolveStatus.BUDGET_EXHAUSTED, f"k={k}"
+            resumed = decision_psdp(
+                gram_collection(), epsilon=0.25, oracle="fast", rng=3,
+                collect_history=True,
+                resume_from=partial.metadata["checkpoint"],
+            )
+            assert_results_identical(resumed, baseline, label=f"chaos-resume@{k}")
+
+    def test_phased_interrupt_every_iteration_resumes_identically(self):
+        baseline = decision_psdp_phased(
+            gram_collection(), epsilon=0.25, oracle="fast", rng=3,
+            collect_history=True,
+        )
+        assert baseline.status == SolveStatus.CERTIFIED
+        for k in range(1, baseline.iterations):
+            partial = decision_psdp_phased(
+                gram_collection(), epsilon=0.25, oracle="fast", rng=3,
+                collect_history=True, iteration_budget=k,
+            )
+            assert partial.status == SolveStatus.BUDGET_EXHAUSTED, f"k={k}"
+            resumed = decision_psdp_phased(
+                gram_collection(), epsilon=0.25, oracle="fast", rng=3,
+                collect_history=True,
+                resume_from=partial.metadata["checkpoint"],
+            )
+            assert_results_identical(
+                resumed, baseline, label=f"chaos-phased-resume@{k}"
+            )
+
+    def test_resume_mid_demotion_ladder(self):
+        # The fault demotes the gram kernel early; the interrupt lands
+        # *after* the demotion.  The checkpoint must carry the ladder
+        # position (and the recorded event), so the clean resume matches
+        # the uninterrupted degraded run — not a pristine one.
+        def solve(**overrides):
+            return decision_psdp(
+                gram_collection(), epsilon=0.25, oracle="fast", rng=3,
+                collect_history=True, **overrides,
+            )
+
+        with inject("taylor_gram.apply", NaN, at_call=2, seed=CHAOS_SEED):
+            baseline = solve()
+        assert baseline.status == SolveStatus.DEGRADED
+        with inject("taylor_gram.apply", NaN, at_call=2, seed=CHAOS_SEED):
+            partial = solve(iteration_budget=5)
+        assert partial.status == SolveStatus.BUDGET_EXHAUSTED
+        events = partial.metadata["recovery_events"]
+        assert events and events[0]["site"] == "taylor_gram.apply"
+        resumed = solve(resume_from=partial.metadata["checkpoint"])
+        assert_results_identical(resumed, baseline, label="mid-ladder-resume")
+        assert resumed.status == SolveStatus.DEGRADED
+
+
+class TestServiceChaos:
+    """Service retry/backoff determinism under ``REPRO_CHAOS_SEED``."""
+
+    def _run(self):
+        from repro.core.decision import DecisionOptions
+        from repro.service import RequestOutcome, SolveService, VirtualClock
+
+        clock = VirtualClock()
+        service = SolveService(
+            options=DecisionOptions(epsilon=0.25, oracle="fast", max_recoveries=0),
+            seed=CHAOS_SEED,
+            clock=clock,
+        )
+        with inject(
+            "taylor_gram.apply", NaN, at_call=1, times=10**6, seed=CHAOS_SEED
+        ):
+            rid = service.submit(gram_collection(), max_attempts=3)
+            schedule = []
+            while service.response(rid) is None:
+                service.step()
+                schedule.append((clock(), service.next_ready_time()))
+                nxt = service.next_ready_time()
+                if nxt is not None and nxt > clock():
+                    clock.advance(nxt - clock())
+        clear_faults()
+        return service.response(rid), schedule
+
+    def test_retry_backoff_schedule_is_deterministic(self):
+        from repro.service import RequestOutcome
+
+        response_a, schedule_a = self._run()
+        response_b, schedule_b = self._run()
+        assert response_a.outcome is RequestOutcome.RETRY_EXHAUSTED
+        assert response_a.outcome is response_b.outcome
+        assert response_a.attempts == response_b.attempts == 3
+        assert schedule_a == schedule_b
+
+    def test_crashing_service_request_is_typed_not_raised(self):
+        from repro.core.decision import DecisionOptions
+        from repro.service import RequestOutcome, SolveService, VirtualClock
+
+        service = SolveService(
+            options=DecisionOptions(epsilon=0.25, oracle="fast"),
+            seed=CHAOS_SEED,
+            clock=VirtualClock(),
+        )
+        with inject("lanczos", Crash, at_call=1, times=2, seed=CHAOS_SEED):
+            rid = service.submit(big_collection(), max_attempts=3)
+            responses = service.drain()
+        response = responses[rid]
+        # Both crash fires can be consumed within one attempt (the cert
+        # check and the final dual rescale both call the site), so the
+        # retry either succeeds or exhausts — but it is always typed.
+        assert response.outcome in (
+            RequestOutcome.COMPLETED,
+            RequestOutcome.DEGRADED,
+            RequestOutcome.RETRY_EXHAUSTED,
+        )
+        assert response.attempts >= 1

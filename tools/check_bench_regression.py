@@ -72,6 +72,8 @@ CHECKS = [
         "max",
         3.0,
     ),
+    ("BENCH_service.json", "resume", None, "max", 1.15),
+    ("BENCH_service.json", "cache", None, "max", 10.0),
 ]
 
 #: (file, section, row filter or None, metric, ceiling).  Ceiling checks are
@@ -81,6 +83,9 @@ CHECKS = [
 #: unsupervised solver on the committed payload.
 CEILING_CHECKS = [
     ("BENCH_robustness.json", "overhead", None, "overhead", 1.02),
+    # PR 8: periodic checkpoint captures must stay near-free on the
+    # committed E18 payload.
+    ("BENCH_service.json", "checkpoint", None, "overhead", 1.05),
 ]
 
 
