@@ -1,0 +1,271 @@
+"""E19 — concurrent executor: throughput vs worker count, crash recovery.
+
+PR 9 moves the :class:`repro.service.SolveService` loop onto a
+:class:`repro.service.WorkerPool`.  Concurrency is only worth shipping if
+it (a) scales when cores exist, (b) costs almost nothing when they do
+not, and (c) keeps fault recovery cheap.  This benchmark measures all
+three on the E17 batched family (m=24, n=8, rank=2):
+
+* **throughput** — a fleet of independent requests drained through
+  thread-mode services at 1/2/4/8 workers (``batch_size=1`` so every
+  request is its own pool job).  ``speedup`` is relative to the 1-worker
+  service.  The payload records ``cpu_count``: on a multi-core machine
+  (>= 4 cores) the 8-worker speedup must reach **2x**; on the single-core
+  CI container the gate degrades to a bounded-overhead check (8 workers
+  no slower than **0.55x** the 1-worker throughput — the pool must not
+  tax the GIL-serialized case);
+* **recovery** — the same fleet with one injected mid-solve
+  ``WorkerCrash``: the crashed job is requeued from its latest shipped
+  heartbeat checkpoint, so the faulted drain must stay within **6x** of
+  the clean drain (the redone work is one checkpoint interval, not a
+  whole solve) and the rescued result must be bit-identical.
+
+Results are printed as a table and emitted machine-readably to
+``BENCH_executor.json`` at the repository root (override with
+``--output``).  Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_e19_executor.py [--quick]
+
+The non-quick run enforces the acceptance gates; the committed payload is
+re-checked by ``tools/check_bench_regression.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
+
+import numpy as np  # noqa: E402
+
+from common import (  # noqa: E402
+    emit_payload,
+    environment_info,
+    make_argparser,
+    report_failures,
+)
+from repro.core.decision import DecisionOptions  # noqa: E402
+from repro.operators import ConstraintCollection, FactorizedPSDOperator  # noqa: E402
+from repro.robustness import WorkerCrash, clear_faults, inject  # noqa: E402
+from repro.service import SolveService, VirtualClock  # noqa: E402
+
+DEFAULT_OUTPUT = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_executor.json"
+)
+
+#: The E17 batched-benchmark instance family.
+M, N_CONSTRAINTS, RANK = 24, 8, 2
+EPSILON = 0.25
+HEARTBEAT_EVERY = 3
+WORKER_GRID = [1, 2, 4, 8]
+QUICK_WORKER_GRID = [1, 2]
+FLEET = 12
+QUICK_FLEET = 3
+REPEATS = 3
+
+#: Multi-core gate: 8 workers must reach this speedup over 1 worker.
+SPEEDUP_FLOOR_MULTICORE = 2.0
+#: Single-core gate: the pool may not tax the GIL-serialized case below
+#: this fraction of 1-worker throughput.
+SPEEDUP_FLOOR_SINGLECORE = 0.55
+#: Cores needed before the multicore gate applies.
+MULTICORE_AT = 4
+#: One crash-and-requeue must keep the drain within this factor of clean.
+RECOVERY_CEILING = 6.0
+
+
+def fleet_collections(size: int, seed: int) -> list[ConstraintCollection]:
+    """``size`` fresh instances of the E17 family (one per request)."""
+    collections = []
+    for i in range(size):
+        rng = np.random.default_rng(seed + 101 * i)
+        collections.append(
+            ConstraintCollection(
+                [
+                    FactorizedPSDOperator(0.35 * rng.standard_normal((M, RANK)))
+                    for _ in range(N_CONSTRAINTS)
+                ],
+                validate=False,
+            )
+        )
+    return collections
+
+
+def make_service(workers: int, seed: int, **overrides) -> SolveService:
+    """A thread-mode service on a virtual clock with ``batch_size=1``."""
+    kwargs = dict(
+        options=DecisionOptions(epsilon=EPSILON, oracle="fast"),
+        seed=seed,
+        clock=VirtualClock(),
+        mode="thread",
+        workers=workers,
+        batch_size=1,
+        heartbeat_every=HEARTBEAT_EVERY,
+    )
+    kwargs.update(overrides)
+    return SolveService(**kwargs)
+
+
+def drain_fleet(service: SolveService, size: int, seed: int):
+    """Submit the fleet, drain it, and return (seconds, responses)."""
+    collections = fleet_collections(size, seed)
+    start = time.perf_counter()
+    rids = [service.submit(coll) for coll in collections]
+    responses = service.drain()
+    elapsed = time.perf_counter() - start
+    service.shutdown()
+    return elapsed, [responses[rid] for rid in rids]
+
+
+def bench_throughput(worker_grid, fleet: int, seed: int, repeats: int) -> list[dict]:
+    """One row per worker count: fleet drain latency and relative speedup."""
+    rows = []
+    reference = None
+    base_seconds = None
+    for workers in worker_grid:
+        best = float("inf")
+        responses = None
+        for _ in range(repeats):
+            service = make_service(workers, seed)
+            elapsed, responses = drain_fleet(service, fleet, seed)
+            best = min(best, elapsed)
+        identical = True
+        if reference is None:
+            reference = responses
+            base_seconds = best
+        else:
+            for ref, got in zip(reference, responses):
+                if (
+                    got.result.dual_value != ref.result.dual_value
+                    or not np.array_equal(got.result.dual_x, ref.result.dual_x)
+                ):
+                    identical = False
+        rows.append(
+            {
+                "workers": workers,
+                "fleet": fleet,
+                "seconds": best,
+                "throughput_per_s": fleet / max(best, 1e-12),
+                "speedup": base_seconds / max(best, 1e-12),
+                "identical": identical,
+            }
+        )
+    return rows
+
+
+def bench_recovery(fleet: int, seed: int, repeats: int) -> dict:
+    """Clean fleet drain vs the same drain with one injected worker crash."""
+    clean_best = faulted_best = float("inf")
+    clean_responses = faulted_responses = None
+    for _ in range(repeats):
+        service = make_service(2, seed)
+        elapsed, clean_responses = drain_fleet(service, fleet, seed)
+        clean_best = min(clean_best, elapsed)
+
+        service = make_service(2, seed, backoff_base=0.01)
+        with inject("worker.heartbeat", WorkerCrash, at_call=2, seed=seed):
+            elapsed, faulted_responses = drain_fleet(service, fleet, seed)
+        clear_faults()
+        faulted_best = min(faulted_best, elapsed)
+    identical = all(
+        got.result.dual_value == ref.result.dual_value
+        and np.array_equal(got.result.dual_x, ref.result.dual_x)
+        for ref, got in zip(clean_responses, faulted_responses)
+    )
+    recovered = sum(r.resumes > 0 or r.attempts > 0 for r in faulted_responses)
+    return {
+        "fleet": fleet,
+        "clean_seconds": clean_best,
+        "faulted_seconds": faulted_best,
+        "recovery_ratio": faulted_best / max(clean_best, 1e-12),
+        "recovered_requests": int(recovered),
+        "identical": identical,
+    }
+
+
+def main(argv=None) -> int:
+    """Run the E19 grid and return the process exit code."""
+    args = make_argparser(__doc__.splitlines()[0], DEFAULT_OUTPUT).parse_args(argv)
+
+    worker_grid = QUICK_WORKER_GRID if args.quick else WORKER_GRID
+    fleet = QUICK_FLEET if args.quick else FLEET
+    repeats = 1 if args.quick else REPEATS
+    cpu_count = os.cpu_count() or 1
+
+    throughput_rows = bench_throughput(worker_grid, fleet, args.seed, repeats)
+    for row in throughput_rows:
+        print(
+            f"[throughput] workers={row['workers']} fleet={row['fleet']} "
+            f"drain={row['seconds'] * 1e3:8.2f}ms "
+            f"rate={row['throughput_per_s']:6.1f}/s "
+            f"speedup={row['speedup']:5.2f}x identical={row['identical']}"
+        )
+
+    recovery = bench_recovery(fleet, args.seed, repeats)
+    print(
+        f"[recovery]   fleet={recovery['fleet']} "
+        f"clean={recovery['clean_seconds'] * 1e3:8.2f}ms "
+        f"faulted={recovery['faulted_seconds'] * 1e3:8.2f}ms "
+        f"ratio={recovery['recovery_ratio']:5.2f}x "
+        f"recovered={recovery['recovered_requests']} "
+        f"identical={recovery['identical']}"
+    )
+
+    payload = {
+        "experiment": "E19-executor",
+        "description": (
+            "worker-pool throughput scaling and crash-recovery latency "
+            "of the concurrent solve service"
+        ),
+        "quick": args.quick,
+        "config": {
+            "m": M,
+            "n": N_CONSTRAINTS,
+            "rank": RANK,
+            "epsilon": EPSILON,
+            "heartbeat_every": HEARTBEAT_EVERY,
+            "fleet": fleet,
+            "repeats": repeats,
+            "seed": args.seed,
+            "cpu_count": cpu_count,
+        },
+        "environment": environment_info(),
+        "throughput": throughput_rows,
+        "recovery": recovery,
+    }
+    emit_payload(payload, args.output)
+
+    failures: list[str] = []
+    if not args.quick:
+        top = throughput_rows[-1]
+        floor = (
+            SPEEDUP_FLOOR_MULTICORE
+            if cpu_count >= MULTICORE_AT
+            else SPEEDUP_FLOOR_SINGLECORE
+        )
+        if top["speedup"] < floor:
+            failures.append(
+                f"{top['workers']}-worker speedup {top['speedup']:.2f}x below the "
+                f"{floor}x floor (cpu_count={cpu_count})"
+            )
+        for row in throughput_rows:
+            if not row["identical"]:
+                failures.append(
+                    f"{row['workers']}-worker results differ from 1-worker bits"
+                )
+        if recovery["recovery_ratio"] > RECOVERY_CEILING:
+            failures.append(
+                f"crash recovery ratio {recovery['recovery_ratio']:.2f}x above the "
+                f"{RECOVERY_CEILING}x ceiling"
+            )
+        if not recovery["identical"]:
+            failures.append("crash-recovered results differ from clean bits")
+        if recovery["recovered_requests"] < 1:
+            failures.append("the injected crash never fired — recovery unmeasured")
+    return report_failures(failures)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -64,7 +64,14 @@ from repro.exceptions import (
     SolverError,
 )
 from repro.operators import ConstraintCollection, as_operator
-from repro.service import RequestOutcome, ServiceResponse, SolveService, VirtualClock
+from repro.service import (
+    CircuitBreaker,
+    RequestOutcome,
+    ServiceResponse,
+    SolveService,
+    VirtualClock,
+    WorkerPool,
+)
 
 __all__ = [
     "ReproConfig",
@@ -102,10 +109,12 @@ __all__ = [
     "SolverError",
     "ConstraintCollection",
     "as_operator",
+    "CircuitBreaker",
     "RequestOutcome",
     "ServiceResponse",
     "SolveService",
     "VirtualClock",
+    "WorkerPool",
 ]
 
 __version__ = "1.0.0"

@@ -269,6 +269,15 @@ class _FusedInstance:
 
 def _sequential_result(problem: Any, opts: DecisionOptions, index: int) -> DecisionResult:
     """The contract's sequential solve for instance ``index``."""
+    heartbeat = opts.heartbeat
+    if heartbeat is not None:
+        # The solo solver reports ``instance=None``; re-tag its beats with
+        # this instance's rng index so executor watchdogs can attribute the
+        # shipped checkpoints to the right request.
+        def tagged(checkpoint, _instance, _cb=heartbeat, _idx=index):
+            _cb(checkpoint, _idx)
+
+        opts = dataclasses.replace(opts, heartbeat=tagged)
     return decision_psdp(
         problem, options=dataclasses.replace(opts, rng=instance_rng(opts.rng, index))
     )
@@ -420,9 +429,37 @@ def _solve_group(instances: list[_FusedInstance], opts: DecisionOptions) -> None
     params = inst0.params
     max_iterations = inst0.max_iterations
     check_every = inst0.check_every
+    checkpoint_every = opts.checkpoint_every or 0
     n, m = inst0.n, inst0.m
     offsets = inst0.packed.offsets
     ranks = np.asarray(inst0.packed.ranks, dtype=np.int64)
+
+    def capture_inst(inst: _FusedInstance, iteration: int):
+        # Mirrors the sequential solver's capture() closure on the fused
+        # (implicit, no-history, no-primal-tracking) path: dots_sum stays
+        # its all-zero initial value because primal tracking is off behind
+        # the fast oracle, so the capture is bit-identical to the one a
+        # sequential solve of this instance would take at the same t.
+        return capture_checkpoint(
+            solver="psdp",
+            iteration=iteration,
+            eps=inst.eps,
+            oracle_kind=inst.oracle_kind,
+            strict=inst.opts.strict,
+            n=inst.n,
+            m=inst.m,
+            oracle=inst.oracle,
+            state=inst.supervisor.state,
+            supervisor=inst.supervisor,
+            eig_rng=inst.eig_rng,
+            tracker=inst.tracker,
+            history=None,
+            primal_sum=None,
+            primal_rounds=0,
+            last_density=None,
+            dots_sum=np.zeros(inst.n, dtype=np.float64),
+            last_values=inst.last_values,
+        )
 
     active = list(instances)
     x_stack = np.stack([inst.x0 for inst in active])
@@ -465,26 +502,7 @@ def _solve_group(instances: list[_FusedInstance], opts: DecisionOptions) -> None
                 # lambda_max mutates the state and counters), and resuming
                 # it through decision_psdp continues the run bit-identically
                 # to the sequential solve on the instance's spawned stream.
-                checkpoint = capture_checkpoint(
-                    solver="psdp",
-                    iteration=t,
-                    eps=inst.eps,
-                    oracle_kind=inst.oracle_kind,
-                    strict=inst.opts.strict,
-                    n=inst.n,
-                    m=inst.m,
-                    oracle=inst.oracle,
-                    state=inst.supervisor.state,
-                    supervisor=inst.supervisor,
-                    eig_rng=inst.eig_rng,
-                    tracker=inst.tracker,
-                    history=None,
-                    primal_sum=None,
-                    primal_rounds=0,
-                    last_density=None,
-                    dots_sum=np.zeros(inst.n, dtype=np.float64),
-                    last_values=inst.last_values,
-                )
+                checkpoint = capture_inst(inst, t)
                 inst.result = _build(
                     inst, DecisionOutcome.DUAL, t, early=True,
                     dual_candidate=np.array(x_stack[b]),
@@ -673,6 +691,14 @@ def _solve_group(instances: list[_FusedInstance], opts: DecisionOptions) -> None
             active, (x_stack, q_stack, inner0_stack) = _compact(
                 active, x_stack, q_stack, inner0_stack
             )
+
+        # --- periodic captures / heartbeats (same cadence and loop point
+        # --- as the sequential solver's end-of-body capture).  Captures
+        # --- are side-effect-free, so skipping them when nobody listens
+        # --- keeps the lockstep loop lean without changing result bits.
+        if checkpoint_every and opts.heartbeat is not None and t % checkpoint_every == 0:
+            for inst in active:
+                opts.heartbeat(capture_inst(inst, t), inst.rng_index)
 
 
 def solve_many(

@@ -37,6 +37,7 @@ stream position equals the interrupted one.
 from __future__ import annotations
 
 import copy
+import time
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -129,6 +130,12 @@ class SolverCheckpoint:
     tracker: dict[str, Any]
     history: list[dict[str, Any]] | None
     version: int = CHECKPOINT_VERSION
+    #: ``time.monotonic()`` timestamp of the capture — the executor's worker
+    #: heartbeat: a worker that keeps capturing periodic checkpoints is alive,
+    #: one whose latest ``captured_at`` goes stale is stalled.  Wall-clock
+    #: only; excluded from equality (like the supervisor's ``elapsed``) so
+    #: bit-identity comparisons between runs are unaffected.
+    captured_at: float | None = None
 
     def _eq_payload(self) -> dict[str, Any]:
         supervisor = self.supervisor
@@ -189,6 +196,7 @@ class SolverCheckpoint:
             "eig_rng": self.eig_rng,
             "tracker": self.tracker,
             "history": self.history,
+            "captured_at": self.captured_at,
         }
 
     @staticmethod
@@ -224,6 +232,11 @@ class SolverCheckpoint:
                     else [dict(rec) for rec in payload["history"]]
                 ),
                 version=version,
+                captured_at=(
+                    None
+                    if payload.get("captured_at") is None
+                    else float(payload["captured_at"])
+                ),
             )
         except (KeyError, TypeError, ValueError) as exc:
             if isinstance(exc, CheckpointError):
@@ -252,13 +265,17 @@ def capture_checkpoint(
     dots_sum: np.ndarray | None = None,
     last_values: np.ndarray | None = None,
     phase: dict[str, Any] | None = None,
+    captured_at: float | None = None,
 ) -> SolverCheckpoint:
     """Snapshot a running decision solve at an iteration boundary.
 
     Called by the solvers with their live loop variables; every array is
     copied so the solve can continue mutating its state without disturbing
-    the captured checkpoint.
+    the captured checkpoint.  ``captured_at`` defaults to ``time.monotonic()``
+    at call time — periodic captures double as worker-liveness heartbeats.
     """
+    if captured_at is None:
+        captured_at = time.monotonic()
     return SolverCheckpoint(
         solver=solver,
         iteration=int(iteration),
@@ -294,6 +311,7 @@ def capture_checkpoint(
         ),
         tracker=tracker.export_state(),
         history=None if history is None else [rec.as_dict() for rec in history],
+        captured_at=captured_at,
     )
 
 

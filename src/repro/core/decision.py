@@ -64,7 +64,7 @@ from __future__ import annotations
 import dataclasses
 import math
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable
 
 import numpy as np
 
@@ -166,6 +166,17 @@ class DecisionOptions:
         ``metadata["checkpoint"]`` so even a crashed solve is resumable;
         budget exhaustion always attaches a fresh capture regardless of
         this setting.
+    heartbeat:
+        Optional callback ``heartbeat(checkpoint, instance)`` invoked on
+        every periodic capture (so it fires at the ``checkpoint_every``
+        cadence; never without one).  ``instance`` is the per-instance rng
+        index inside a fused :func:`~repro.core.batch.solve_many` group and
+        ``None`` for a solo solve.  The executor uses this as the worker
+        liveness/progress channel: each beat ships the freshest resumable
+        state and re-dates the watchdog.  Exceptions raised by the callback
+        propagate out of the solver — that is the cooperative-cancellation
+        mechanism.  Excluded from options-identity comparisons (like
+        ``rng``): it affects observability, never result bits.
 
     Budgets and the checkpoint cadence are validated at construction:
     negative ``wall_clock_budget``/``iteration_budget``/``max_recoveries``
@@ -190,6 +201,7 @@ class DecisionOptions:
     iteration_budget: int | None = None
     max_recoveries: int | None = None
     checkpoint_every: int | None = None
+    heartbeat: Callable[[Any, Any], None] | None = None
     metadata: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -732,6 +744,8 @@ def decision_psdp(
 
         if checkpoint_every and t % checkpoint_every == 0:
             latest_checkpoint = capture(t)
+            if opts.heartbeat is not None:
+                opts.heartbeat(latest_checkpoint, None)
 
     if float(x.sum()) > params.K:
         # Lines 7-8: return a dual solution.  The paper rescales by

@@ -460,6 +460,8 @@ def decision_psdp_phased(
                         "values": values,
                     },
                 )
+                if opts.heartbeat is not None:
+                    opts.heartbeat(latest_checkpoint, None)
 
         if budget_hit:
             # Mid-phase continuation point: the fresh capture carries the

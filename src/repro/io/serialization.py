@@ -21,6 +21,10 @@ SHA-256 checksum over the canonical skeleton bytes and every array's
 dtype/shape/contents.  A failed checksum, unknown version, or unreadable
 archive raises :class:`~repro.exceptions.CheckpointError` — resume never
 starts from silently-corrupted state.
+
+All writers are atomic (temp file in the destination directory, fsync,
+``os.replace``): a process killed mid-save leaves either the previous file
+or the complete new one on disk, never a truncated archive.
 """
 
 from __future__ import annotations
@@ -28,6 +32,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import tempfile
 import zipfile
 import zlib
 from typing import Any
@@ -48,6 +53,38 @@ _ARRAY_MARKER = "__ndarray__"
 
 def _stack_constraints(constraints: ConstraintCollection) -> np.ndarray:
     return np.stack([op.to_dense() for op in constraints], axis=0)
+
+
+def _atomic_savez(path: str, **entries: np.ndarray) -> str:
+    """``np.savez_compressed`` with write-then-rename atomicity.
+
+    The archive is assembled in a temporary file in the destination
+    directory, fsynced, and moved into place with :func:`os.replace` — so a
+    writer killed at *any* point (the executor's crash-injection does
+    exactly this to checkpointing workers) leaves either the complete new
+    archive or the previous file, never a truncated ``.npz`` that would
+    fail its SHA-256 check on requeue.  Returns the final path written
+    (with the ``.npz`` suffix ``np.savez`` appends when absent).
+    """
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    directory = os.path.dirname(path) or "."
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.savez_compressed(handle, **entries)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    return path
 
 
 # --------------------------------------------------------------------------
@@ -126,12 +163,11 @@ def save_normalized_sdp(path: str | os.PathLike[str], problem: NormalizedPacking
     """Write a normalized packing SDP to ``path`` (``.npz``); returns the path."""
     path = os.fspath(path)
     meta = json.dumps({"version": _FORMAT_VERSION, "kind": "normalized", "name": problem.name})
-    np.savez_compressed(
+    return _atomic_savez(
         path,
         constraints=_stack_constraints(problem.constraints),
         metadata=np.array(meta),
     )
-    return path if path.endswith(".npz") else path + ".npz"
 
 
 def load_normalized_sdp(path: str | os.PathLike[str]) -> NormalizedPackingSDP:
@@ -157,14 +193,13 @@ def save_positive_sdp(path: str | os.PathLike[str], problem: PositiveSDP) -> str
     """Write a general positive SDP (objective, constraints, rhs) to ``path``."""
     path = os.fspath(path)
     meta = json.dumps({"version": _FORMAT_VERSION, "kind": "positive", "name": problem.name})
-    np.savez_compressed(
+    return _atomic_savez(
         path,
         constraints=_stack_constraints(problem.constraints),
         objective=problem.objective.to_dense(),
         rhs=problem.rhs,
         metadata=np.array(meta),
     )
-    return path if path.endswith(".npz") else path + ".npz"
 
 
 def load_positive_sdp(path: str | os.PathLike[str]) -> PositiveSDP:
@@ -284,13 +319,12 @@ def save_checkpoint(path: str | os.PathLike[str], checkpoint) -> str:
     except TypeError as exc:
         raise CheckpointError(str(exc)) from exc
     checksum = _checkpoint_digest(header_bytes, arrays)
-    np.savez_compressed(
+    return _atomic_savez(
         path,
         header=np.frombuffer(header_bytes, dtype=np.uint8),
         checksum=np.array(checksum),
         **arrays,
     )
-    return path if path.endswith(".npz") else path + ".npz"
 
 
 def load_checkpoint(path: str | os.PathLike[str]):

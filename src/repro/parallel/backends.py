@@ -19,8 +19,8 @@ this library on a single-core container.
 from __future__ import annotations
 
 import abc
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Callable, Iterable, Sequence, TypeVar
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable, Iterable, Sequence, TypeVar
 
 from repro.exceptions import BackendError
 from repro.parallel.workdepth import WorkDepthTracker
@@ -116,6 +116,25 @@ class ExecutionBackend(abc.ABC):
         """
         self._charge_map(count, work_per_item, label)
 
+    def submit(self, func: Callable[..., R], *args: Any) -> "Future[R]":
+        """Schedule one call and return its :class:`~concurrent.futures.Future`.
+
+        The asynchronous sibling of :meth:`map`, used by the service
+        executor to run whole solve jobs concurrently.  The serial backend
+        executes the call *immediately* in the calling thread and returns
+        an already-resolved future, so callers can treat all backends
+        uniformly.  No model cost is charged here — jobs charge their own
+        trackers internally (a solve carries its
+        :class:`~repro.parallel.workdepth.WorkDepthTracker` with it).
+        """
+        future: Future[R] = Future()
+        future.set_running_or_notify_cancel()
+        try:
+            future.set_result(func(*args))
+        except BaseException as exc:
+            future.set_exception(exc)
+        return future
+
     def close(self) -> None:
         """Release any pooled resources (no-op for stateless backends)."""
 
@@ -156,6 +175,9 @@ class ThreadBackend(ExecutionBackend):
         pool = self._ensure_pool()
         return list(pool.map(func, items))
 
+    def submit(self, func: Callable[..., R], *args: Any) -> "Future[R]":
+        return self._ensure_pool().submit(func, *args)
+
     def close(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
@@ -188,6 +210,21 @@ class ProcessBackend(ExecutionBackend):
             return list(pool.map(func, items))
         except Exception as exc:  # pragma: no cover - depends on pickling environment
             raise BackendError(f"process pool execution failed: {exc}") from exc
+
+    def submit(self, func: Callable[..., R], *args: Any) -> "Future[R]":
+        return self._ensure_pool().submit(func, *args)
+
+    def reset_pool(self) -> None:
+        """Tear down a (possibly broken) pool; the next use builds a fresh one.
+
+        A worker that hard-exits marks the whole :class:`ProcessPoolExecutor`
+        broken; every queued and future submission then fails.  The executor
+        calls this after absorbing a :class:`BrokenProcessPool` so surviving
+        jobs can be requeued onto a healthy pool.
+        """
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
 
     def close(self) -> None:
         if self._pool is not None:

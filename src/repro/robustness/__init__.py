@@ -27,10 +27,14 @@ from repro.robustness.faultinject import (
     NaN,
     NonConvergent,
     Overflow,
+    Stall,
+    WorkerCrash,
     clear_faults,
+    export_plan,
     fault_hook,
     fault_hook_array,
     inject,
+    install_plan,
 )
 from repro.robustness.supervisor import FastPathSupervisor, RecoveryEvent
 
@@ -44,8 +48,12 @@ __all__ = [
     "NonConvergent",
     "Overflow",
     "RecoveryEvent",
+    "Stall",
+    "WorkerCrash",
     "clear_faults",
+    "export_plan",
     "fault_hook",
     "fault_hook_array",
     "inject",
+    "install_plan",
 ]

@@ -102,6 +102,38 @@ class Crash(FaultKind):
     fatal = True
 
 
+class Stall(FaultKind):
+    """The worker stops making progress but never dies (hang-style fault).
+
+    Fired at the executor's ``worker.heartbeat`` site: the worker parks
+    without emitting further heartbeats, so the pool's watchdog is the
+    *only* thing that can recover the job — it detects the stale
+    heartbeat, kills the worker, and requeues the request from its latest
+    shipped :class:`~repro.core.checkpoint.SolverCheckpoint`.
+    """
+
+    name = "stall"
+    corrupts = False
+    fatal = True
+
+
+class WorkerCrash(FaultKind):
+    """The whole pool worker dies mid-job (process-death fault).
+
+    Unlike :class:`Crash` (which the supervised solve converts into a
+    ``FAILED`` *result*), a worker crash returns no result at all: the
+    executor observes a dead worker and requeues every request the job
+    carried from its latest shipped checkpoint.  In process pools with
+    hard-crash mode the worker genuinely ``os._exit``\\ s; in thread pools
+    the death is simulated (the job unwinds and reports itself crashed,
+    dropping all in-worker state the heartbeats had not shipped).
+    """
+
+    name = "worker-crash"
+    corrupts = False
+    fatal = True
+
+
 @dataclass
 class FaultSpec:
     """One armed fault: fire ``times`` times starting at call ``at_call``.
@@ -184,6 +216,93 @@ def clear_faults() -> None:
     _PLAN.clear()
 
 
+#: Registry used by :func:`install_plan` to rebuild kinds from their names.
+_KINDS_BY_NAME: dict[str, type[FaultKind]] = {
+    cls.name: cls
+    for cls in (NaN, Overflow, NonConvergent, BoundViolation, Crash, Stall, WorkerCrash)
+}
+
+
+def export_plan() -> list[dict]:
+    """Serialize the armed plan into a list of plain-dict specs.
+
+    The executor ships this snapshot inside every job payload so faults
+    armed in the *parent* fire inside *pool worker processes* too — module
+    globals (the live ``_PLAN`` list) do not cross a process boundary, and
+    a pool forked before :func:`inject` ran would otherwise silently solve
+    fault-free.  Custom ``clock`` callables are not exported (a parent's
+    virtual clock is meaningless in a child); clock-armed specs fall back
+    to ``time.monotonic`` on install, which on Linux is comparable across
+    processes.
+    """
+    return [
+        {
+            "site": spec.site,
+            "kind": spec.kind.name,
+            "at_call": spec.at_call,
+            "times": spec.times,
+            "seed": spec.seed,
+            "at_time": spec.at_time,
+            "calls_seen": spec.calls_seen,
+            "fires": spec.fires,
+        }
+        for spec in _PLAN
+    ]
+
+
+def install_plan(plan: list[dict], *, replace: bool = True) -> list[FaultSpec]:
+    """Arm an :func:`export_plan` snapshot in this process; returns the specs.
+
+    ``replace=True`` (the default) clears whatever is currently armed
+    first: a forked pool worker may have *inherited* the parent's plan at
+    fork time, and re-arming the payload copy on top would double-fire
+    every spec.  Counters (``calls_seen``/``fires``) carry over from the
+    snapshot so a fault consumed by an earlier job does not re-fire when a
+    later job installs the refreshed plan.
+    """
+    if replace:
+        _PLAN.clear()
+    installed = []
+    for entry in plan:
+        kind = _KINDS_BY_NAME.get(entry["kind"])
+        if kind is None:
+            raise ValueError(f"unknown fault kind {entry['kind']!r} in plan")
+        spec = FaultSpec(
+            site=entry["site"],
+            kind=kind,
+            at_call=int(entry["at_call"]),
+            times=int(entry["times"]),
+            seed=int(entry["seed"]),
+            at_time=entry.get("at_time"),
+            calls_seen=int(entry.get("calls_seen", 0)),
+            fires=int(entry.get("fires", 0)),
+        )
+        _PLAN.append(spec)
+        installed.append(spec)
+    return installed
+
+
+def plan_usage(specs: list[FaultSpec]) -> list[dict]:
+    """Counter snapshot (``calls_seen``/``fires``) for installed specs."""
+    return [
+        {"calls_seen": spec.calls_seen, "fires": spec.fires} for spec in specs
+    ]
+
+
+def consume_plan_usage(usage: list[dict]) -> None:
+    """Fold a worker's :func:`plan_usage` back into the armed parent plan.
+
+    Matches by position (the payload plan was exported in ``_PLAN`` order)
+    and only ever advances counters, so a one-shot fault consumed inside a
+    pool worker stays consumed when the next job exports the plan again.
+    A length mismatch (specs disarmed while the job ran) is ignored for
+    the tail — the surviving prefix still syncs.
+    """
+    for spec, used in zip(_PLAN, usage):
+        spec.calls_seen = max(spec.calls_seen, int(used.get("calls_seen", 0)))
+        spec.fires = max(spec.fires, int(used.get("fires", 0)))
+
+
 #: Instrumented production sites and the failure classes they accept.
 SITES = {
     "taylor_gram.apply": "Gram-space fused Taylor kernel output (NaN / Overflow)",
@@ -192,6 +311,7 @@ SITES = {
     "lanczos": "ARPACK top-eigenvalue call (NonConvergent)",
     "hutchinson": "Hutchinson trace estimator (BoundViolation / NonConvergent)",
     "psi_state.matvec": "implicit PsiState packed matvec output (NaN / Overflow)",
+    "worker.heartbeat": "executor worker heartbeat (Stall / WorkerCrash)",
 }
 
 

@@ -7,8 +7,22 @@ checkpoint/resume of budget-exhausted work, retry with capped exponential
 backoff for failed solves, an instance-fingerprint result cache, and
 graceful load shedding — every terminal condition is a typed
 :class:`RequestOutcome`, never an exception and never a silent drop.
+
+:mod:`repro.service.executor` adds the concurrent execution layer: a
+:class:`WorkerPool` over the :mod:`repro.parallel` backends (inline /
+thread / process), heartbeat watchdogs with checkpointed kill-and-requeue,
+straggler hedging, per-instance-family :class:`CircuitBreaker` isolation,
+and graceful drain-to-:attr:`RequestOutcome.SUSPENDED` shutdown — all
+without perturbing a single result bit.
 """
 
+from repro.service.executor import (
+    CircuitBreaker,
+    JobSpec,
+    WorkerPool,
+    WorkerReport,
+    instance_family,
+)
 from repro.service.solve_service import (
     RequestOutcome,
     ServiceResponse,
@@ -17,8 +31,13 @@ from repro.service.solve_service import (
 )
 
 __all__ = [
+    "CircuitBreaker",
+    "JobSpec",
     "RequestOutcome",
     "ServiceResponse",
     "SolveService",
     "VirtualClock",
+    "WorkerPool",
+    "WorkerReport",
+    "instance_family",
 ]

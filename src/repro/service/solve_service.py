@@ -1,4 +1,4 @@
-"""Deterministic solve service: queue, deadlines, retries, shedding.
+"""Deterministic solve service: queue, deadlines, retries, shedding, pool.
 
 The service wraps the decision solvers in the serving discipline a
 long-running deployment needs, without giving up the repository's
@@ -9,7 +9,7 @@ bit-reproducibility contract:
   :func:`~repro.core.batch.solve_many` would give it as instance
   ``request_id`` of one big batch — pinned through the ``rng_indices``
   parameter, so results do not depend on how requests happen to be
-  batched, retried, or resumed.
+  batched, retried, hedged, or resumed.
 * **Deadline-aware queue.**  Requests carry an absolute ``deadline`` on
   the service clock plus a ``priority``; expired work is finalized as
   :attr:`RequestOutcome.DEADLINE_EXCEEDED` (with the last verified
@@ -28,15 +28,37 @@ bit-reproducibility contract:
   re-verified on the new instance — mathematically sound, merely
   sub-optimal), or a typed :attr:`RequestOutcome.SHED` rejection.  It
   never raises and never drops.
+* **Concurrent execution** (:mod:`repro.service.executor`).  In
+  ``mode="thread"``/``"process"`` the service dispatches jobs to a
+  :class:`~repro.service.executor.WorkerPool` instead of solving inline:
+  heartbeat-watchdogged workers are killed and their requests requeued
+  from the latest shipped checkpoint, stragglers are hedged with a
+  speculative duplicate (first finisher wins; replicas share rng
+  streams, so the race can never change bits), repeatedly-failing
+  ``(m, n, ranks)`` instance families are isolated behind a per-family
+  :class:`~repro.service.executor.CircuitBreaker` with half-open
+  probing (:attr:`RequestOutcome.CIRCUIT_OPEN`), in-flight work is
+  bounded, and :meth:`SolveService.shutdown` drains gracefully —
+  in-flight and queued requests come back as
+  :attr:`RequestOutcome.SUSPENDED` with resumable checkpoints, never
+  dropped.  The default ``mode="inline"`` routes through the same job
+  path on a serial backend, preserving the exact pre-executor
+  semantics.
 
 All time flows through an injectable clock; :class:`VirtualClock` makes
-the chaos tests fully deterministic.
+the chaos tests fully deterministic.  The invariant the chaos suite
+proves: on a fixed seed, every terminal result's bits are independent of
+worker count, hedging, and injected crashes/stalls — scheduling only
+moves *when* work happens, checkpointed resume makes *what* it computes
+exact.
 """
 
 from __future__ import annotations
 
+import copy
 import dataclasses
 import hashlib
+import os
 import time
 from dataclasses import dataclass, field
 from enum import Enum
@@ -49,6 +71,15 @@ from repro.core.decision import DecisionOptions, decision_psdp, _resolve_constra
 from repro.core.result import DecisionOutcome, DecisionResult, SolveStatus
 from repro.exceptions import InvalidProblemError
 from repro.operators.collection import ConstraintCollection
+from repro.robustness import faultinject
+from repro.service.executor import (
+    CircuitBreaker,
+    JobSpec,
+    WorkerPool,
+    WorkerReport,
+    _ActiveJob,
+    instance_family,
+)
 
 __all__ = ["RequestOutcome", "ServiceResponse", "SolveService", "VirtualClock"]
 
@@ -92,6 +123,14 @@ class RequestOutcome(Enum):
     #: Every attempt failed and the retry budget is spent.  ``result``
     #: carries the last failed attempt's result.
     RETRY_EXHAUSTED = "retry-exhausted"
+    #: The instance family's circuit breaker is open: recent requests of
+    #: the same ``(m, n, ranks)`` shape kept exhausting recovery ladders
+    #: or crashing workers, so this one was shed without burning the pool.
+    CIRCUIT_OPEN = "circuit-open"
+    #: The service shut down while the request was queued or in flight.
+    #: ``checkpoint`` (when present) resumes the solve bit-identically via
+    #: ``submit(..., resume_from=response.checkpoint)``.
+    SUSPENDED = "suspended"
 
 
 @dataclass
@@ -107,6 +146,10 @@ class ServiceResponse:
     warm_started: bool = False
     #: Number of checkpoint-resume continuations the solve went through.
     resumes: int = 0
+    #: Resumable :class:`~repro.core.checkpoint.SolverCheckpoint` for
+    #: :attr:`RequestOutcome.SUSPENDED` (and, best-effort, for
+    #: ``RETRY_EXHAUSTED``) outcomes; ``None`` otherwise.
+    checkpoint: Any = None
 
 
 @dataclass(eq=False)
@@ -118,27 +161,41 @@ class _Request:
     options: DecisionOptions
     options_key: str
     fingerprint: str
+    family: tuple
     deadline: float | None
     priority: int
     max_attempts: int
     attempts: int = 0
     resumes: int = 0
+    #: Watchdog/stall kills absorbed so far (requeues do not consume
+    #: attempts — resume is free — but are capped by ``max_requeues``).
+    requeues: int = 0
     next_ready: float = 0.0
     checkpoint: Any = None
     last_result: DecisionResult | None = field(default=None, repr=False)
+    #: Deep copy of the constraints taken at admission, before any solve
+    #: touched them.  Solving builds lazy caches on the collection (the
+    #: packed Gram view), which perturbs ``traces()`` rounding for a later
+    #: from-scratch solve of the same object — so hedge replicas and
+    #: scratch requeues solve a fresh copy of this snapshot and replay the
+    #: first attempt's state evolution bit-exactly.
+    pristine: ConstraintCollection | None = field(default=None, repr=False)
+    #: True once the first attempt was dispatched on the caller's object.
+    launched: bool = False
 
 
 def _options_key(opts: DecisionOptions) -> str:
     """Batching/cache key over every option field that shapes the solve.
 
-    ``rng`` is excluded (the service owns the streams) and ``backend`` is
-    keyed by identity — requests only batch when they share the exact
-    same backend object (or both leave it ``None``).
+    ``rng`` and ``heartbeat`` are excluded (the service owns the streams,
+    and the heartbeat is observability plumbing that never changes result
+    bits); ``backend`` is keyed by identity — requests only batch when
+    they share the exact same backend object (or both leave it ``None``).
     """
     parts = []
     for f in dataclasses.fields(opts):
         value = getattr(opts, f.name)
-        if f.name == "rng":
+        if f.name in ("rng", "heartbeat"):
             continue
         if f.name == "backend":
             parts.append(f"backend=id{id(value)}" if value is not None else "backend=None")
@@ -197,6 +254,45 @@ class SolveService:
         :func:`~repro.core.batch.solve_many` call.
     cache_size:
         Entries kept in the instance-fingerprint result cache (LRU).
+    mode / workers:
+        Execution strategy — ``"inline"`` (default; solve synchronously
+        inside :meth:`step`, the pre-executor semantics), ``"thread"``
+        (jobs on a thread pool; NumPy's GEMMs release the GIL), or
+        ``"process"`` (crash isolation; needs ``control_dir``).
+    heartbeat_every:
+        Periodic-checkpoint cadence (iterations) applied to attempts
+        whose options do not set ``checkpoint_every`` themselves.  This
+        is the worker heartbeat: the watchdog and crash-requeue can only
+        be as fresh as the latest shipped capture, so set it whenever
+        ``watchdog_timeout`` is on.
+    watchdog_timeout:
+        Seconds (service clock) a job may go without a heartbeat before
+        the supervisor kills it and requeues its requests from their
+        latest shipped checkpoints.  ``None`` disables the watchdog.
+    hedge_after:
+        Seconds in flight after which a straggler job is hedged with a
+        speculative duplicate (same rng streams, so replicas are
+        bit-identical; first finisher wins, the loser is cancelled).
+        ``None`` disables hedging.
+    max_requeues:
+        Cap on watchdog/stall requeues per request (they never consume
+        retry attempts; this cap is the escape valve for a request that
+        stalls every single time).
+    breaker_threshold / breaker_cooldown:
+        Per-instance-family circuit breaker: ``threshold`` consecutive
+        failures (ladder exhaustion, worker crashes) open it; after
+        ``cooldown`` seconds one probe is admitted (half-open) and its
+        verdict closes or re-opens the breaker.
+    max_in_flight:
+        Bound on concurrently-dispatched jobs (backpressure; defaults to
+        ``2 * workers``).  Queued work past the bound simply waits.
+    control_dir:
+        Directory for process-mode heartbeat/cancel files (required for
+        ``mode="process"``).
+    hard_crash:
+        Process mode only: injected ``WorkerCrash`` faults call
+        ``os._exit`` (a genuine worker death breaking the pool) instead
+        of unwinding with a simulated crash report.
     """
 
     def __init__(
@@ -212,6 +308,17 @@ class SolveService:
         backoff_jitter: float = 0.25,
         batch_size: int = 8,
         cache_size: int = 128,
+        mode: str = "inline",
+        workers: int = 1,
+        heartbeat_every: int | None = None,
+        watchdog_timeout: float | None = None,
+        hedge_after: float | None = None,
+        max_requeues: int = 3,
+        breaker_threshold: int = 3,
+        breaker_cooldown: float = 60.0,
+        max_in_flight: int | None = None,
+        control_dir: str | None = None,
+        hard_crash: bool = False,
     ) -> None:
         if max_queue_depth <= 0:
             raise InvalidProblemError(
@@ -221,6 +328,20 @@ class SolveService:
             raise InvalidProblemError(
                 f"attempt_iteration_budget must be positive, got {attempt_iteration_budget}"
             )
+        if heartbeat_every is not None and heartbeat_every <= 0:
+            raise InvalidProblemError(
+                f"heartbeat_every must be a positive iteration count, got {heartbeat_every}"
+            )
+        if watchdog_timeout is not None and watchdog_timeout <= 0:
+            raise InvalidProblemError(
+                f"watchdog_timeout must be positive seconds, got {watchdog_timeout}"
+            )
+        if hedge_after is not None and hedge_after < 0:
+            raise InvalidProblemError(
+                f"hedge_after must be >= 0 seconds (0 hedges immediately), got {hedge_after}"
+            )
+        if max_requeues < 0:
+            raise InvalidProblemError(f"max_requeues must be >= 0, got {max_requeues}")
         self.options = options or DecisionOptions()
         self.seed = int(seed)
         self._clock = clock if clock is not None else time.monotonic
@@ -231,12 +352,34 @@ class SolveService:
         self.backoff_jitter = float(backoff_jitter)
         self.batch_size = int(batch_size)
         self.cache_size = int(cache_size)
+        self.mode = mode
+        self.heartbeat_every = heartbeat_every
+        self.watchdog_timeout = watchdog_timeout
+        self.hedge_after = hedge_after
+        self.max_requeues = int(max_requeues)
+        self.breaker_threshold = int(breaker_threshold)
+        self.breaker_cooldown = float(breaker_cooldown)
+        self.max_in_flight = int(max_in_flight) if max_in_flight is not None else 2 * workers
 
+        self._pool = WorkerPool(
+            mode=mode,
+            workers=workers,
+            clock=self._clock,
+            control_dir=control_dir,
+            hard_crash=hard_crash,
+        )
         self._queue: list[_Request] = []
         self._responses: dict[int, ServiceResponse] = {}
         self._cache: dict[str, DecisionResult] = {}
         self._cache_order: list[str] = []
         self._next_id = 0
+        self._accepting = True
+        #: job id -> the requests it carries (primary jobs only; hedge
+        #: twins resolve through ``_hedges``).
+        self._dispatched: dict[int, list[_Request]] = {}
+        #: primary job id -> its hedge twin's job id (and back via spec).
+        self._hedges: dict[int, int] = {}
+        self._breakers: dict[tuple, CircuitBreaker] = {}
 
     # ------------------------------------------------------------------ admission
     def submit(
@@ -247,25 +390,43 @@ class SolveService:
         deadline: float | None = None,
         priority: int = 0,
         max_attempts: int = 3,
+        resume_from: Any = None,
     ) -> int:
         """Admit one solve request; returns its request id.
 
-        Never raises for load reasons: a full queue or an already-expired
-        deadline produces an immediately-available typed response
-        (:attr:`RequestOutcome.SHED` / ``DEADLINE_EXCEEDED``) instead.
-        Invalid *problems* (not a constraint collection the solvers
-        accept, ``max_attempts < 1``) still raise — those are caller
-        bugs, not load conditions.
+        Never raises for load reasons: a full queue, a shutting-down
+        service, or an already-expired deadline produces an
+        immediately-available typed response (:attr:`RequestOutcome.SHED`
+        / ``DEADLINE_EXCEEDED``) instead.  Invalid *problems* (not a
+        constraint collection the solvers accept, ``max_attempts < 1``)
+        still raise — those are caller bugs, not load conditions.
+
+        ``resume_from`` re-admits suspended work: pass the ``checkpoint``
+        of a :attr:`RequestOutcome.SUSPENDED` response and the solve
+        continues from it bit-identically (the first attempt runs as a
+        solo resume instead of a fresh batch).
         """
         if max_attempts < 1:
             raise InvalidProblemError(f"max_attempts must be >= 1, got {max_attempts}")
         opts = options or self.options
         constraints = _resolve_constraints(problem)
+        pristine = copy.deepcopy(constraints)
         request_id = self._next_id
         self._next_id += 1
         now = self._clock()
         key = _options_key(opts)
         fingerprint = _fingerprint(constraints, key)
+
+        if not self._accepting:
+            self._responses[request_id] = ServiceResponse(
+                request_id=request_id,
+                outcome=RequestOutcome.SHED,
+                result=None,
+                attempts=0,
+                detail="service is shutting down",
+                checkpoint=resume_from,
+            )
+            return request_id
 
         cached = self._cache.get(fingerprint)
         if cached is not None:
@@ -306,10 +467,13 @@ class SolveService:
                 options=opts,
                 options_key=key,
                 fingerprint=fingerprint,
+                family=instance_family(constraints),
                 deadline=deadline,
                 priority=int(priority),
                 max_attempts=int(max_attempts),
                 next_ready=now,
+                checkpoint=resume_from,
+                pristine=pristine,
             )
         )
         return request_id
@@ -389,8 +553,8 @@ class SolveService:
         return self._responses.get(request_id)
 
     def pending(self) -> int:
-        """Number of requests still in the queue."""
-        return len(self._queue)
+        """Number of requests not yet finalized (queued plus in flight)."""
+        return len(self._queue) + sum(len(reqs) for reqs in self._dispatched.values())
 
     def next_ready_time(self) -> float | None:
         """Earliest ``next_ready`` among queued requests (``None`` if idle)."""
@@ -398,14 +562,25 @@ class SolveService:
             return None
         return min(r.next_ready for r in self._queue)
 
+    def _breaker(self, family: tuple) -> CircuitBreaker:
+        breaker = self._breakers.get(family)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                threshold=self.breaker_threshold, cooldown=self.breaker_cooldown
+            )
+            self._breakers[family] = breaker
+        return breaker
+
     # ------------------------------------------------------------------ serving
     def step(self) -> int:
         """Serve one scheduling round; returns the number of requests finalized.
 
-        Expires overdue deadlines, picks the highest-priority ready
-        request, batches every compatible ready request with it through
-        ``solve_many`` (checkpointed requests resume solo instead), and
-        folds each result back into the queue state.
+        Expires overdue deadlines, absorbs finished pool jobs, kills
+        watchdog-stale workers, hedges stragglers, and dispatches ready
+        requests (breaker-gated, backpressure-bounded) to the pool.  In
+        inline mode the dispatched job executes synchronously inside this
+        call, so the pre-executor one-batch-per-step cadence is
+        preserved exactly.
         """
         now = self._clock()
         finalized = 0
@@ -421,60 +596,428 @@ class SolveService:
                 )
                 finalized += 1
 
-        ready = [r for r in self._queue if r.next_ready <= now]
-        if not ready:
-            return finalized
-        ready.sort(key=lambda r: (-r.priority, r.request_id))
-        lead = ready[0]
-
-        if lead.checkpoint is not None:
-            results = [self._resume_attempt(lead)]
-            batch = [lead]
-        else:
-            batch = [
-                r
-                for r in ready
-                if r.options_key == lead.options_key and r.checkpoint is None
-            ][: self.batch_size]
-            results = solve_many(
-                [r.constraints for r in batch],
-                options=dataclasses.replace(
-                    self._attempt_options(batch[0]), rng=self.seed
-                ),
-                rng_indices=[r.request_id for r in batch],
-            )
-
-        for request, result in zip(batch, results):
-            finalized += self._absorb(request, result)
+        finalized += self._collect()
+        self._run_watchdog()
+        self._run_hedging()
+        finalized += self._dispatch()
+        finalized += self._collect()
         return finalized
 
-    def drain(self, max_steps: int = 100_000) -> dict[int, ServiceResponse]:
-        """Run :meth:`step` until the queue empties; returns all responses.
+    def _collect(self) -> int:
+        """Absorb every completed pool job; returns requests finalized."""
+        finalized = 0
+        for job, report in self._pool.poll():
+            finalized += self._absorb_report(job, report)
+        return finalized
 
-        Between rounds, idle time (backoff waits) is skipped by advancing
-        a :class:`VirtualClock` or sleeping a real one.
+    def _run_watchdog(self) -> None:
+        """Kill jobs whose heartbeat has gone stale; requeue happens on report."""
+        if self.watchdog_timeout is None:
+            return
+        now = self._clock()
+        for job in self._pool.in_flight():
+            if job.killed is None and not job.superseded:
+                # Inclusive: drain advances a VirtualClock exactly onto
+                # the deadline, and landing on it must trigger the kill.
+                if now - job.last_progress >= self.watchdog_timeout:
+                    self._pool.kill(job.spec.job_id, "watchdog")
+
+    def _run_hedging(self) -> None:
+        """Launch speculative duplicates of straggler jobs."""
+        if self.hedge_after is None:
+            return
+        now = self._clock()
+        for job in list(self._pool.in_flight()):
+            if (
+                job.killed is None
+                and not job.superseded
+                and not job.hedged
+                and job.spec.hedge_of is None
+                and now - job.submitted_at >= self.hedge_after
+            ):
+                twin_id = self._pool.next_job_id()
+                twin_spec = dataclasses.replace(
+                    job.spec,
+                    job_id=twin_id,
+                    hedge_of=job.spec.job_id,
+                    constraints=self._hedge_constraints(job),
+                )
+                job.hedged = True
+                self._hedges[job.spec.job_id] = twin_id
+                self._pool.submit(twin_spec)
+
+    def _hedge_constraints(self, job: _ActiveJob) -> list[ConstraintCollection]:
+        """Fresh constraint copies for a hedge twin.
+
+        Replicas must never share a mutable collection with a concurrently
+        running primary.  Scratch twins copy the pristine admission
+        snapshots (same starting state as the primary ⇒ same bits);
+        resume twins copy the used object whose cache state the resumed
+        iterations already saw.
+        """
+        requests = {r.request_id: r for r in self._dispatched.get(job.spec.job_id, [])}
+        copies = []
+        for rid, constraints in zip(job.spec.request_ids, job.spec.constraints):
+            request = requests.get(rid)
+            if job.spec.checkpoint is None and request is not None:
+                copies.append(copy.deepcopy(request.pristine))
+            else:
+                copies.append(copy.deepcopy(constraints))
+        return copies
+
+    def _dispatch(self) -> int:
+        """Form jobs from the ready queue and launch them; returns finalized.
+
+        Jobs are formed exactly as the pre-executor service batched:
+        highest-priority ready request leads; checkpointed requests (and
+        circuit-breaker probes) run solo; everything else ready with the
+        same options key joins the lead's ``solve_many`` batch up to
+        ``batch_size``.  Open-breaker families are shed with
+        :attr:`RequestOutcome.CIRCUIT_OPEN` before job formation.
+        """
+        finalized = 0
+        while len(self._pool.in_flight()) < self.max_in_flight:
+            now = self._clock()
+            ready = [r for r in self._queue if r.next_ready <= now]
+            if not ready:
+                break
+            ready.sort(key=lambda r: (-r.priority, r.request_id))
+
+            for request in list(ready):
+                if self._breaker(request.family).peek(now) == "shed":
+                    ready.remove(request)
+                    self._queue.remove(request)
+                    self._finalize(
+                        request,
+                        RequestOutcome.CIRCUIT_OPEN,
+                        request.last_result,
+                        detail=(
+                            f"circuit breaker open for instance family "
+                            f"(m={request.family[0]}, n={request.family[1]})"
+                        ),
+                        checkpoint=request.checkpoint,
+                    )
+                    finalized += 1
+            if not ready:
+                continue
+
+            lead = None
+            verdict = None
+            for request in ready:
+                v = self._breaker(request.family).peek(now)
+                if v == "wait":  # a probe for this family is already out
+                    continue
+                lead, verdict = request, v
+                break
+            if lead is None:
+                break
+
+            if verdict == "probe":
+                self._breaker(lead.family).begin_probe()
+                batch = [lead]
+            elif lead.checkpoint is not None:
+                batch = [lead]
+            else:
+                batch = [
+                    r
+                    for r in ready
+                    if r.options_key == lead.options_key
+                    and r.checkpoint is None
+                    and self._breaker(r.family).peek(now) == "run"
+                ][: self.batch_size]
+            self._launch(batch)
+            if self.mode == "inline":
+                break
+        return finalized
+
+    def _job_constraints(self, request: _Request) -> ConstraintCollection:
+        """The collection this dispatch should solve.
+
+        First attempts and checkpoint resumes use the live object (resume
+        replays iterations from checkpoint state, which the chaos suite
+        proves is insensitive to the collection's lazy caches).  Scratch
+        re-dispatches solve a fresh copy of the admission-time snapshot —
+        a reused object would replay with its packed Gram view already
+        built and perturb ``traces()`` rounding by ulps.
+        """
+        if request.checkpoint is not None or not request.launched:
+            request.launched = True
+            return request.constraints
+        return copy.deepcopy(request.pristine)
+
+    def _launch(self, batch: list[_Request]) -> None:
+        """Move a formed batch out of the queue and submit it as one job."""
+        for request in batch:
+            self._queue.remove(request)
+        lead = batch[0]
+        job_id = self._pool.next_job_id()
+        plan = faultinject.export_plan() or None
+        spec = JobSpec(
+            job_id=job_id,
+            request_ids=[r.request_id for r in batch],
+            constraints=[self._job_constraints(r) for r in batch],
+            options=dataclasses.replace(
+                self._attempt_options(lead), rng=None, heartbeat=None
+            ),
+            seed=self.seed,
+            checkpoint=lead.checkpoint,
+            fault_plan=plan,
+            plan_pid=os.getpid(),
+        )
+        self._dispatched[job_id] = list(batch)
+        self._pool.submit(spec)
+
+    # ------------------------------------------------------------------ absorption
+    def _absorb_report(self, job: _ActiveJob, report: WorkerReport) -> int:
+        """Fold one finished job back into service state; returns finalized."""
+        job_id = job.spec.job_id
+        primary_id = job.spec.hedge_of if job.spec.hedge_of is not None else job_id
+        if report.usage:
+            faultinject.consume_plan_usage(report.usage)
+
+        requests = [
+            r
+            for r in self._dispatched.get(primary_id, [])
+            if r.request_id not in self._responses
+        ]
+        if not requests:
+            # Hedge twin of an already-delivered job (or a fully-expired
+            # batch): nothing left to absorb.
+            self._dispatched.pop(primary_id, None)
+            self._hedges.pop(primary_id, None)
+            return 0
+
+        twin_id = self._hedges.get(primary_id)
+        sibling_id = None
+        if twin_id is not None:
+            sibling_id = twin_id if job_id == primary_id else primary_id
+        sibling = next(
+            (j for j in self._pool.in_flight() if j.spec.job_id == sibling_id), None
+        )
+
+        if report.status != "done" and sibling is not None and job.killed != "shutdown":
+            # This replica died but its hedge twin is still computing the
+            # same requests on the same streams — let the survivor deliver.
+            if report.status in ("crashed", "error"):
+                now = self._clock()
+                for request in requests:
+                    self._breaker(request.family).record_failure(now)
+            return 0
+
+        # This report delivers: claim the requests and retire the sibling.
+        self._dispatched.pop(primary_id, None)
+        self._hedges.pop(primary_id, None)
+        if sibling is not None:
+            sibling.superseded = True
+            self._pool.kill(sibling.spec.job_id, "hedge-loser")
+
+        if report.status == "done":
+            finalized = 0
+            for request, result in zip(requests, report.results or []):
+                finalized += self._absorb_solved(request, result)
+            return finalized
+
+        if report.status == "cancelled":
+            if job.killed == "hedge-loser":  # pragma: no cover - claimed above
+                return 0
+            if job.killed == "shutdown":
+                return sum(self._suspend(request, job) for request in requests)
+            # Watchdog kill, or an injected stall that self-cancelled
+            # (inline mode): requeue from the latest shipped checkpoint.
+            reason = job.killed or "stall"
+            return sum(
+                self._requeue_killed(request, job, reason) for request in requests
+            )
+
+        # crashed / error: the attempt is gone; breaker notices, retry pays.
+        now = self._clock()
+        finalized = 0
+        for request in requests:
+            self._breaker(request.family).record_failure(now)
+            finalized += self._requeue_crashed(request, job, report.detail)
+        return finalized
+
+    def _absorb_solved(self, request: _Request, result: DecisionResult | None) -> int:
+        """Absorb one solved result (breaker bookkeeping + queue re-entry)."""
+        status = result.status if result is not None else SolveStatus.FAILED
+        if status is SolveStatus.FAILED:
+            self._breaker(request.family).record_failure(self._clock())
+        elif status in (SolveStatus.CERTIFIED, SolveStatus.DEGRADED):
+            self._breaker(request.family).record_success()
+        done = self._absorb(request, result)
+        if not done and request not in self._queue:
+            self._queue.append(request)
+        return done
+
+    def _adopt_shipped(self, request: _Request, job: _ActiveJob) -> None:
+        """Adopt the freshest checkpoint the dead job shipped for ``request``."""
+        shipped = job.shipped.get(request.request_id)
+        if shipped is not None and shipped is not request.checkpoint:
+            request.checkpoint = shipped
+            request.resumes += 1
+
+    def _requeue_killed(self, request: _Request, job: _ActiveJob, reason: str) -> int:
+        """Watchdog/stall kill: requeue from checkpoint without consuming an attempt."""
+        # If this was a circuit-breaker probe, free the probe slot so the
+        # requeued request (or a sibling) can probe again.
+        self._breaker(request.family).abort_probe()
+        self._adopt_shipped(request, job)
+        request.requeues += 1
+        if request.requeues > self.max_requeues:
+            self._finalize(
+                request,
+                RequestOutcome.RETRY_EXHAUSTED,
+                request.last_result,
+                detail=f"requeue limit reached after repeated {reason} kills",
+                checkpoint=request.checkpoint,
+            )
+            return 1
+        request.next_ready = self._clock()
+        self._queue.append(request)
+        return 0
+
+    def _requeue_crashed(self, request: _Request, job: _ActiveJob, detail: str) -> int:
+        """Worker crash: requeue from checkpoint; the crash consumes an attempt."""
+        self._adopt_shipped(request, job)
+        request.attempts += 1
+        if request.attempts >= request.max_attempts:
+            self._finalize(
+                request,
+                RequestOutcome.RETRY_EXHAUSTED,
+                request.last_result,
+                detail=f"worker crashed on final attempt: {detail}",
+                checkpoint=request.checkpoint,
+            )
+            return 1
+        request.next_ready = self._clock() + self._backoff(request)
+        self._queue.append(request)
+        return 0
+
+    def _suspend(self, request: _Request, job: _ActiveJob | None) -> int:
+        """Shutdown path: finalize as SUSPENDED with the freshest checkpoint."""
+        if job is not None:
+            self._adopt_shipped(request, job)
+        self._finalize(
+            request,
+            RequestOutcome.SUSPENDED,
+            request.last_result,
+            detail=(
+                "service shut down; resumable checkpoint attached"
+                if request.checkpoint is not None
+                else "service shut down before the solve made checkpointed progress"
+            ),
+            checkpoint=request.checkpoint,
+        )
+        return 1
+
+    # ------------------------------------------------------------------ lifecycle
+    def drain(self, max_steps: int = 100_000) -> dict[int, ServiceResponse]:
+        """Run :meth:`step` until queue and pool empty; returns all responses.
+
+        Between rounds the loop waits (real time) for in-flight futures
+        and heartbeats; only when nothing is genuinely progressing does it
+        advance a :class:`VirtualClock` to the next timer — a backoff
+        ``next_ready``, a watchdog or hedge deadline, or a breaker
+        cooldown expiry.  A stalled worker therefore *cannot* freeze the
+        drain: its missing heartbeats are exactly what lets the clock
+        jump to the watchdog deadline that kills it.
         """
         for _ in range(max_steps):
-            if not self._queue:
+            if not self._queue and not self._pool.in_flight():
                 break
+            before = len(self._responses)
             self.step()
-            if not self._queue:
+            if not self._queue and not self._pool.in_flight():
                 break
-            next_ready = self.next_ready_time()
+            if len(self._responses) != before:
+                continue
+            if self._pool.in_flight():
+                self._pool.wait(timeout=0.05)
+                if self._pool.observe() or any(
+                    job.future.done() for job in self._pool.in_flight()
+                ):
+                    continue
+            if any(r.next_ready <= self._clock() for r in self._queue):
+                continue  # ready work exists (e.g. a fresh resume): keep stepping
+            target = self._next_event_time()
             now = self._clock()
-            if next_ready is not None and next_ready > now:
-                wait = next_ready - now
+            if target is not None and target > now:
                 if hasattr(self._clock, "advance"):
-                    self._clock.advance(wait)
+                    self._clock.advance(target - now)
                 else:  # pragma: no cover - real-clock deployments only
-                    time.sleep(min(wait, 0.05))
+                    time.sleep(min(target - now, 0.05))
+            elif not self._pool.in_flight():
+                break  # nothing queued can ever become ready
+        return dict(self._responses)
+
+    def _next_event_time(self) -> float | None:
+        """The earliest future timer that can unblock progress."""
+        times: list[float] = []
+        now = self._clock()
+        for request in self._queue:
+            times.append(request.next_ready)
+            if request.deadline is not None:
+                times.append(request.deadline)
+        for job in self._pool.in_flight():
+            if job.killed is not None or job.superseded:
+                continue
+            if self.watchdog_timeout is not None:
+                times.append(job.last_progress + self.watchdog_timeout)
+            if self.hedge_after is not None and not job.hedged and job.spec.hedge_of is None:
+                times.append(job.submitted_at + self.hedge_after)
+        for breaker in self._breakers.values():
+            transition = breaker.next_transition()
+            if transition is not None:
+                times.append(transition)
+        future = [t for t in times if t > now]
+        return min(future) if future else None
+
+    def shutdown(self, wait_timeout: float = 5.0) -> dict[int, ServiceResponse]:
+        """Graceful drain-to-suspend: stop admission, checkpoint, never drop.
+
+        Cancels every in-flight job (cooperative, at the next heartbeat),
+        waits up to ``wait_timeout`` *real* seconds for the workers to
+        unwind, and finalizes everything still unfinished — in flight or
+        queued — as :attr:`RequestOutcome.SUSPENDED` with the freshest
+        resumable checkpoint attached.  Returns all responses; a later
+        service resumes any suspended request via
+        ``submit(..., resume_from=response.checkpoint)``.
+        """
+        self._accepting = False
+        for job in self._pool.in_flight():
+            if not job.superseded:
+                self._pool.kill(job.spec.job_id, "shutdown")
+        deadline = time.monotonic() + wait_timeout
+        while self._pool.in_flight() and time.monotonic() < deadline:
+            self._pool.wait(timeout=0.05)
+            self._collect()
+        # Workers that never unwound (hard stalls): suspend from the
+        # parent-side shipped state; their threads die with the pool.
+        self._pool.observe()
+        for job in self._pool.in_flight():
+            primary_id = (
+                job.spec.hedge_of if job.spec.hedge_of is not None else job.spec.job_id
+            )
+            requests = [
+                r
+                for r in self._dispatched.pop(primary_id, [])
+                if r.request_id not in self._responses
+            ]
+            for request in requests:
+                self._suspend(request, job)
+        for request in list(self._queue):
+            self._suspend(request, None)
+        self._queue.clear()
+        self._pool.shutdown()
         return dict(self._responses)
 
     # ------------------------------------------------------------------ internals
     def _attempt_options(self, request: _Request) -> DecisionOptions:
-        """The request's options with the per-attempt budgets applied."""
+        """The request's options with per-attempt budgets and heartbeat cadence."""
         opts = request.options
         updates: dict[str, Any] = {}
+        if self.heartbeat_every is not None and opts.checkpoint_every is None:
+            updates["checkpoint_every"] = self.heartbeat_every
         if self.attempt_iteration_budget is not None:
             budget = self.attempt_iteration_budget * (request.resumes + 1)
             if opts.iteration_budget is None or budget < opts.iteration_budget:
@@ -489,18 +1032,7 @@ class SolveService:
                 updates["wall_clock_budget"] = remaining
         return dataclasses.replace(opts, **updates) if updates else opts
 
-    def _resume_attempt(self, request: _Request) -> DecisionResult:
-        """Continue a checkpointed solve on the request's pinned stream."""
-        return decision_psdp(
-            request.constraints,
-            options=dataclasses.replace(
-                self._attempt_options(request),
-                rng=instance_rng(self.seed, request.request_id),
-            ),
-            resume_from=request.checkpoint,
-        )
-
-    def _absorb(self, request: _Request, result: DecisionResult | None, ) -> int:
+    def _absorb(self, request: _Request, result: DecisionResult | None) -> int:
         """Fold one attempt's result back into the queue; returns 1 if finalized."""
         now = self._clock()
         if result is None:  # pragma: no cover - solve_many never returns None
@@ -578,6 +1110,7 @@ class SolveService:
         outcome: RequestOutcome,
         result: DecisionResult | None,
         detail: str,
+        checkpoint: Any = None,
     ) -> None:
         self._responses[request.request_id] = ServiceResponse(
             request_id=request.request_id,
@@ -586,6 +1119,7 @@ class SolveService:
             attempts=request.attempts,
             detail=detail,
             resumes=request.resumes,
+            checkpoint=checkpoint,
         )
 
     def _store_cache(self, fingerprint: str, result: DecisionResult) -> None:

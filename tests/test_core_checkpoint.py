@@ -357,3 +357,118 @@ class TestHardenedProblemLoaders:
         np.savez_compressed(path, **payload)
         with pytest.raises(SerializationError, match="non-finite"):
             load_normalized_sdp(path)
+
+
+class TestAtomicSaves:
+    """Write-then-rename persistence: a killed save never corrupts state.
+
+    The executor's process-mode heartbeat writes checkpoints while the
+    watchdog may kill the worker at any instant, so every saver in
+    ``repro.io.serialization`` goes through ``_atomic_savez``: the archive
+    is written to a same-directory temp file, fsynced, and ``os.replace``d
+    onto the destination — readers see the previous complete file or the
+    new complete file, never a truncated archive.
+    """
+
+    def _checkpoint(self):
+        return decision_psdp(
+            small_collection(), **solve_opts(iteration_budget=3)
+        ).metadata["checkpoint"]
+
+    def test_successful_save_leaves_no_temp_files(self, tmp_path):
+        save_checkpoint(tmp_path / "state.npz", self._checkpoint())
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["state.npz"]
+
+    def test_interrupted_save_preserves_previous_file(self, tmp_path, monkeypatch):
+        path = tmp_path / "state.npz"
+        first = self._checkpoint()
+        save_checkpoint(path, first)
+        blob = path.read_bytes()
+
+        import numpy as _np
+
+        from repro.io import serialization as ser
+
+        def die_mid_write(fileobj, **entries):
+            fileobj.write(b"partial garbage")
+            raise KeyboardInterrupt("worker killed mid-save")
+
+        monkeypatch.setattr(ser.np, "savez_compressed", die_mid_write)
+        second = decision_psdp(
+            small_collection(), **solve_opts(iteration_budget=5)
+        ).metadata["checkpoint"]
+        with pytest.raises(KeyboardInterrupt):
+            save_checkpoint(path, second)
+        monkeypatch.setattr(ser.np, "savez_compressed", _np.savez_compressed)
+
+        # The destination still holds the first checkpoint, bit for bit,
+        # and the aborted temp file was cleaned up.
+        assert path.read_bytes() == blob
+        assert load_checkpoint(path) == first
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["state.npz"]
+
+
+class TestHeartbeatOption:
+    """``DecisionOptions.heartbeat`` fires at the periodic-capture cadence."""
+
+    def test_heartbeat_receives_periodic_checkpoints(self):
+        beats = []
+        result = decision_psdp(
+            small_collection(),
+            **solve_opts(
+                checkpoint_every=3,
+                heartbeat=lambda ckpt, instance: beats.append((ckpt, instance)),
+            ),
+        )
+        assert beats, "no heartbeat fired"
+        iterations = [ckpt.iteration for ckpt, _ in beats]
+        assert iterations == sorted(set(iterations))
+        assert all(it % 3 == 0 for it in iterations)
+        # Solo solves tag the beat with instance=None; the final beat's
+        # checkpoint resumes to the identical converged result.
+        assert all(instance is None for _, instance in beats)
+        resumed = decision_psdp(
+            small_collection(), **solve_opts(), resume_from=beats[-1][0]
+        )
+        assert_results_identical(resumed, result, label="heartbeat-resume")
+
+    def test_batched_heartbeat_tags_instance_indices(self):
+        beats = []
+        collections = [small_collection(seed=7 + 11 * i) for i in range(3)]
+        solve_many(
+            collections,
+            epsilon=0.25,
+            oracle="fast",
+            rng=3,
+            checkpoint_every=3,
+            heartbeat=lambda ckpt, instance: beats.append((ckpt, instance)),
+            rng_indices=[5, 6, 7],
+        )
+        tagged = {instance for _, instance in beats}
+        assert tagged <= {5, 6, 7} and tagged, f"unexpected instance tags: {tagged}"
+
+    def test_heartbeat_exception_propagates(self):
+        # Cooperative cancellation: the executor's kill lands by raising
+        # out of the heartbeat, which must abort the solve.
+        class Abort(RuntimeError):
+            pass
+
+        def bomb(ckpt, instance):
+            raise Abort("cancelled")
+
+        with pytest.raises(Abort):
+            decision_psdp(
+                small_collection(), **solve_opts(checkpoint_every=3, heartbeat=bomb)
+            )
+
+    def test_captured_at_stamp_excluded_from_equality(self):
+        a = self._capture()
+        b = self._capture()
+        assert a.captured_at is not None and b.captured_at is not None
+        object.__setattr__(b, "captured_at", a.captured_at + 123.0)
+        assert a == b, "captured_at must not participate in checkpoint equality"
+
+    def _capture(self):
+        return decision_psdp(
+            small_collection(), **solve_opts(iteration_budget=3)
+        ).metadata["checkpoint"]

@@ -137,6 +137,53 @@ def check_ceiling(path: str, section: str, row_filter, metric: str, ceiling: flo
     return []
 
 
+def check_executor_payload(path: str) -> list[str]:
+    """PR 9's core-aware gates on the committed E19 executor payload.
+
+    The throughput floor depends on the machine that *produced* the
+    evidence (recorded as ``config.cpu_count``), not the machine running
+    this check: with >= 4 cores the 8-worker drain must reach a 2x
+    speedup; on fewer cores the gate degrades to a bounded-overhead check
+    (>= 0.55x — the pool must not tax the GIL-serialized case).  The
+    crash-recovery drain must stay within 6x of the clean drain, and
+    every row must report bit-identical results.
+    """
+    name = os.path.basename(path)
+    if not os.path.exists(path):
+        return [f"{name}: committed payload is missing"]
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("quick"):
+        return [f"{name}: committed payload is a --quick smoke run, not a full grid"]
+    problems = []
+    rows = payload.get("throughput") or []
+    top = max(rows, key=lambda row: row["workers"], default=None)
+    if top is None:
+        problems.append(f"{name}: throughput section is missing or empty")
+    else:
+        cpu_count = int(payload.get("config", {}).get("cpu_count", 1))
+        floor = 2.0 if cpu_count >= 4 else 0.55
+        if float(top["speedup"]) < floor:
+            problems.append(
+                f"{name}: {top['workers']}-worker speedup {top['speedup']:.2f}x "
+                f"below the {floor}x floor (payload cpu_count={cpu_count})"
+            )
+        if not all(row.get("identical") for row in rows):
+            problems.append(f"{name}: results differ across worker counts")
+    recovery = payload.get("recovery")
+    if not recovery:
+        problems.append(f"{name}: recovery section is missing")
+    else:
+        if float(recovery["recovery_ratio"]) > 6.0:
+            problems.append(
+                f"{name}: crash recovery ratio {recovery['recovery_ratio']:.2f}x "
+                f"exceeded the 6.0x ceiling"
+            )
+        if not recovery.get("identical"):
+            problems.append(f"{name}: crash-recovered results differ from clean bits")
+    return problems
+
+
 def main() -> int:
     """Run every floor and ceiling check; print results and return the exit code."""
     failures: list[str] = []
@@ -154,6 +201,13 @@ def main() -> int:
             failures.extend(problems)
         else:
             print(f"[ok] {filename}:{section} (max {metric} <= {ceiling:.2f}x)")
+    executor_problems = check_executor_payload(
+        os.path.join(REPO_ROOT, "BENCH_executor.json")
+    )
+    if executor_problems:
+        failures.extend(executor_problems)
+    else:
+        print("[ok] BENCH_executor.json (core-aware throughput + recovery gates)")
     for line in failures:
         print(f"[FAIL] {line}")
     return 1 if failures else 0
