@@ -1,0 +1,125 @@
+"""CuPy array backend (optional — auto-skipped when CuPy/CUDA is absent).
+
+CuPy mirrors the NumPy API closely, so most primitives are direct
+delegations; the segment reductions reuse the cumulative-sum-difference
+form (CuPy has no ``add.reduceat``), which matches the NumPy reference in
+exact arithmetic and is the reference's own fallback path for empty
+segments.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.backend.base import ArrayBackend
+
+__all__ = ["CupyBackend"]
+
+
+class CupyBackend(ArrayBackend):  # pragma: no cover - requires cupy + CUDA
+    """CuPy execution on the current CUDA device."""
+
+    name = "cupy"
+
+    def __init__(self) -> None:
+        import cupy  # deferred so the registry can probe availability
+
+        self._cp = cupy
+
+    # ------------------------------------------------------------ transfer
+    def asarray(self, x: Any, dtype: Any = None) -> Any:
+        return self._cp.asarray(x) if dtype is None else self._cp.asarray(x, dtype=dtype)
+
+    def to_numpy(self, x: Any) -> np.ndarray:
+        if isinstance(x, self._cp.ndarray):
+            return self._cp.asnumpy(x)
+        return np.asarray(x)
+
+    def copy(self, x: Any) -> Any:
+        return self._cp.array(x, copy=True)
+
+    # ------------------------------------------------------ construction
+    def empty(self, shape: Sequence[int] | int, dtype: Any = np.float64) -> Any:
+        return self._cp.empty(shape, dtype=dtype)
+
+    def empty_like(self, x: Any) -> Any:
+        return self._cp.empty_like(x)
+
+    def zeros(self, shape: Sequence[int] | int, dtype: Any = np.float64) -> Any:
+        return self._cp.zeros(shape, dtype=dtype)
+
+    def eye(self, n: int, dtype: Any = np.float64) -> Any:
+        return self._cp.eye(n, dtype=dtype)
+
+    # -------------------------------------------------------- introspection
+    def dtype_of(self, x: Any) -> np.dtype:
+        return np.dtype(x.dtype) if hasattr(x, "dtype") else np.asarray(x).dtype
+
+    def device_of(self, x: Any) -> str:
+        if isinstance(x, self._cp.ndarray):
+            return f"cuda:{x.device.id}"
+        return "cpu"
+
+    # ------------------------------------------------------------- kernels
+    def matmul(self, a: Any, b: Any, out: Any = None) -> Any:
+        if out is None:
+            return self._cp.matmul(a, b)
+        return self._cp.matmul(a, b, out=out)
+
+    def einsum(self, subscripts: str, *operands: Any) -> Any:
+        return self._cp.einsum(subscripts, *operands)
+
+    def norm(self, x: Any) -> float:
+        return float(self._cp.linalg.norm(self.asarray(x)))
+
+    def eigvalsh(self, a: Any) -> Any:
+        return self._cp.linalg.eigvalsh(a)
+
+    def eigh(self, a: Any) -> tuple[Any, Any]:
+        w, v = self._cp.linalg.eigh(a)
+        return w, v
+
+    # ---------------------------------------------------- segment reductions
+    def segment_sums(self, values: Any, offsets: np.ndarray) -> Any:
+        cp = self._cp
+        offsets = np.asarray(offsets, dtype=np.int64)
+        nseg = max(offsets.shape[0] - 1, 0)
+        values = self.asarray(values, dtype=np.float64)
+        if nseg == 0 or values.shape[0] == 0:
+            return cp.zeros(nseg, dtype=cp.float64)
+        csum = cp.concatenate([cp.zeros(1, dtype=cp.float64), cp.cumsum(values)])
+        lo = cp.asarray(offsets[:-1])
+        hi = cp.asarray(offsets[1:])
+        return csum[hi] - csum[lo]
+
+    def batched_segment_sums(self, values: Any, offsets: np.ndarray) -> Any:
+        cp = self._cp
+        offsets = np.asarray(offsets, dtype=np.int64)
+        nseg = max(offsets.shape[0] - 1, 0)
+        values = self.asarray(values, dtype=np.float64)
+        batch = values.shape[0]
+        if nseg == 0 or values.shape[1] == 0:
+            return cp.zeros((batch, nseg), dtype=cp.float64)
+        csum = cp.concatenate(
+            [cp.zeros((batch, 1), dtype=cp.float64), cp.cumsum(values, axis=1)], axis=1
+        )
+        lo = cp.asarray(offsets[:-1])
+        hi = cp.asarray(offsets[1:])
+        return csum[:, hi] - csum[:, lo]
+
+    # ------------------------------------------------------------- indexing
+    def repeat(self, values: Any, repeats: np.ndarray) -> Any:
+        return self._cp.repeat(self.asarray(values), self._cp.asarray(repeats))
+
+    def take_columns(self, x: Any, indices: np.ndarray) -> Any:
+        return x[:, self._cp.asarray(np.asarray(indices, dtype=np.int64))]
+
+    def put_columns(self, x: Any, indices: np.ndarray, values: Any) -> None:
+        x[:, self._cp.asarray(np.asarray(indices, dtype=np.int64))] = self.asarray(
+            values
+        )
+
+    def isfinite_all(self, x: Any) -> bool:
+        return bool(self._cp.isfinite(x).all())

@@ -1,0 +1,175 @@
+"""Torch array backend (optional — auto-skipped when torch is absent).
+
+Float64 torch-CPU must match NumPy to ~1e-12 on every primitive; the
+conformance suite additionally asserts that certified decisions, iteration
+counts, and work–depth charges are *identical* (charges are shape-derived,
+so only the kernel arithmetic differs, at rounding level).
+
+The segment reductions use ``index_add_`` over ``repeat_interleave``'d
+segment ids — deterministic, and numerically closer to the reference
+``np.add.reduceat`` than a cumulative-sum difference would be (no
+catastrophic cancellation across segment boundaries).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.backend.base import ArrayBackend
+
+__all__ = ["TorchBackend"]
+
+
+class TorchBackend(ArrayBackend):  # pragma: no cover - requires torch
+    """Torch execution on a fixed device (default CPU)."""
+
+    name = "torch"
+
+    def __init__(self, device: str = "cpu") -> None:
+        import torch  # deferred so the registry can probe availability
+
+        self._torch = torch
+        self._device = torch.device(device)
+
+    # ------------------------------------------------------------ transfer
+    def asarray(self, x: Any, dtype: Any = None) -> Any:
+        torch = self._torch
+        if torch.is_tensor(x):
+            tensor = x.to(self._device)
+        else:
+            tensor = torch.as_tensor(np.asarray(x), device=self._device)
+        if dtype is not None:
+            tensor = tensor.to(self._torch_dtype(dtype))
+        return tensor
+
+    def to_numpy(self, x: Any) -> np.ndarray:
+        if self._torch.is_tensor(x):
+            return x.detach().cpu().numpy()
+        return np.asarray(x)
+
+    def copy(self, x: Any) -> Any:
+        return self.asarray(x).clone()
+
+    def _torch_dtype(self, dtype: Any):
+        torch = self._torch
+        if isinstance(dtype, torch.dtype):
+            return dtype
+        return {
+            np.dtype(np.float32): torch.float32,
+            np.dtype(np.float64): torch.float64,
+            np.dtype(np.int64): torch.int64,
+            np.dtype(bool): torch.bool,
+        }[np.dtype(dtype)]
+
+    # ------------------------------------------------------ construction
+    def empty(self, shape: Sequence[int] | int, dtype: Any = np.float64) -> Any:
+        if isinstance(shape, int):
+            shape = (shape,)
+        return self._torch.empty(
+            tuple(shape), dtype=self._torch_dtype(dtype), device=self._device
+        )
+
+    def empty_like(self, x: Any) -> Any:
+        return self._torch.empty_like(x)
+
+    def zeros(self, shape: Sequence[int] | int, dtype: Any = np.float64) -> Any:
+        if isinstance(shape, int):
+            shape = (shape,)
+        return self._torch.zeros(
+            tuple(shape), dtype=self._torch_dtype(dtype), device=self._device
+        )
+
+    def eye(self, n: int, dtype: Any = np.float64) -> Any:
+        return self._torch.eye(n, dtype=self._torch_dtype(dtype), device=self._device)
+
+    # -------------------------------------------------------- introspection
+    def dtype_of(self, x: Any) -> np.dtype:
+        torch = self._torch
+        if torch.is_tensor(x):
+            return {
+                torch.float32: np.dtype(np.float32),
+                torch.float64: np.dtype(np.float64),
+                torch.int64: np.dtype(np.int64),
+                torch.bool: np.dtype(bool),
+            }[x.dtype]
+        return np.asarray(x).dtype
+
+    def device_of(self, x: Any) -> str:
+        if self._torch.is_tensor(x):
+            return str(x.device)
+        return "cpu"
+
+    # ------------------------------------------------------------- kernels
+    def matmul(self, a: Any, b: Any, out: Any = None) -> Any:
+        if out is None:
+            return self._torch.matmul(a, b)
+        return self._torch.matmul(a, b, out=out)
+
+    def einsum(self, subscripts: str, *operands: Any) -> Any:
+        return self._torch.einsum(subscripts, *operands)
+
+    def norm(self, x: Any) -> float:
+        return float(self._torch.linalg.norm(self.asarray(x)))
+
+    def eigvalsh(self, a: Any) -> Any:
+        return self._torch.linalg.eigvalsh(a)
+
+    def eigh(self, a: Any) -> tuple[Any, Any]:
+        result = self._torch.linalg.eigh(a)
+        return result.eigenvalues, result.eigenvectors
+
+    # ---------------------------------------------------- segment reductions
+    def _segment_ids(self, offsets: np.ndarray) -> Any:
+        torch = self._torch
+        offsets = np.asarray(offsets, dtype=np.int64)
+        widths = np.diff(offsets)
+        ids = torch.arange(widths.shape[0], device=self._device)
+        return torch.repeat_interleave(
+            ids, torch.as_tensor(widths, device=self._device)
+        )
+
+    def segment_sums(self, values: Any, offsets: np.ndarray) -> Any:
+        offsets = np.asarray(offsets, dtype=np.int64)
+        nseg = max(offsets.shape[0] - 1, 0)
+        values = self.asarray(values, dtype=np.float64)
+        out = self.zeros(nseg, dtype=np.float64)
+        if nseg == 0 or values.shape[0] == 0:
+            return out
+        out.index_add_(0, self._segment_ids(offsets), values)
+        return out
+
+    def batched_segment_sums(self, values: Any, offsets: np.ndarray) -> Any:
+        offsets = np.asarray(offsets, dtype=np.int64)
+        nseg = max(offsets.shape[0] - 1, 0)
+        values = self.asarray(values, dtype=np.float64)
+        batch = values.shape[0]
+        out = self.zeros((batch, nseg), dtype=np.float64)
+        if nseg == 0 or values.shape[1] == 0:
+            return out
+        out.index_add_(1, self._segment_ids(offsets), values)
+        return out
+
+    # ------------------------------------------------------------- indexing
+    def repeat(self, values: Any, repeats: np.ndarray) -> Any:
+        torch = self._torch
+        return torch.repeat_interleave(
+            self.asarray(values),
+            torch.as_tensor(np.asarray(repeats, dtype=np.int64), device=self._device),
+        )
+
+    def take_columns(self, x: Any, indices: np.ndarray) -> Any:
+        idx = self._torch.as_tensor(
+            np.asarray(indices, dtype=np.int64), device=self._device
+        )
+        return x[:, idx]
+
+    def put_columns(self, x: Any, indices: np.ndarray, values: Any) -> None:
+        idx = self._torch.as_tensor(
+            np.asarray(indices, dtype=np.int64), device=self._device
+        )
+        x[:, idx] = self.asarray(values, dtype=self.dtype_of(x))
+
+    def isfinite_all(self, x: Any) -> bool:
+        return bool(self._torch.isfinite(x).all().item())

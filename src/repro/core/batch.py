@@ -61,6 +61,7 @@ from typing import Any, Sequence
 
 import numpy as np
 
+from repro.backend import NUMPY, get_array_backend
 from repro.config import get_config
 from repro.exceptions import BudgetExhaustedError, InvalidProblemError
 from repro.linalg.expm import expm_normalized
@@ -143,6 +144,10 @@ def _fused_key(
     if not (isinstance(opts.oracle, str) and opts.oracle == "fast"):
         return None
     if opts.backend is not None:
+        return None
+    if not get_array_backend(opts.array_backend).is_numpy:
+        # The fused lockstep kernels are NumPy-resident; non-NumPy array
+        # backends take the sequential per-instance path.
         return None
     if not opts.supervise:
         return None
@@ -560,9 +565,11 @@ def _solve_group(instances: list[_FusedInstance], opts: DecisionOptions) -> None
                 else:
                     sub_cache["qt"], sub_cache["q"] = qt_stack[rows], q_stack[rows]
                     sub_cache["cw"] = colw_stack[rows]
-            inner = np.matmul(sub_cache["qt"], vecs[:, :, None])
+            # NumPy-resident by the _fused_key contract; the stacked GEMMs
+            # route through the shared NumPy backend object.
+            inner = NUMPY.matmul(sub_cache["qt"], vecs[:, :, None])
             inner *= sub_cache["cw"][:, :, None]
-            return np.matmul(sub_cache["q"], inner)[:, :, 0]
+            return NUMPY.matmul(sub_cache["q"], inner)[:, :, 0]
 
         estimates, vectors = batched_spectral_norm_power(
             apply_stack, v0_stack,
@@ -596,7 +603,7 @@ def _solve_group(instances: list[_FusedInstance], opts: DecisionOptions) -> None
                 break
             batch = len(active)
 
-        col_vals = np.einsum("bij,bij->bj", out_stack, out_stack)
+        col_vals = NUMPY.einsum("bij,bij->bj", out_stack, out_stack)
         results_stack = batched_segment_sums(col_vals, offsets)
 
         # Batched Gram-spectrum traces: one stacked eigendecomposition for

@@ -125,7 +125,18 @@ class DecisionOptions:
         ``track_primal_average=True`` may therefore stop at a primal
         check the implicit state deliberately skips.
     backend:
-        Execution backend for the batched per-constraint operations.
+        Execution backend for the batched per-constraint operations.  A
+        *string* here is interpreted as an array-backend name and moved to
+        ``array_backend`` (``DecisionOptions(backend="torch")`` reads
+        naturally and cannot collide: execution backends are objects).
+    array_backend:
+        Array backend for the fast oracle's packed kernels — ``"numpy"``
+        (default), ``"torch"``, ``"cupy"``, or an
+        :class:`~repro.backend.ArrayBackend` instance.  Work–depth charges
+        are shape-derived and identical across array backends; only the
+        kernel arithmetic (and its rounding) moves.  Ignored when
+        ``oracle`` is a pre-built oracle object (the object already fixed
+        its backend at construction).
     rng:
         Randomness source (used only by the fast oracle's sketches).
     psi_state:
@@ -194,6 +205,7 @@ class DecisionOptions:
     collect_history: bool = False
     track_primal_average: bool | None = None
     backend: ExecutionBackend | None = None
+    array_backend: Any = "numpy"
     rng: RandomState = None
     psi_state: str = "auto"
     supervise: bool = True
@@ -205,6 +217,12 @@ class DecisionOptions:
     metadata: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
+        if isinstance(self.backend, str):
+            # DecisionOptions(backend="torch") selects the array backend;
+            # execution backends are always objects, so a bare name cannot
+            # be one.
+            self.array_backend = self.backend
+            self.backend = None
         if self.wall_clock_budget is not None and self.wall_clock_budget < 0:
             raise InvalidProblemError(
                 f"wall_clock_budget must be >= 0 seconds, got {self.wall_clock_budget}"
@@ -370,6 +388,7 @@ def decision_psdp(
             kappa_bound=None,
             rng=opts.rng,
             backend=backend,
+            array_backend=opts.array_backend,
         )
         oracle_kind = opts.oracle
     else:

@@ -130,6 +130,7 @@ def decision_psdp_phased(
             kappa_bound=None,
             rng=opts.rng,
             backend=backend,
+            array_backend=opts.array_backend,
         )
     else:
         # An already-constructed oracle object (the phase-less solver has

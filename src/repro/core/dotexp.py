@@ -125,6 +125,7 @@ from repro.linalg.taylor_gram import GramTaylorKernel, TaylorEngine
 from repro.linalg.trace_estimation import TraceEstimator
 from repro.operators.collection import ConstraintCollection
 from repro.operators.packed import PackedGramFactors, segment_sums
+from repro.backend import get_array_backend
 from repro.parallel.backends import ExecutionBackend
 from repro.utils.random_utils import RandomState, as_generator
 
@@ -663,6 +664,7 @@ class FastDotExpOracle:
         taylor_chunk_columns: int | None = None,
         trace_mode: str = "auto",
         trace_seed: int | None = None,
+        array_backend=None,
     ) -> None:
         if eps <= 0 or eps >= 1:
             raise InvalidProblemError(f"eps must be in (0, 1), got {eps}")
@@ -683,10 +685,19 @@ class FastDotExpOracle:
         # to a handful.
         self._norm_vector: np.ndarray | None = None
         if packed:
-            self._packed: PackedGramFactors | None = constraints.packed()
+            # The packed view carries the array backend; the Taylor engine
+            # and trace estimator adopt it from there.
+            self._packed: PackedGramFactors | None = constraints.packed(
+                backend=array_backend
+            )
             self._factors: list | None = None
             self._identity: np.ndarray | None = None
         else:
+            if not get_array_backend(array_backend).is_numpy:
+                raise InvalidProblemError(
+                    "the per-factor reference path (packed=False) is "
+                    "NumPy-only; use packed=True with a non-NumPy backend"
+                )
             self._packed = None
             self._factors = constraints.gram_factors()
             self._identity = np.eye(constraints.dim)
@@ -1041,6 +1052,7 @@ def make_oracle(
     batched: bool = True,
     trace_mode: str = "auto",
     trace_seed: int | None = None,
+    array_backend=None,
 ) -> DotExpOracle:
     """Factory for the decision solver's oracle (``"exact"`` or ``"fast"``).
 
@@ -1051,10 +1063,18 @@ def make_oracle(
     ``batched`` configures the exact oracle's packed trace-product pass.
     All default to the fast paths; the ``False`` / ``"identity"`` settings
     reproduce the reference loops bit-for-bit and exist for benchmarking
-    and regression testing.
+    and regression testing.  ``array_backend`` selects the array backend
+    of the fast oracle's packed kernels (``None``/``"numpy"``/``"torch"``/
+    ``"cupy"`` or an :class:`~repro.backend.ArrayBackend` instance); the
+    exact oracle is NumPy-resident and rejects non-NumPy backends.
     """
     kind = kind.lower()
     if kind == "exact":
+        if not get_array_backend(array_backend).is_numpy:
+            raise InvalidProblemError(
+                "the exact oracle is NumPy-resident; use kind='fast' with a "
+                "non-NumPy array backend"
+            )
         return ExactDotExpOracle(constraints, backend=backend, batched=batched)
     if kind == "fast":
         return FastDotExpOracle(
@@ -1068,5 +1088,6 @@ def make_oracle(
             engine=engine,
             trace_mode=trace_mode,
             trace_seed=trace_seed,
+            array_backend=array_backend,
         )
     raise InvalidProblemError(f"unknown oracle kind {kind!r}; expected 'exact' or 'fast'")

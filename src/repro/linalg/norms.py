@@ -6,6 +6,12 @@ matrices it exponentiates) and trace inner products ``A . B = Tr[A B]``
 throughout.  For matrices given only through matrix–vector products we
 provide power iteration and a Lanczos-based estimator built on
 ``scipy.sparse.linalg.eigsh``.
+
+The estimators here are host-side drivers: they hand NumPy vectors to the
+caller's matvec callable and consume NumPy vectors back.  Array-backend
+acceleration (see :mod:`repro.backend`) happens *inside* those callables —
+the packed/Taylor kernels transfer at their own boundaries — so the
+Lanczos/power iterations themselves are backend-agnostic by construction.
 """
 
 from __future__ import annotations

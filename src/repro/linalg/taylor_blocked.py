@@ -54,10 +54,19 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+from repro.backend import NUMPY, get_array_backend
 from repro.exceptions import InvalidProblemError, NumericalError
 from repro.robustness.faultinject import fault_hook_array
 
 __all__ = ["BlockedTaylorKernel", "blocked_taylor_apply", "densified_psi"]
+
+
+def _stack_dtype(q: np.ndarray | sp.spmatrix) -> np.dtype:
+    """The working dtype a kernel adopts for stack ``q``: ``float32`` stays
+    ``float32`` (no silent upcast in the ping-pong buffers), everything
+    else runs in the reference ``float64``."""
+    dtype = np.dtype(getattr(q, "dtype", np.float64))
+    return np.dtype(np.float32) if dtype == np.float32 else np.dtype(np.float64)
 
 
 def densified_psi(
@@ -102,6 +111,13 @@ class _FusedTaylorApplyBase:
     #: subclasses override it so supervisors can tell the kernels apart.
     fault_site = "taylor_blocked.apply"
 
+    #: Array backend executing the recurrence (constructors override).
+    backend = NUMPY
+
+    #: Working dtype of the recurrence buffers: the stack's dtype when it
+    #: is float32, the reference float64 otherwise (constructors override).
+    dtype: np.dtype = np.dtype(np.float64)
+
     def apply(
         self,
         block: np.ndarray,
@@ -130,7 +146,7 @@ class _FusedTaylorApplyBase:
         """
         if degree < 1:
             raise ValueError(f"degree must be >= 1, got {degree}")
-        block = np.asarray(block, dtype=np.float64)
+        block = np.asarray(block, dtype=self.dtype)
         single = block.ndim == 1
         if single:
             block = block[:, None]
@@ -141,7 +157,7 @@ class _FusedTaylorApplyBase:
         chunk = self.chunk_columns if chunk_columns is None else chunk_columns
         s = block.shape[1]
         if chunk and 0 < chunk < s:
-            out = np.empty((self.dim, s), dtype=np.float64)
+            out = np.empty((self.dim, s), dtype=self.dtype)
             for lo in range(0, s, chunk):
                 hi = min(lo + chunk, s)
                 out[:, lo:hi] = self._apply_chunk(block[:, lo:hi], degree, scale)
@@ -216,18 +232,31 @@ class BlockedTaylorKernel(_FusedTaylorApplyBase):
         col_weights: np.ndarray,
         chunk_columns: int | None = None,
         densify: bool | None = None,
+        backend: "str | None" = None,
     ) -> None:
-        col_weights = np.asarray(col_weights, dtype=np.float64).ravel()
+        self.backend = get_array_backend(backend)
         if sp.issparse(q):
+            if not self.backend.is_numpy:
+                raise InvalidProblemError(
+                    "sparse factor stacks are NumPy-only; densify the stack "
+                    "before handing it to a non-NumPy backend"
+                )
             q = q.tocsr()
             m, r = q.shape
             nnz = q.nnz
+            self.dtype = np.dtype(np.float64)
+            col_weights = np.asarray(col_weights, dtype=np.float64).ravel()
         else:
-            q = np.asarray(q, dtype=np.float64)
+            q = np.asarray(q)
             if q.ndim != 2:
                 raise InvalidProblemError(f"q must be 2-dimensional, got ndim={q.ndim}")
+            # Preserve float32 stacks instead of silently upcasting; the
+            # reference float64 path is byte-for-byte what it always was.
+            self.dtype = _stack_dtype(q)
+            q = np.asarray(q, dtype=self.dtype)
             m, r = q.shape
             nnz = m * r
+            col_weights = np.asarray(col_weights, dtype=self.dtype).ravel()
         if col_weights.shape[0] != r:
             raise InvalidProblemError(
                 f"expected {r} column weights for a (m, {r}) stack, "
@@ -249,23 +278,26 @@ class BlockedTaylorKernel(_FusedTaylorApplyBase):
         if densify:
             # One (m, R) x (R, m) GEMM now — the cost of a single Taylor
             # term — buys an m^2-per-term recurrence instead of 2 m R.
-            self._psi = densified_psi(q, col_weights)
+            self._psi = self.backend.asarray(densified_psi(q, col_weights))
         elif sp.issparse(q):
             self._q = q
             self._qw = q.multiply(col_weights[None, :]).tocsr()
         else:
-            self._q = q
-            self._qw = q * col_weights
+            self._q = self.backend.asarray(q)
+            self._qw = self.backend.asarray(q * col_weights)
 
     # ------------------------------------------------------------------ alternates
     @classmethod
-    def from_matrix(cls, psi: np.ndarray | sp.spmatrix) -> "BlockedTaylorKernel":
+    def from_matrix(
+        cls, psi: np.ndarray | sp.spmatrix, backend: "str | None" = None
+    ) -> "BlockedTaylorKernel":
         """Kernel over an explicit symmetric matrix ``Psi`` (no factor form).
 
         Dense matrices use the fused dense recurrence directly; sparse
-        matrices keep sparse matvecs.
+        matrices keep sparse matvecs (NumPy backend only).
         """
         kernel = cls.__new__(cls)
+        kernel.backend = get_array_backend(backend)
         kernel.matvec_count = 0
         kernel.chunk_columns = None
         kernel._q = None
@@ -273,11 +305,18 @@ class BlockedTaylorKernel(_FusedTaylorApplyBase):
         kernel._psi = None
         kernel._psi_sparse = None
         if sp.issparse(psi):
+            if not kernel.backend.is_numpy:
+                raise InvalidProblemError(
+                    "sparse psi matrices are NumPy-only; densify before "
+                    "handing them to a non-NumPy backend"
+                )
+            kernel.dtype = np.dtype(np.float64)
             kernel._psi_sparse = psi.tocsr()
             kernel.dim = int(psi.shape[0])
         else:
-            psi = np.asarray(psi, dtype=np.float64)
-            kernel._psi = psi
+            kernel.dtype = _stack_dtype(psi)
+            psi = np.asarray(psi, dtype=kernel.dtype)
+            kernel._psi = kernel.backend.asarray(psi)
             kernel.dim = int(psi.shape[0])
         kernel.total_rank = kernel.dim
         if psi.shape != (kernel.dim, kernel.dim):
@@ -290,6 +329,7 @@ class BlockedTaylorKernel(_FusedTaylorApplyBase):
         q: np.ndarray | sp.spmatrix,
         qw: np.ndarray | sp.spmatrix,
         chunk_columns: int | None = None,
+        backend: "str | None" = None,
     ) -> "BlockedTaylorKernel":
         """Kernel over a stack whose weight fold ``Q diag(w)`` already exists.
 
@@ -301,6 +341,7 @@ class BlockedTaylorKernel(_FusedTaylorApplyBase):
         policy already decided against the dense representation.
         """
         kernel = cls.__new__(cls)
+        kernel.backend = get_array_backend(backend)
         kernel.matvec_count = 0
         kernel.chunk_columns = chunk_columns
         kernel._psi = None
@@ -311,11 +352,18 @@ class BlockedTaylorKernel(_FusedTaylorApplyBase):
                 f"{q.shape} and {qw.shape}"
             )
         if sp.issparse(q):
+            if not kernel.backend.is_numpy:
+                raise InvalidProblemError(
+                    "sparse factor stacks are NumPy-only; densify the stack "
+                    "before handing it to a non-NumPy backend"
+                )
+            kernel.dtype = np.dtype(np.float64)
             kernel._q = q.tocsr()
             kernel._qw = qw
         else:
-            kernel._q = np.asarray(q, dtype=np.float64)
-            kernel._qw = np.asarray(qw, dtype=np.float64)
+            kernel.dtype = _stack_dtype(q)
+            kernel._q = kernel.backend.asarray(np.asarray(q, dtype=kernel.dtype))
+            kernel._qw = kernel.backend.asarray(np.asarray(qw, dtype=kernel.dtype))
         kernel.dim = int(q.shape[0])
         kernel.total_rank = int(q.shape[1])
         return kernel
@@ -343,11 +391,15 @@ class BlockedTaylorKernel(_FusedTaylorApplyBase):
         Uses whichever representation the kernel holds; for the densified
         mode this is a single ``m^2``-madd product per column.
         """
-        if self._psi is not None:
-            return self._psi @ block
         if self._psi_sparse is not None:
             return self._psi_sparse @ block
-        return self._qw @ (self._q.T @ block)
+        if sp.issparse(self._q):
+            return self._qw @ (self._q.T @ block)
+        xp = self.backend
+        b = xp.asarray(block, dtype=self.dtype)
+        if self._psi is not None:
+            return xp.to_numpy(xp.matmul(self._psi, b))
+        return xp.to_numpy(xp.matmul(self._qw, xp.matmul(self._q.T, b)))
 
     # ------------------------------------------------------------------ apply
     # apply() is inherited from _FusedTaylorApplyBase; this kernel supplies
@@ -362,29 +414,31 @@ class BlockedTaylorKernel(_FusedTaylorApplyBase):
         return self._apply_dense_factors(block, degree, scale)
 
     def _apply_dense_psi(self, block: np.ndarray, degree: int, scale: float) -> np.ndarray:
-        acc = np.array(block, dtype=np.float64, copy=True)
-        term = acc.copy()
-        buf = np.empty_like(term)
+        xp = self.backend
+        acc = xp.copy(xp.asarray(block, dtype=self.dtype))
+        term = xp.copy(acc)
+        buf = xp.empty_like(term)
         for i in range(1, degree):
-            np.matmul(self._psi, term, out=buf)
+            xp.matmul(self._psi, term, out=buf)
             buf *= scale / i
             acc += buf
             term, buf = buf, term
-        return acc
+        return xp.to_numpy(acc)
 
     def _apply_dense_factors(self, block: np.ndarray, degree: int, scale: float) -> np.ndarray:
-        acc = np.array(block, dtype=np.float64, copy=True)
-        term = acc.copy()
-        buf = np.empty_like(term)
-        inner = np.empty((self.total_rank, block.shape[1]), dtype=np.float64)
+        xp = self.backend
+        acc = xp.copy(xp.asarray(block, dtype=self.dtype))
+        term = xp.copy(acc)
+        buf = xp.empty_like(term)
+        inner = xp.empty((self.total_rank, block.shape[1]), dtype=self.dtype)
         qw_t = self._qw.T
         for i in range(1, degree):
-            np.matmul(qw_t, term, out=inner)
-            np.matmul(self._q, inner, out=buf)
+            xp.matmul(qw_t, term, out=inner)
+            xp.matmul(self._q, inner, out=buf)
             buf *= scale / i
             acc += buf
             term, buf = buf, term
-        return acc
+        return xp.to_numpy(acc)
 
     @staticmethod
     def _apply_sparse_op(
@@ -419,6 +473,7 @@ def blocked_taylor_apply(
     degree: int,
     scale: float = 1.0,
     chunk_columns: int | None = None,
+    backend: "str | None" = None,
 ) -> np.ndarray:
     """One-shot convenience wrapper around :class:`BlockedTaylorKernel`.
 
@@ -427,5 +482,5 @@ def blocked_taylor_apply(
     same ``(q, w)`` pair is applied to several blocks (the densified ``Psi``
     and scaled factor copies are then reused across calls).
     """
-    kernel = BlockedTaylorKernel(q, col_weights)
+    kernel = BlockedTaylorKernel(q, col_weights, backend=backend)
     return kernel.apply(block, degree, scale=scale, chunk_columns=chunk_columns)

@@ -58,8 +58,9 @@ import math
 import numpy as np
 import scipy.sparse as sp
 
+from repro.backend import NUMPY, get_array_backend
 from repro.exceptions import InvalidProblemError
-from repro.linalg.taylor_blocked import _FusedTaylorApplyBase
+from repro.linalg.taylor_blocked import _FusedTaylorApplyBase, _stack_dtype
 
 __all__ = [
     "GramTaylorKernel",
@@ -216,16 +217,25 @@ def select_taylor_mode(
 
 
 def _validated_stack(q, col_weights):
-    """Shared (q, col_weights) validation for the Gram kernel and engine."""
-    col_weights = np.asarray(col_weights, dtype=np.float64).ravel()
+    """Shared (q, col_weights) validation for the Gram kernel and engine.
+
+    Dense float32 stacks keep their dtype (everything else is computed in
+    float64) so the Gram recurrence never silently upcasts a float32
+    workload — the same rule as
+    :func:`repro.linalg.taylor_blocked._stack_dtype`.
+    """
     if sp.issparse(q):
         q = q.tocsr()
+        dtype = np.dtype(np.float64)
         m, r = q.shape
     else:
-        q = np.asarray(q, dtype=np.float64)
+        q = np.asarray(q)
         if q.ndim != 2:
             raise InvalidProblemError(f"q must be 2-dimensional, got ndim={q.ndim}")
+        dtype = _stack_dtype(q)
+        q = np.asarray(q, dtype=dtype)
         m, r = q.shape
+    col_weights = np.asarray(col_weights, dtype=dtype).ravel()
     if col_weights.shape[0] != r:
         raise InvalidProblemError(
             f"expected {r} column weights for a (m, {r}) stack, "
@@ -233,7 +243,7 @@ def _validated_stack(q, col_weights):
         )
     if np.any(col_weights < 0):
         raise InvalidProblemError("column weights must be non-negative")
-    return q, col_weights, int(m), int(r)
+    return q, col_weights, int(m), int(r), dtype
 
 
 class GramTaylorKernel(_FusedTaylorApplyBase):
@@ -262,6 +272,10 @@ class GramTaylorKernel(_FusedTaylorApplyBase):
         ``R x m x R`` product).
     chunk_columns:
         Default column-chunk size for :meth:`apply` (``None`` = unchunked).
+    backend:
+        Array backend spec (``None``/name/instance, resolved through
+        :func:`repro.backend.get_array_backend`).  The recurrence and the
+        two projections run on the backend; sparse stacks are NumPy-only.
 
     Attributes
     ----------
@@ -276,8 +290,16 @@ class GramTaylorKernel(_FusedTaylorApplyBase):
         col_weights: np.ndarray,
         gram: np.ndarray | None = None,
         chunk_columns: int | None = None,
+        backend=None,
     ) -> None:
-        q, col_weights, m, r = _validated_stack(q, col_weights)
+        self.backend = get_array_backend(backend)
+        q, col_weights, m, r = _validated_stack(q, col_weights)[:4]
+        if sp.issparse(q) and not self.backend.is_numpy:
+            raise InvalidProblemError(
+                "sparse factor stacks are NumPy-only; densify the stack "
+                "before handing it to a non-NumPy backend"
+            )
+        self.dtype = _stack_dtype(q) if not sp.issparse(q) else np.dtype(np.float64)
         self._q = q
         self._col_w = col_weights
         self.dim = m
@@ -286,18 +308,28 @@ class GramTaylorKernel(_FusedTaylorApplyBase):
         self.chunk_columns = chunk_columns
         if gram is None:
             if r == 0:
-                gram = np.zeros((0, 0), dtype=np.float64)
+                gram = np.zeros((0, 0), dtype=self.dtype)
             elif sp.issparse(q):
                 gram = np.asarray((q.T @ q).todense(), dtype=np.float64) * col_weights
             else:
                 gram = (q.T @ q) * col_weights
         else:
-            gram = np.asarray(gram, dtype=np.float64)
+            gram = np.asarray(gram, dtype=self.dtype)
             if gram.shape != (r, r):
                 raise InvalidProblemError(
                     f"gram matrix must have shape {(r, r)}, got {gram.shape}"
                 )
         self._g = gram
+        # Lazily-transferred device copies of (q, gram, col_w); on the NumPy
+        # backend asarray is a pass-through, so this is the host state itself.
+        self._dev = None
+
+    def _device_state(self):
+        if self._dev is None:
+            xp = self.backend
+            q = self._q if sp.issparse(self._q) else xp.asarray(self._q)
+            self._dev = (q, xp.asarray(self._g), xp.asarray(self._col_w))
+        return self._dev
 
     @property
     def mode(self) -> str:
@@ -310,28 +342,46 @@ class GramTaylorKernel(_FusedTaylorApplyBase):
 
     def matvec(self, block: np.ndarray) -> np.ndarray:
         """``Psi @ block`` (unscaled) through the factors — two projections."""
-        inner = self._q.T @ block
-        if inner.ndim == 1:
-            return self._q @ (self._col_w * inner)
-        return self._q @ (self._col_w[:, None] * inner)
+        if sp.issparse(self._q):
+            inner = self._q.T @ block
+            if inner.ndim == 1:
+                return self._q @ (self._col_w * inner)
+            return self._q @ (self._col_w[:, None] * inner)
+        xp = self.backend
+        q, _, col_w = self._device_state()
+        b = xp.asarray(np.asarray(block, dtype=self.dtype))
+        inner = xp.matmul(q.T, b)
+        scaled = col_w * inner if inner.ndim == 1 else col_w[:, None] * inner
+        return xp.to_numpy(xp.matmul(q, scaled))
 
     # apply() is inherited from _FusedTaylorApplyBase (the shared validation
     # + chunk-loop + finiteness driver); the Gram recurrence lives here.
     def _apply_chunk(self, block: np.ndarray, degree: int, scale: float) -> np.ndarray:
         if self.total_rank == 0 or degree == 1:
-            return np.array(block, dtype=np.float64, copy=True)
+            return np.array(block, dtype=self.dtype, copy=True)
+        xp = self.backend
+        q, g, col_w = self._device_state()
+        sparse_q = sp.issparse(self._q)
         # q(sG) C with C = Q^T B: u_1 = s C, u_{i} = (s / i) G u_{i-1}.
-        inner = np.asarray(self._q.T @ block, dtype=np.float64)
+        if sparse_q:
+            # Sparse stacks are NumPy-resident (xp is the NumPy backend).
+            b = block
+            inner = xp.asarray(np.asarray(self._q.T @ block, dtype=self.dtype))
+        else:
+            b = xp.asarray(block)
+            inner = xp.matmul(q.T, b)
         term = scale * inner
-        acc = term.copy()
-        buf = np.empty_like(term)
+        acc = xp.copy(term)
+        buf = xp.empty_like(term)
         for i in range(2, degree):
-            np.matmul(self._g, term, out=buf)
+            xp.matmul(g, term, out=buf)
             buf *= scale / i
             acc += buf
             term, buf = buf, term
-        acc *= self._col_w[:, None]
-        return block + self._q @ acc
+        acc *= col_w[:, None]
+        if sparse_q:
+            return block + self._q @ xp.to_numpy(acc)
+        return xp.to_numpy(b + xp.matmul(q, acc))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"GramTaylorKernel(dim={self.dim}, R={self.total_rank})"
@@ -344,6 +394,7 @@ def gram_taylor_apply(
     degree: int,
     scale: float = 1.0,
     chunk_columns: int | None = None,
+    backend=None,
 ) -> np.ndarray:
     """One-shot convenience wrapper around :class:`GramTaylorKernel`.
 
@@ -352,7 +403,7 @@ def gram_taylor_apply(
     :class:`TaylorEngine`) when the same stack is applied repeatedly so the
     Gram matrix is built once.
     """
-    kernel = GramTaylorKernel(q, col_weights)
+    kernel = GramTaylorKernel(q, col_weights, backend=backend)
     return kernel.apply(block, degree, scale=scale, chunk_columns=chunk_columns)
 
 
@@ -390,11 +441,15 @@ def batched_gram_taylor_apply(
     if degrees.size == 0 or int(degrees.min()) < 2:
         raise InvalidProblemError("batched Taylor apply requires degree >= 2")
     max_degree = int(degrees.max())
+    # The fused batch path is NumPy-resident by contract (see
+    # core.batch._fused_key); the stacked GEMMs route through the shared
+    # NumPy backend object explicitly.
+    xp = NUMPY
     term = scale * inner_stack
     acc = term.copy()
     buf = np.empty_like(term)
     for i in range(2, max_degree):
-        np.matmul(gram_stack, term, out=buf)
+        xp.matmul(gram_stack, term, out=buf)
         buf *= scale / i
         idx = np.flatnonzero(degrees > i)
         if idx.size == degrees.size:
@@ -403,7 +458,7 @@ def batched_gram_taylor_apply(
             acc[idx] += buf[idx]
         term, buf = buf, term
     acc *= colw_stack[:, :, None]
-    return q_stack + np.matmul(q_stack, acc)
+    return q_stack + xp.matmul(q_stack, acc)
 
 
 class SparsePsiAccumulator:
@@ -559,6 +614,10 @@ class TaylorEngine:
 
     def __init__(self, packed, chunk_columns: int | None = None, mode: str = "auto") -> None:
         self.packed = packed
+        # The engine's host state (Gram buffers, CSR values, scaled stacks)
+        # stays NumPy; the stack's array backend is only handed to the
+        # kernels it builds, which transfer their inputs at construction.
+        self.backend = getattr(packed, "backend", NUMPY)
         self.chunk_columns = chunk_columns
         self.dim = int(packed.dim)
         self.total_rank = int(packed.total_rank)
@@ -772,18 +831,24 @@ class TaylorEngine:
 
         if self.mode == "gram":
             return GramTaylorKernel(
-                self.packed.matrix, col_w, gram=self._gram, chunk_columns=chunk
+                self.packed.matrix,
+                col_w,
+                gram=self._gram,
+                chunk_columns=chunk,
+                backend=self.backend,
             )
         if self.mode == "dense-psi":
-            kernel = BlockedTaylorKernel.from_matrix(self._psi)
+            kernel = BlockedTaylorKernel.from_matrix(self._psi, backend=self.backend)
             kernel.chunk_columns = chunk
             return kernel
         if self.mode == "sparse-psi":
+            # Sparse-Psi CSR recurrences are NumPy-only (and only reachable
+            # with a NumPy-backed stack — non-NumPy stacks densify).
             kernel = BlockedTaylorKernel.from_matrix(self._psi_csr)
             kernel.chunk_columns = chunk
             return kernel
         return BlockedTaylorKernel.from_scaled_factors(
-            self.packed.matrix, self._qw, chunk_columns=chunk
+            self.packed.matrix, self._qw, chunk_columns=chunk, backend=self.backend
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

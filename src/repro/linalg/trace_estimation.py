@@ -75,6 +75,7 @@ from dataclasses import dataclass
 import numpy as np
 import scipy.sparse as sp
 
+from repro.backend import NUMPY, get_array_backend
 from repro.exceptions import InvalidProblemError, NumericalError
 from repro.linalg.taylor_gram import GRAM_HYSTERESIS
 from repro.robustness.faultinject import fault_hook
@@ -188,6 +189,7 @@ def gram_exp_trace(
     degree: int,
     scale: float = 1.0,
     squared: bool = True,
+    backend=None,
 ) -> float:
     """Exact ``Tr[p(scale * Psi)^2]`` from the Gram spectrum of the stack.
 
@@ -208,6 +210,9 @@ def gram_exp_trace(
     squared:
         Return ``Tr[p^2]`` (the oracle's normalisation) when ``True``,
         ``Tr[p]`` when ``False``.
+    backend:
+        Array backend spec for the ``R x R`` eigendecomposition; the
+        weighted Gram build and the scalar polynomial stay host-side.
 
     Notes
     -----
@@ -233,9 +238,10 @@ def gram_exp_trace(
         raise InvalidProblemError("column weights must be non-negative")
     if r == 0:
         return float(dim)
+    xp = get_array_backend(backend)
     root = np.sqrt(col_weights)
     weighted = gram * root[None, :] * root[:, None]
-    eigenvalues = np.linalg.eigvalsh(0.5 * (weighted + weighted.T))
+    eigenvalues = xp.to_numpy(xp.eigvalsh(xp.asarray(0.5 * (weighted + weighted.T))))
     # Psi is PSD; tiny negative eigenvalues are rounding noise.
     np.clip(eigenvalues, 0.0, None, out=eigenvalues)
     values = truncated_exp_values(eigenvalues, degree, scale=scale)
@@ -305,15 +311,18 @@ def batched_gram_exp_trace(
     if good.size == 0:
         return traces
     sym = 0.5 * (weighted[good] + weighted[good].transpose(0, 2, 1))
+    # The fused batch path is NumPy-resident by contract; the stacked
+    # eigendecomposition routes through the shared NumPy backend object.
+    xp = NUMPY
     try:
-        eigenvalues = np.linalg.eigvalsh(sym)
+        eigenvalues = xp.eigvalsh(sym)
     except np.linalg.LinAlgError:
         # Isolate non-converging slices so the rest of the batch survives.
         eigenvalues = np.zeros((good.size, r))
         keep = np.ones(good.size, dtype=bool)
         for j in range(good.size):
             try:
-                eigenvalues[j] = np.linalg.eigvalsh(sym[j])
+                eigenvalues[j] = xp.eigvalsh(sym[j])
             except np.linalg.LinAlgError:
                 keep[j] = False
         good = good[keep]
@@ -431,6 +440,10 @@ class TraceEstimator:
         if eps <= 0 or eps >= 1:
             raise InvalidProblemError(f"eps must be in (0, 1), got {eps}")
         self.packed = packed
+        # Adopt the stack's array backend for the eigendecompositions; all
+        # other estimator state (probe streams, counters, caches) is host
+        # NumPy regardless of backend.
+        self.backend = getattr(packed, "backend", NUMPY)
         self.dim = int(packed.dim)
         self.total_rank = int(packed.total_rank)
         self.eps = float(eps)
@@ -565,6 +578,7 @@ class TraceEstimator:
             degree,
             scale=scale,
             squared=True,
+            backend=self.backend,
         )
         r = self.total_rank
         return TraceEstimate(
@@ -577,8 +591,10 @@ class TraceEstimator:
     def _basis(self) -> tuple[np.ndarray, np.ndarray]:
         """Kept eigenpairs of the weight-independent ``Q^T Q`` (cached)."""
         if self._gram_eig is None:
+            xp = self.backend
             gram = self.packed.gram_matrix()
-            mu, w = np.linalg.eigh(0.5 * (gram + gram.T))
+            mu, w = xp.eigh(xp.asarray(0.5 * (gram + gram.T)))
+            mu, w = xp.to_numpy(mu), xp.to_numpy(w)
             keep = mu > _BASIS_RTOL * max(float(mu[-1]), 0.0) if mu.size else mu > 0
             self._gram_eig = (mu[keep], w[:, keep])
         return self._gram_eig
@@ -618,7 +634,9 @@ class TraceEstimator:
         )
 
     def _identity_push(self, kernel, degree: int, scale: float) -> float:
-        eye_transformed = kernel.apply(np.eye(self.dim), degree, scale=scale)
+        # kernel.apply takes (and returns) host arrays whatever the kernel's
+        # backend, so the identity is materialised through the NumPy object.
+        eye_transformed = kernel.apply(NUMPY.eye(self.dim), degree, scale=scale)
         return float(np.sum(eye_transformed * eye_transformed))
 
     def _hutchinson_estimate(
@@ -644,10 +662,13 @@ class TraceEstimator:
             # part of p^2 = I + 2U + U^2 contributes zero variance; the
             # first-order control variate 2s z^T Psi z (exact expectation
             # 2s Tr[Psi]) removes the leading term of 2 z^T U z.
+            # Probe blocks and kernel outputs are host arrays; the column
+            # reductions route through the shared NumPy backend object.
+            xp = NUMPY
             new = (
-                2.0 * np.einsum("ij,ij->j", z, uz)
-                + np.einsum("ij,ij->j", uz, uz)
-                - 2.0 * scale * np.einsum("ij,ij->j", z, psi_z)
+                2.0 * xp.einsum("ij,ij->j", z, uz)
+                + xp.einsum("ij,ij->j", uz, uz)
+                - 2.0 * scale * xp.einsum("ij,ij->j", z, psi_z)
             )
             samples = np.concatenate([samples, new])
             drawn += block

@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.backend import available_backends, get_array_backend
 from repro.linalg.psd import random_psd
 from repro.operators.collection import ConstraintCollection
 from repro.core.problem import NormalizedPackingSDP
@@ -14,6 +15,18 @@ from repro.core.problem import NormalizedPackingSDP
 def rng() -> np.random.Generator:
     """A deterministic random generator shared by tests."""
     return np.random.default_rng(20120522)
+
+
+@pytest.fixture(params=available_backends())
+def backend(request):
+    """Every installed array backend, resolved to an instance.
+
+    Parameterising over :func:`repro.backend.available_backends` makes the
+    conformance suite self-extending: tests written against this fixture
+    run NumPy-only where torch/CuPy are absent and pick the extra backends
+    up automatically (no skip bookkeeping) where they are installed.
+    """
+    return get_array_backend(request.param)
 
 
 @pytest.fixture

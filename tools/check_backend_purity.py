@@ -1,0 +1,141 @@
+#!/usr/bin/env python
+"""Backend-purity lint: contract modules must not call hot NumPy kernels.
+
+The pluggable array backend (:mod:`repro.backend`) only works if the hot
+kernels in the *contract modules* route their heavy arithmetic through the
+backend object — a direct ``np.matmul`` in a kernel silently pins that
+path to NumPy and the conformance suite cannot catch it (the NumPy backend
+is a pass-through, so results stay correct; only the routing is broken).
+
+This AST lint fails CI when a contract module calls a *denied* NumPy
+primitive directly instead of going through a backend object:
+
+* denied (device-scale kernels): ``np.matmul``, ``np.einsum``, ``np.dot``,
+  ``np.vdot``, ``np.inner``, ``np.outer``, ``np.tensordot``, ``np.kron``,
+  ``np.eye``, ``np.exp``, anything under ``np.linalg.*``, and
+  ``np.add.reduceat``;
+* allowed (host-side bookkeeping): ``np.asarray``/``np.array`` boundary
+  conversions, buffer allocation (``np.zeros``/``np.empty``), validation
+  (``np.isfinite``, ``np.any``), cheap elementwise/index helpers
+  (``np.sqrt``, ``np.clip``, ``np.repeat``, fancy indexing), and the
+  ``@`` operator — on a contract module's *host* state the operator is
+  NumPy by construction, and on device state it dispatches to the device.
+
+Genuinely NumPy-only code inside a contract module (scipy-sparse branches
+that already route through the shared ``NUMPY`` backend object need no
+exemption) can carry an explicit ``# backend-purity: allow`` comment on
+the offending line; every use of the escape hatch is printed so review
+sees it.
+
+Run from the repository root::
+
+    python tools/check_backend_purity.py
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: Modules bound by the backend contract: their hot kernels must route
+#: through an ArrayBackend object.
+CONTRACT_MODULES = (
+    "src/repro/operators/packed.py",
+    "src/repro/linalg/taylor_blocked.py",
+    "src/repro/linalg/taylor_gram.py",
+    "src/repro/linalg/trace_estimation.py",
+    "src/repro/core/batch.py",
+)
+
+#: Direct children of ``np`` whose *call* is denied in contract modules.
+DENIED_ATTRS = {
+    "matmul",
+    "einsum",
+    "dot",
+    "vdot",
+    "inner",
+    "outer",
+    "tensordot",
+    "kron",
+    "eye",
+    "exp",
+}
+
+#: Explicit escape hatch, placed as a comment on the offending line.
+ALLOW_PRAGMA = "# backend-purity: allow"
+
+
+def _dotted_name(node: ast.expr) -> str | None:
+    """Resolve an attribute chain like ``np.linalg.eigvalsh`` to a string."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_denied(name: str) -> bool:
+    parts = name.split(".")
+    if parts[0] not in ("np", "numpy"):
+        return False
+    if len(parts) >= 2 and parts[1] == "linalg":
+        return True
+    if len(parts) == 2 and parts[1] in DENIED_ATTRS:
+        return True
+    if parts[1:] == ["add", "reduceat"]:
+        return True
+    return False
+
+
+def check_module(path: Path) -> tuple[list[str], list[str]]:
+    """(violations, allowed-pragma uses) for one contract module."""
+    source = path.read_text()
+    lines = source.splitlines()
+    tree = ast.parse(source, filename=str(path))
+    violations: list[str] = []
+    allowed: list[str] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _dotted_name(node.func)
+        if name is None or not _is_denied(name):
+            continue
+        line = lines[node.lineno - 1]
+        rel = path.relative_to(ROOT)
+        where = f"{rel}:{node.lineno}: {name}(...)"
+        if ALLOW_PRAGMA in line:
+            allowed.append(where)
+        else:
+            violations.append(where)
+    return violations, allowed
+
+
+def main() -> int:
+    """Lint every contract module; non-zero exit on any violation."""
+    all_violations: list[str] = []
+    for rel in CONTRACT_MODULES:
+        path = ROOT / rel
+        if not path.exists():
+            all_violations.append(f"{rel}: contract module missing")
+            continue
+        violations, allowed = check_module(path)
+        all_violations.extend(violations)
+        for where in allowed:
+            print(f"[allow] {where}")
+    if all_violations:
+        print("backend-purity violations (route these through the backend object):")
+        for where in all_violations:
+            print(f"  {where}")
+        return 1
+    print(f"[ok] {len(CONTRACT_MODULES)} contract modules are backend-pure")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
